@@ -1,0 +1,394 @@
+// Benchmarks: one testing.B target per table/figure of the paper's
+// evaluation, at a fixed moderate size. The full parameter sweeps that
+// regenerate the figures' series live in cmd/spgist-bench; these targets
+// give quick per-operation numbers (ns/op, B/op) for regression tracking.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/heap"
+	"repro/internal/kdtree"
+	"repro/internal/pmr"
+	"repro/internal/pquad"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+	"repro/internal/suffix"
+	"repro/internal/trie"
+)
+
+const (
+	benchWords  = 50000
+	benchPoints = 50000
+	benchSegs   = 20000
+)
+
+func benchRID(i int) heap.RID {
+	return heap.RID{Page: storage.PageID(1 + i/1000), Slot: uint16(i % 1000)}
+}
+
+func newPool() *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewMem(storage.DefaultPageSize), 4096)
+}
+
+// Shared fixtures, built once.
+var fixtures struct {
+	once sync.Once
+
+	words    []string
+	patterns []string
+	prefixes []string
+	subs     []string
+	trie     *core.Tree
+	sfx      *core.Tree
+	bt       *btree.Tree
+
+	points []geom.Point
+	kd     *core.Tree
+	pq     *core.Tree
+	rtPt   *rtree.Tree
+
+	segs  []geom.Segment
+	pmrT  *core.Tree
+	rtSeg *rtree.Tree
+}
+
+func setup(b *testing.B) {
+	b.Helper()
+	defer b.ResetTimer() // keep one-time fixture construction out of the timings
+	fixtures.once.Do(func() {
+		f := &fixtures
+		f.words = datagen.Words(benchWords, 42)
+		f.patterns = datagen.Patterns(f.words, 512, 0.3, 43)
+		f.prefixes = datagen.Prefixes(f.words, 512, 44)
+		f.subs = datagen.Substrings(f.words, 512, 45)
+
+		f.trie, _ = core.Create(newPool(), trie.New())
+		f.bt, _ = btree.Create(newPool())
+		for i, w := range f.words {
+			f.trie.Insert(w, benchRID(i))
+			f.bt.Insert([]byte(w), benchRID(i))
+		}
+		f.trie, _ = f.trie.Repack(newPool())
+
+		f.sfx, _ = core.Create(newPool(), suffix.New())
+		for i, w := range f.words[:benchWords/5] {
+			suffix.InsertWord(f.sfx, w, benchRID(i))
+		}
+		f.sfx, _ = f.sfx.Repack(newPool())
+
+		world := geom.MakeBox(0, 0, 100, 100)
+		f.points = datagen.Points(benchPoints, 46, world)
+		f.kd, _ = core.Create(newPool(), kdtree.New())
+		f.pq, _ = core.Create(newPool(), pquad.New())
+		f.rtPt, _ = rtree.Create(newPool())
+		for i, p := range f.points {
+			f.kd.Insert(p, benchRID(i))
+			f.pq.Insert(p, benchRID(i))
+			f.rtPt.Insert(geom.Box{Min: p, Max: p}, benchRID(i))
+		}
+		f.kd, _ = f.kd.Repack(newPool())
+		f.pq, _ = f.pq.Repack(newPool())
+
+		f.segs = datagen.Segments(benchSegs, 47, world, 5)
+		f.pmrT, _ = core.Create(newPool(), pmr.New())
+		f.rtSeg, _ = rtree.Create(newPool())
+		for i, s := range f.segs {
+			f.pmrT.Insert(s, benchRID(i))
+			f.rtSeg.Insert(s.MBR(), benchRID(i))
+		}
+		f.pmrT, _ = f.pmrT.Repack(newPool())
+	})
+}
+
+var sink int
+
+func emitCore(_ core.Value, _ heap.RID) bool { sink++; return true }
+
+// --- Table 7 has no runtime component (line counting); see cmd/spgist-loc.
+
+// --- Figure 6: exact and prefix match, trie vs B+-tree.
+
+func BenchmarkFig6ExactMatchTrie(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		w := fixtures.words[i%benchWords]
+		fixtures.trie.Scan(&core.Query{Op: "=", Arg: w}, emitCore)
+	}
+}
+
+func BenchmarkFig6ExactMatchBTree(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		w := fixtures.words[i%benchWords]
+		fixtures.bt.Search([]byte(w), func(heap.RID) bool { sink++; return true })
+	}
+}
+
+func BenchmarkFig6PrefixMatchTrie(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		p := fixtures.prefixes[i%len(fixtures.prefixes)]
+		fixtures.trie.Scan(&core.Query{Op: "#=", Arg: p}, emitCore)
+	}
+}
+
+func BenchmarkFig6PrefixMatchBTree(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		p := fixtures.prefixes[i%len(fixtures.prefixes)]
+		fixtures.bt.PrefixScan([]byte(p), func(_ []byte, _ heap.RID) bool { sink++; return true })
+	}
+}
+
+// --- Figure 7: regular-expression ('?' wildcard) match.
+
+func BenchmarkFig7RegexTrie(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		p := fixtures.patterns[i%len(fixtures.patterns)]
+		fixtures.trie.Scan(&core.Query{Op: "?=", Arg: p}, emitCore)
+	}
+}
+
+func BenchmarkFig7RegexBTree(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		p := fixtures.patterns[i%len(fixtures.patterns)]
+		fixtures.bt.MatchScan(p, trie.MatchPattern, func(_ []byte, _ heap.RID) bool { sink++; return true })
+	}
+}
+
+// --- Figures 8-9: trie insert vs B+-tree insert (fresh trees per run).
+
+func BenchmarkFig9InsertTrie(b *testing.B) {
+	setup(b)
+	t, _ := core.Create(newPool(), trie.New())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(fixtures.words[i%benchWords], benchRID(i))
+	}
+}
+
+func BenchmarkFig9InsertBTree(b *testing.B) {
+	setup(b)
+	t, _ := btree.Create(newPool())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert([]byte(fixtures.words[i%benchWords]), benchRID(i))
+	}
+}
+
+// --- Figures 10-12 are structural (size, heights): measured in
+// cmd/spgist-bench; here a cheap stats walk keeps them regression-tested.
+
+func BenchmarkFig12StatsWalkTrie(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := fixtures.trie.Stats(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 13: point match / range search, kd-tree vs R-tree.
+
+func BenchmarkFig13PointMatchKD(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		p := fixtures.points[i%benchPoints]
+		fixtures.kd.Scan(&core.Query{Op: "@", Arg: p}, emitCore)
+	}
+}
+
+func BenchmarkFig13PointMatchRTree(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		p := fixtures.points[i%benchPoints]
+		fixtures.rtPt.SearchPoint(p, func(heap.RID) bool { sink++; return true })
+	}
+}
+
+var benchBoxes = datagen.Boxes(512, 48, geom.MakeBox(0, 0, 100, 100), 3)
+
+func BenchmarkFig13RangeKD(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		fixtures.kd.Scan(&core.Query{Op: "^", Arg: benchBoxes[i%len(benchBoxes)]}, emitCore)
+	}
+}
+
+func BenchmarkFig13RangeRTree(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		fixtures.rtPt.SearchContained(benchBoxes[i%len(benchBoxes)],
+			func(_ geom.Box, _ heap.RID) bool { sink++; return true })
+	}
+}
+
+func BenchmarkFig13InsertKD(b *testing.B) {
+	setup(b)
+	t, _ := core.Create(newPool(), kdtree.New())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(fixtures.points[i%benchPoints], benchRID(i))
+	}
+}
+
+func BenchmarkFig13InsertRTree(b *testing.B) {
+	setup(b)
+	t, _ := rtree.Create(newPool())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := fixtures.points[i%benchPoints]
+		t.Insert(geom.Box{Min: p, Max: p}, benchRID(i))
+	}
+}
+
+// --- Figure 15: segment workloads, PMR quadtree vs R-tree.
+
+func BenchmarkFig15ExactPMR(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		s := fixtures.segs[i%benchSegs]
+		fixtures.pmrT.Scan(&core.Query{Op: "=", Arg: s}, emitCore)
+	}
+}
+
+func BenchmarkFig15ExactRTree(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		s := fixtures.segs[i%benchSegs]
+		fixtures.rtSeg.Search(s.MBR(), func(_ geom.Box, rd heap.RID) bool {
+			idx := (int(rd.Page)-1)*1000 + int(rd.Slot)
+			if fixtures.segs[idx].Eq(s) {
+				sink++
+			}
+			return true
+		})
+	}
+}
+
+func BenchmarkFig15WindowPMR(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		fixtures.pmrT.Scan(&core.Query{Op: "&&", Arg: benchBoxes[i%len(benchBoxes)]}, emitCore)
+	}
+}
+
+func BenchmarkFig15WindowRTree(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		w := benchBoxes[i%len(benchBoxes)]
+		fixtures.rtSeg.Search(w, func(_ geom.Box, rd heap.RID) bool {
+			idx := (int(rd.Page)-1)*1000 + int(rd.Slot)
+			if fixtures.segs[idx].IntersectsBox(w) {
+				sink++
+			}
+			return true
+		})
+	}
+}
+
+// --- Figure 16: substring match, suffix tree vs sequential scan.
+
+func BenchmarkFig16SubstringSuffixTree(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		q := fixtures.subs[i%len(fixtures.subs)]
+		fixtures.sfx.Scan(suffix.SubstringQuery(q), emitCore)
+	}
+}
+
+func BenchmarkFig16SubstringSeqScan(b *testing.B) {
+	setup(b)
+	words := fixtures.words[:benchWords/5]
+	for i := 0; i < b.N; i++ {
+		q := fixtures.subs[i%len(fixtures.subs)]
+		for _, w := range words {
+			if strings.Contains(w, q) {
+				sink++
+			}
+		}
+	}
+}
+
+// --- Figure 17: incremental NN across instantiations.
+
+func benchNN(b *testing.B, t *core.Tree, k int, q func(i int) core.Value) {
+	b.Helper()
+	setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := t.NN(q(i), k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17NN8KD(b *testing.B) {
+	benchNN(b, fixturesKD(b), 8, func(i int) core.Value { return fixtures.points[i%benchPoints] })
+}
+
+func BenchmarkFig17NN128KD(b *testing.B) {
+	benchNN(b, fixturesKD(b), 128, func(i int) core.Value { return fixtures.points[i%benchPoints] })
+}
+
+func BenchmarkFig17NN8PQuad(b *testing.B) {
+	benchNN(b, fixturesPQ(b), 8, func(i int) core.Value { return fixtures.points[i%benchPoints] })
+}
+
+func BenchmarkFig17NN8Trie(b *testing.B) {
+	benchNN(b, fixturesTrie(b), 8, func(i int) core.Value { return fixtures.words[i%benchWords] })
+}
+
+func fixturesKD(b *testing.B) *core.Tree   { setup(b); return fixtures.kd }
+func fixturesPQ(b *testing.B) *core.Tree   { setup(b); return fixtures.pq }
+func fixturesTrie(b *testing.B) *core.Tree { setup(b); return fixtures.trie }
+
+// --- Substrate micro-benchmarks.
+
+func BenchmarkSubstrateBufferPoolFetch(b *testing.B) {
+	bp := newPool()
+	var ids []storage.PageID
+	for i := 0; i < 64; i++ {
+		p, _ := bp.NewPage()
+		ids = append(ids, p.ID)
+		bp.Unpin(p, false)
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := bp.Fetch(ids[r.Intn(len(ids))])
+		bp.Unpin(p, false)
+	}
+}
+
+func BenchmarkSubstrateHeapInsert(b *testing.B) {
+	hf, _ := heap.Create(newPool())
+	rec := []byte("a modest forty-byte tuple for the bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hf.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard against accidental fixture-size drift.
+func TestBenchFixturesSane(t *testing.T) {
+	if benchWords < 1000 || benchPoints < 1000 || benchSegs < 1000 {
+		t.Fatal("bench fixtures too small to be meaningful")
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,160 @@
+// Command spgist-cli is a small interactive SQL shell over the embedded
+// engine — the closest thing in this repository to the psql sessions of
+// the paper's Table 6.
+//
+//	$ spgist-cli [-dir /path/to/db]
+//	spgist> CREATE TABLE word_data (name VARCHAR, id INT);
+//	spgist> CREATE INDEX t ON word_data USING spgist (name spgist_trie);
+//	spgist> INSERT INTO word_data VALUES ('random', 1);
+//	spgist> SELECT * FROM word_data WHERE name ?= 'r?nd?m';
+//
+// Meta commands: \dam (access methods), \doc (operator classes),
+// \do (operators), \dt (tables), \q (quit).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/catalog"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (default: in-memory)")
+	flag.Parse()
+
+	db, err := repro.Open(repro.Options{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("SP-GiST mini SQL shell (type \\q to quit, \\dam \\doc \\do \\dt for catalogs)")
+	var pending strings.Builder
+	for {
+		if pending.Len() == 0 {
+			fmt.Print("spgist> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if meta(db, line) {
+				return
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString(" ")
+		if !strings.HasSuffix(line, ";") {
+			continue
+		}
+		sql := pending.String()
+		pending.Reset()
+		res, err := db.Exec(sql)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func printResult(res *repro.Result) {
+	if res.Plan != "" && len(res.Columns) > 0 && res.Rows == nil && res.Msg == "" {
+		fmt.Println(res.Plan) // EXPLAIN
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for i, row := range res.Rows {
+			var cells []string
+			for _, d := range row {
+				cells = append(cells, d.String())
+			}
+			line := strings.Join(cells, " | ")
+			if res.Distances != nil {
+				line += fmt.Sprintf("   <-> %.3f", res.Distances[i])
+			}
+			fmt.Println(line)
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	if res.Msg != "" {
+		fmt.Println(res.Msg)
+	}
+}
+
+// meta handles backslash commands; returns true to quit.
+func meta(db *repro.DB, line string) bool {
+	switch strings.ToLower(strings.Fields(line)[0]) {
+	case "\\q", "\\quit":
+		return true
+	case "\\dam":
+		fmt.Println("access methods (pg_am):")
+		ams := repro.AccessMethods()
+		sort.Slice(ams, func(i, j int) bool { return ams[i].Name < ams[j].Name })
+		for _, am := range ams {
+			fmt.Printf("  %-8s strategies=%d support=%d order=%d concurrent=%v build=%s cost=%s\n",
+				am.Name, am.MaxStrategies, am.MaxSupport, am.OrderStrategy,
+				am.Concurrent, am.BuildProc, am.CostProc)
+		}
+	case "\\doc":
+		fmt.Println("operator classes (pg_opclass):")
+		ocs := repro.OperatorClasses()
+		sort.Slice(ocs, func(i, j int) bool { return ocs[i].Name < ocs[j].Name })
+		for _, oc := range ocs {
+			var ops []string
+			for op, st := range oc.Strategies {
+				ops = append(ops, fmt.Sprintf("%s(%d)", op, st))
+			}
+			sort.Strings(ops)
+			fmt.Printf("  %-18s am=%-7s type=%-8v default=%-5v ops=%s\n",
+				oc.Name, oc.AM, oc.Type, oc.Default, strings.Join(ops, " "))
+		}
+	case "\\do":
+		fmt.Println("operators (pg_operator):")
+		ops := catalog.Operators()
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].Name != ops[j].Name {
+				return ops[i].Name < ops[j].Name
+			}
+			return ops[i].Left < ops[j].Left
+		})
+		for _, op := range ops {
+			fmt.Printf("  %-3s  left=%-8v right=%-8v commutator=%q\n",
+				op.Name, op.Left, op.Right, op.Commutator)
+		}
+	case "\\dt":
+		for _, t := range db.Engine().Tables() {
+			var cols []string
+			for _, c := range t.Columns {
+				cols = append(cols, fmt.Sprintf("%s %v", c.Name, c.Type))
+			}
+			fmt.Printf("  %s (%s)  rows=%d indexes=%d\n",
+				t.Name, strings.Join(cols, ", "), t.Heap.Count(), len(t.Indexes))
+			for _, ix := range t.Indexes {
+				fmt.Printf("    index %s on %s using %s (%s), %d pages\n",
+					ix.Name, t.Columns[ix.Column].Name, ix.OpClass.AM, ix.OpClass.Name, ix.Idx.NumPages())
+			}
+		}
+	default:
+		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\q")
+	}
+	return false
+}

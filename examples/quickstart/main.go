@@ -1,0 +1,64 @@
+// Quickstart: the paper's Table 6 session end to end — create a table,
+// build an SP-GiST trie index on it through the operator-class machinery,
+// and run the equality / prefix / regular-expression / NN queries the
+// trie's operators provide. EXPLAIN shows the cost-based choice between
+// the sequential scan and the index scan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db := repro.OpenMemory()
+	defer db.Close()
+
+	// The statements of the paper's Table 6.
+	db.MustExec(`CREATE TABLE word_data (name VARCHAR(50), id INT)`)
+	db.MustExec(`CREATE INDEX sp_trie_index ON word_data USING spgist (name spgist_trie)`)
+
+	words := []string{
+		"random", "rondom", "rainbow", "spade", "spark", "space", "star",
+		"database", "datum", "index", "quadtree", "trie", "tree",
+	}
+	for i, w := range words {
+		db.MustExec(fmt.Sprintf(`INSERT INTO word_data VALUES ('%s', %d)`, w, i+1))
+	}
+
+	show := func(sql string) {
+		fmt.Println("\n=>", sql)
+		res, err := db.Exec(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Plan != "" {
+			fmt.Println("   plan:", res.Plan)
+		}
+		for i, row := range res.Rows {
+			line := fmt.Sprintf("   %s (id %s)", row[0], row[1])
+			if res.Distances != nil {
+				line += fmt.Sprintf("  distance=%.0f", res.Distances[i])
+			}
+			fmt.Println(line)
+		}
+	}
+
+	// Equality query (paper Table 6, left).
+	show(`SELECT * FROM word_data WHERE name = 'random'`)
+
+	// Regular-expression query with the '?' wildcard (Table 6): matches
+	// both 'random' and 'rondom'.
+	show(`SELECT * FROM word_data WHERE name ?= 'r?nd?m'`)
+
+	// Prefix query.
+	show(`SELECT * FROM word_data WHERE name #= 'spa'`)
+
+	// Incremental nearest-neighbor search by Hamming-style distance.
+	show(`SELECT * FROM word_data ORDER BY name <-> 'strie' LIMIT 3`)
+
+	// The planner picks the access path by cost.
+	show(`EXPLAIN SELECT * FROM word_data WHERE name = 'random'`)
+}

@@ -1,0 +1,336 @@
+// Package am adapts the concrete index structures (SP-GiST instantiations,
+// B+-tree, R-tree) to one uniform access-method interface the executor
+// dispatches through — the role of PostgreSQL's interface routines
+// (amgettuple, aminsert, ambuild, ...) that the paper registers in pg_am.
+//
+// Index scans may be lossy (the R-tree indexes segment MBRs, the B+-tree
+// answers '?=' from a literal prefix); the executor rechecks the operator
+// against the heap tuple for every candidate, as PostgreSQL does for
+// lossy index hits, so correctness never depends on index precision.
+package am
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/heap"
+	"repro/internal/kdtree"
+	"repro/internal/pmr"
+	"repro/internal/pquad"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+	"repro/internal/suffix"
+	"repro/internal/trie"
+)
+
+// NNIter yields nearest-neighbor candidates in increasing distance.
+type NNIter func() (rid heap.RID, dist float64, ok bool)
+
+// Index is the uniform access-method interface.
+type Index interface {
+	// OpClass returns the operator class the index was created with.
+	OpClass() *catalog.OperatorClass
+	// Insert adds the key of one row.
+	Insert(key catalog.Datum, rid heap.RID) error
+	// Delete removes the key of one row.
+	Delete(key catalog.Datum, rid heap.RID) (int, error)
+	// Scan drives an index scan for `key op arg`, emitting candidate
+	// RIDs (possibly lossy).
+	Scan(op string, arg catalog.Datum, emit func(heap.RID) bool) error
+	// NNScan starts an incremental nearest-neighbor scan, or errors when
+	// the class has no ordering operator.
+	NNScan(arg catalog.Datum) (NNIter, error)
+	// Count returns the number of indexed rows.
+	Count() int64
+	// NumPages returns the index size in pages.
+	NumPages() uint32
+	// SizeBytes returns the index size in bytes.
+	SizeBytes() int64
+	// Flush persists the index.
+	Flush() error
+}
+
+// New creates (or reopens) an index of the given operator class over the
+// supplied buffer pool.
+func New(ocName string, bp *storage.BufferPool, create bool) (Index, error) {
+	oc, ok := catalog.LookupOpClass(ocName)
+	if !ok {
+		return nil, fmt.Errorf("am: unknown operator class %q", ocName)
+	}
+	switch oc.Name {
+	case "spgist_trie":
+		return newSPGiST(oc, trie.New(), bp, create)
+	case "spgist_suffix":
+		t, err := openTree(suffix.New(), bp, create)
+		if err != nil {
+			return nil, err
+		}
+		return &suffixIndex{spgistIndex{oc: oc, tree: t}}, nil
+	case "spgist_kdtree":
+		return newSPGiST(oc, kdtree.New(), bp, create)
+	case "spgist_pquadtree":
+		return newSPGiST(oc, pquad.New(), bp, create)
+	case "spgist_pmr":
+		return newSPGiST(oc, pmr.New(), bp, create)
+	case "btree_text":
+		var t *btree.Tree
+		var err error
+		if create {
+			t, err = btree.Create(bp)
+		} else {
+			t, err = btree.Open(bp)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &btreeIndex{oc: oc, tree: t}, nil
+	case "rtree_point", "rtree_segment":
+		var t *rtree.Tree
+		var err error
+		if create {
+			t, err = rtree.Create(bp)
+		} else {
+			t, err = rtree.Open(bp)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &rtreeIndex{oc: oc, tree: t, segments: oc.Name == "rtree_segment"}, nil
+	default:
+		return nil, fmt.Errorf("am: operator class %q has no index implementation", oc.Name)
+	}
+}
+
+func openTree(oc core.OpClass, bp *storage.BufferPool, create bool) (*core.Tree, error) {
+	if create {
+		return core.Create(bp, oc)
+	}
+	return core.Open(bp, oc)
+}
+
+func newSPGiST(oc *catalog.OperatorClass, c core.OpClass, bp *storage.BufferPool, create bool) (Index, error) {
+	t, err := openTree(c, bp, create)
+	if err != nil {
+		return nil, err
+	}
+	return &spgistIndex{oc: oc, tree: t}, nil
+}
+
+// datumToValue converts a key datum to the opclass's core.Value form.
+func datumToValue(d catalog.Datum) (core.Value, error) {
+	switch d.Typ {
+	case catalog.Text:
+		return d.S, nil
+	case catalog.Point:
+		return d.P, nil
+	case catalog.Box:
+		return d.B, nil
+	case catalog.Segment:
+		return d.G, nil
+	default:
+		return nil, fmt.Errorf("am: type %v not indexable", d.Typ)
+	}
+}
+
+// spgistIndex adapts a core.Tree.
+type spgistIndex struct {
+	oc   *catalog.OperatorClass
+	tree *core.Tree
+}
+
+func (x *spgistIndex) OpClass() *catalog.OperatorClass { return x.oc }
+func (x *spgistIndex) Count() int64                    { return x.tree.Count() }
+func (x *spgistIndex) NumPages() uint32                { return x.tree.NumPages() }
+func (x *spgistIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
+func (x *spgistIndex) Flush() error                    { return x.tree.Flush() }
+
+// Tree exposes the underlying SP-GiST tree (statistics, ablations).
+func (x *spgistIndex) Tree() *core.Tree { return x.tree }
+
+func (x *spgistIndex) Insert(key catalog.Datum, rid heap.RID) error {
+	v, err := datumToValue(key)
+	if err != nil {
+		return err
+	}
+	return x.tree.Insert(v, rid)
+}
+
+func (x *spgistIndex) Delete(key catalog.Datum, rid heap.RID) (int, error) {
+	v, err := datumToValue(key)
+	if err != nil {
+		return 0, err
+	}
+	return x.tree.Delete(v, rid)
+}
+
+func (x *spgistIndex) Scan(op string, arg catalog.Datum, emit func(heap.RID) bool) error {
+	if !x.oc.SupportsOp(op) {
+		return fmt.Errorf("am: operator class %s does not support %q", x.oc.Name, op)
+	}
+	v, err := datumToValue(arg)
+	if err != nil {
+		return err
+	}
+	return x.tree.Scan(&core.Query{Op: op, Arg: v}, func(_ core.Value, rid heap.RID) bool {
+		return emit(rid)
+	})
+}
+
+func (x *spgistIndex) NNScan(arg catalog.Datum) (NNIter, error) {
+	if x.oc.NNOp == "" {
+		return nil, fmt.Errorf("am: operator class %s has no NN operator", x.oc.Name)
+	}
+	v, err := datumToValue(arg)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := x.tree.NNScan(v)
+	if err != nil {
+		return nil, err
+	}
+	return func() (heap.RID, float64, bool) {
+		_, rid, d, ok := cur.Next()
+		return rid, d, ok
+	}, nil
+}
+
+// suffixIndex overrides row maintenance to index all suffixes.
+type suffixIndex struct {
+	spgistIndex
+}
+
+func (x *suffixIndex) Insert(key catalog.Datum, rid heap.RID) error {
+	if key.Typ != catalog.Text {
+		return fmt.Errorf("am: suffix index requires VARCHAR keys")
+	}
+	return suffix.InsertWord(x.tree, key.S, rid)
+}
+
+func (x *suffixIndex) Delete(key catalog.Datum, rid heap.RID) (int, error) {
+	if key.Typ != catalog.Text {
+		return 0, fmt.Errorf("am: suffix index requires VARCHAR keys")
+	}
+	if err := suffix.DeleteWord(x.tree, key.S, rid); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// btreeIndex adapts the B+-tree baseline over text keys.
+type btreeIndex struct {
+	oc   *catalog.OperatorClass
+	tree *btree.Tree
+}
+
+func (x *btreeIndex) OpClass() *catalog.OperatorClass { return x.oc }
+func (x *btreeIndex) Count() int64                    { return x.tree.Count() }
+func (x *btreeIndex) NumPages() uint32                { return x.tree.NumPages() }
+func (x *btreeIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
+func (x *btreeIndex) Flush() error                    { return x.tree.Flush() }
+
+// Tree exposes the underlying B+-tree (statistics).
+func (x *btreeIndex) Tree() *btree.Tree { return x.tree }
+
+func (x *btreeIndex) Insert(key catalog.Datum, rid heap.RID) error {
+	if key.Typ != catalog.Text {
+		return fmt.Errorf("am: btree_text requires VARCHAR keys")
+	}
+	return x.tree.Insert([]byte(key.S), rid)
+}
+
+func (x *btreeIndex) Delete(key catalog.Datum, rid heap.RID) (int, error) {
+	return x.tree.Delete([]byte(key.S), rid)
+}
+
+func (x *btreeIndex) Scan(op string, arg catalog.Datum, emit func(heap.RID) bool) error {
+	k := []byte(arg.S)
+	pass := func(_ []byte, rid heap.RID) bool { return emit(rid) }
+	switch op {
+	case "=":
+		return x.tree.Search(k, emit)
+	case "#=":
+		return x.tree.PrefixScan(k, pass)
+	case "?=":
+		// The paper's described behaviour: range-scan the literal prefix,
+		// filter the pattern; a leading '?' forces a full scan.
+		return x.tree.MatchScan(arg.S, trie.MatchPattern, pass)
+	case "<", "<=":
+		return x.tree.RangeScan(nil, k, pass) // lossy at the bound; executor rechecks
+	case ">", ">=":
+		return x.tree.RangeScan(k, nil, pass)
+	default:
+		return fmt.Errorf("am: btree_text does not support %q", op)
+	}
+}
+
+func (x *btreeIndex) NNScan(catalog.Datum) (NNIter, error) {
+	return nil, fmt.Errorf("am: btree has no NN operator")
+}
+
+// rtreeIndex adapts the R-tree baseline over points or segments.
+type rtreeIndex struct {
+	oc       *catalog.OperatorClass
+	tree     *rtree.Tree
+	segments bool
+}
+
+func (x *rtreeIndex) OpClass() *catalog.OperatorClass { return x.oc }
+func (x *rtreeIndex) Count() int64                    { return x.tree.Count() }
+func (x *rtreeIndex) NumPages() uint32                { return x.tree.NumPages() }
+func (x *rtreeIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
+func (x *rtreeIndex) Flush() error                    { return x.tree.Flush() }
+
+// Tree exposes the underlying R-tree (statistics).
+func (x *rtreeIndex) Tree() *rtree.Tree { return x.tree }
+
+func (x *rtreeIndex) rect(key catalog.Datum) (geom.Box, error) {
+	switch {
+	case !x.segments && key.Typ == catalog.Point:
+		return geom.Box{Min: key.P, Max: key.P}, nil
+	case x.segments && key.Typ == catalog.Segment:
+		return key.G.MBR(), nil
+	default:
+		return geom.Box{}, fmt.Errorf("am: %s cannot index %v keys", x.oc.Name, key.Typ)
+	}
+}
+
+func (x *rtreeIndex) Insert(key catalog.Datum, rid heap.RID) error {
+	r, err := x.rect(key)
+	if err != nil {
+		return err
+	}
+	return x.tree.Insert(r, rid)
+}
+
+func (x *rtreeIndex) Delete(key catalog.Datum, rid heap.RID) (int, error) {
+	r, err := x.rect(key)
+	if err != nil {
+		return 0, err
+	}
+	return x.tree.Delete(r, rid)
+}
+
+func (x *rtreeIndex) Scan(op string, arg catalog.Datum, emit func(heap.RID) bool) error {
+	pass := func(_ geom.Box, rid heap.RID) bool { return emit(rid) }
+	switch {
+	case op == "@" && !x.segments:
+		return x.tree.SearchPoint(arg.P, emit)
+	case op == "^" && !x.segments:
+		return x.tree.SearchContained(arg.B, pass)
+	case op == "=" && x.segments:
+		// Lossy: all segments sharing the MBR; the executor rechecks.
+		return x.tree.Search(arg.G.MBR(), pass)
+	case op == "&&" && x.segments:
+		// Lossy: MBR overlap; the executor rechecks true intersection.
+		return x.tree.Search(arg.B, pass)
+	default:
+		return fmt.Errorf("am: %s does not support %q", x.oc.Name, op)
+	}
+}
+
+func (x *rtreeIndex) NNScan(catalog.Datum) (NNIter, error) {
+	return nil, fmt.Errorf("am: rtree has no NN operator")
+}

@@ -1,0 +1,235 @@
+package am
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/heap"
+	"repro/internal/storage"
+)
+
+func pool() *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewMem(8192), 256)
+}
+
+func rid(i int) heap.RID { return heap.RID{Page: storage.PageID(1 + i/1000), Slot: uint16(i % 1000)} }
+
+func TestNewRejectsUnknownOpClass(t *testing.T) {
+	if _, err := New("nope", pool(), true); err == nil {
+		t.Fatal("unknown opclass accepted")
+	}
+}
+
+func TestEveryOpClassConstructs(t *testing.T) {
+	for _, name := range []string{
+		"spgist_trie", "spgist_suffix", "spgist_kdtree",
+		"spgist_pquadtree", "spgist_pmr", "btree_text",
+		"rtree_point", "rtree_segment",
+	} {
+		idx, err := New(name, pool(), true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if idx.OpClass().Name != name {
+			t.Fatalf("%s reports opclass %s", name, idx.OpClass().Name)
+		}
+		if idx.Count() != 0 || idx.NumPages() == 0 {
+			t.Fatalf("%s: fresh index count=%d pages=%d", name, idx.Count(), idx.NumPages())
+		}
+	}
+}
+
+// Every (opclass, operator) pair must agree with a brute-force filter
+// through the uniform AM interface.
+func TestScanAgreementAcrossOpClasses(t *testing.T) {
+	words := datagen.Words(2000, 1)
+	pts := datagen.Points(2000, 2, geom.MakeBox(0, 0, 100, 100))
+	segs := datagen.Segments(1000, 3, geom.MakeBox(0, 0, 100, 100), 8)
+
+	count := func(idx Index, op string, arg catalog.Datum) int {
+		n := 0
+		if err := idx.Scan(op, arg, func(heap.RID) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	// Text classes.
+	for _, name := range []string{"spgist_trie", "btree_text"} {
+		idx, err := New(name, pool(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range words {
+			if err := idx.Insert(catalog.NewText(w), rid(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := words[10]
+		wantEq := 0
+		for _, x := range words {
+			if x == w {
+				wantEq++
+			}
+		}
+		if got := count(idx, "=", catalog.NewText(w)); got != wantEq {
+			t.Fatalf("%s =: got %d want %d", name, got, wantEq)
+		}
+		wantPfx := 0
+		for _, x := range words {
+			if strings.HasPrefix(x, w[:1]) {
+				wantPfx++
+			}
+		}
+		if got := count(idx, "#=", catalog.NewText(w[:1])); got != wantPfx {
+			t.Fatalf("%s #=: got %d want %d", name, got, wantPfx)
+		}
+	}
+
+	// Point classes (rtree_point's scans are exact for points).
+	for _, name := range []string{"spgist_kdtree", "spgist_pquadtree", "rtree_point"} {
+		idx, err := New(name, pool(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			if err := idx.Insert(catalog.NewPoint(p), rid(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		box := geom.MakeBox(20, 20, 40, 40)
+		want := 0
+		for _, p := range pts {
+			if box.Contains(p) {
+				want++
+			}
+		}
+		if got := count(idx, "^", catalog.NewBox(box)); got != want {
+			t.Fatalf("%s ^: got %d want %d", name, got, want)
+		}
+		if got := count(idx, "@", catalog.NewPoint(pts[5])); got < 1 {
+			t.Fatalf("%s @: point lost", name)
+		}
+	}
+
+	// Segment classes: PMR is exact; the R-tree over MBRs is lossy, so
+	// its candidate set must be a superset.
+	pmrIdx, _ := New("spgist_pmr", pool(), true)
+	rtIdx, _ := New("rtree_segment", pool(), true)
+	for i, s := range segs {
+		pmrIdx.Insert(catalog.NewSegment(s), rid(i))
+		rtIdx.Insert(catalog.NewSegment(s), rid(i))
+	}
+	win := geom.MakeBox(10, 10, 30, 30)
+	want := 0
+	for _, s := range segs {
+		if s.IntersectsBox(win) {
+			want++
+		}
+	}
+	if got := count(pmrIdx, "&&", catalog.NewBox(win)); got != want {
+		t.Fatalf("pmr &&: got %d want %d", got, want)
+	}
+	if got := count(rtIdx, "&&", catalog.NewBox(win)); got < want {
+		t.Fatalf("rtree &&: lossy candidates %d below true %d", got, want)
+	}
+}
+
+func TestSuffixIndexInsertsAllSuffixes(t *testing.T) {
+	idx, err := New("spgist_suffix", pool(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(catalog.NewText("hello"), rid(0)); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Count() != 5 {
+		t.Fatalf("suffix count = %d, want 5", idx.Count())
+	}
+	n := 0
+	idx.Scan("@=", catalog.NewText("ell"), func(heap.RID) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("substring found %d rows, want 1", n)
+	}
+	if _, err := idx.Delete(catalog.NewText("hello"), rid(0)); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	idx.Scan("@=", catalog.NewText("ell"), func(heap.RID) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("substring survives delete")
+	}
+}
+
+func TestNNThroughAMInterface(t *testing.T) {
+	idx, err := New("spgist_kdtree", pool(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := datagen.Points(500, 4, geom.MakeBox(0, 0, 100, 100))
+	for i, p := range pts {
+		idx.Insert(catalog.NewPoint(p), rid(i))
+	}
+	iter, err := idx.NNScan(catalog.NewPoint(geom.Point{X: 50, Y: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i := 0; i < 20; i++ {
+		_, d, ok := iter()
+		if !ok {
+			t.Fatalf("iterator exhausted at %d", i)
+		}
+		if d < prev {
+			t.Fatalf("NN order violated: %g after %g", d, prev)
+		}
+		prev = d
+	}
+	// The B+-tree has no ordering operator.
+	bt, _ := New("btree_text", pool(), true)
+	if _, err := bt.NNScan(catalog.NewText("x")); err == nil {
+		t.Fatal("btree NNScan should fail")
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	bt, _ := New("btree_text", pool(), true)
+	if err := bt.Insert(catalog.NewInt(5), rid(0)); err == nil {
+		t.Error("btree accepted INT key")
+	}
+	rt, _ := New("rtree_point", pool(), true)
+	if err := rt.Insert(catalog.NewSegment(geom.Segment{}), rid(0)); err == nil {
+		t.Error("rtree_point accepted SEGMENT key")
+	}
+	kd, _ := New("spgist_kdtree", pool(), true)
+	if err := kd.Scan("?=", catalog.NewText("x"), func(heap.RID) bool { return true }); err == nil {
+		t.Error("kdtree accepted ?= scan")
+	}
+}
+
+func TestReopenExistingIndexFile(t *testing.T) {
+	bp := pool()
+	idx, err := New("spgist_trie", bp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		w := datagen.Words(1, r.Int63())[0]
+		idx.Insert(catalog.NewText(w), rid(i))
+	}
+	if err := idx.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := New("spgist_trie", bp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Count() != 500 {
+		t.Fatalf("reopened count = %d", idx2.Count())
+	}
+}

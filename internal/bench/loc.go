@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// countGoLines counts non-test Go source lines under dir.
+func countGoLines(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return 0, err
+		}
+		total += strings.Count(string(data), "\n")
+	}
+	return total, nil
+}
+
+// moduleRoot walks upward from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("bench: go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// Table7Row is one line of the paper's Table 7.
+type Table7Row struct {
+	Index   string
+	Lines   int
+	Percent float64 // of core + external lines
+}
+
+// Table7 counts the external-method code of each SP-GiST instantiation
+// against the shared core (framework + storage substrate), reproducing
+// the paper's Table 7: the developer-supplied external methods are a
+// small fraction of the total index code.
+func Table7() ([]Table7Row, int, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, 0, err
+	}
+	coreDirs := []string{"internal/core", "internal/storage", "internal/geom", "internal/heap"}
+	coreLines := 0
+	for _, d := range coreDirs {
+		n, err := countGoLines(filepath.Join(root, d))
+		if err != nil {
+			return nil, 0, err
+		}
+		coreLines += n
+	}
+	ext := []struct{ name, dir string }{
+		{"trie", "internal/trie"},
+		{"kd-tree", "internal/kdtree"},
+		{"P quadtree", "internal/pquad"},
+		{"PMR quadtree", "internal/pmr"},
+		{"suffix tree", "internal/suffix"},
+	}
+	rows := make([]Table7Row, 0, len(ext))
+	for _, e := range ext {
+		n, err := countGoLines(filepath.Join(root, e.dir))
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, Table7Row{
+			Index:   e.name,
+			Lines:   n,
+			Percent: 100 * float64(n) / float64(n+coreLines),
+		})
+	}
+	return rows, coreLines, nil
+}
+
+// RunTable7 renders Table 7 as a figure.
+func RunTable7(cfg Config) []Figure {
+	rows, coreLines, err := Table7()
+	if err != nil {
+		return []Figure{{
+			ID: "table7", Title: "External methods' code lines",
+			Notes: []string{fmt.Sprintf("unavailable: %v (run from the repository)", err)},
+		}}
+	}
+	fig := Figure{
+		ID: "table7", Title: "Number and percentage of external methods' code lines",
+		XLabel: "index#", YLabel: "lines / percent",
+		Notes: []string{
+			fmt.Sprintf("shared core (framework + substrate): %d lines", coreLines),
+			"paper: each instantiation's external methods are <10% of the total index code",
+		},
+	}
+	var xs, lines, pct []float64
+	for i, r := range rows {
+		xs = append(xs, float64(i+1))
+		lines = append(lines, float64(r.Lines))
+		pct = append(pct, r.Percent)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("index %d = %s", i+1, r.Index))
+	}
+	fig.Series = []Series{
+		{Name: "ext lines", X: xs, Y: lines},
+		{Name: "% of total", X: xs, Y: pct},
+	}
+	return []Figure{fig}
+}

@@ -1,0 +1,318 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/storage"
+	"repro/internal/trie"
+)
+
+func newTree(t testing.TB, pageSize int) *Tree {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMem(pageSize), 128)
+	tr, err := Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func rid(i int) heap.RID { return heap.RID{Page: storage.PageID(1 + i/1000), Slot: uint16(i % 1000)} }
+
+func randWord(r *rand.Rand) string {
+	n := 1 + r.Intn(15)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func collect(t testing.TB, tr *Tree, key string) []heap.RID {
+	t.Helper()
+	var rids []heap.RID
+	if err := tr.Search([]byte(key), func(r heap.RID) bool { rids = append(rids, r); return true }); err != nil {
+		t.Fatal(err)
+	}
+	return rids
+}
+
+func TestInsertSearchSmallPages(t *testing.T) {
+	// Small pages force deep trees and many splits.
+	tr := newTree(t, 256)
+	r := rand.New(rand.NewSource(1))
+	words := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		w := randWord(r)
+		if err := tr.Insert([]byte(w), rid(i)); err != nil {
+			t.Fatalf("insert %q: %v", w, err)
+		}
+		words[w]++
+	}
+	for w, n := range words {
+		if got := len(collect(t, tr, w)); got != n {
+			t.Fatalf("search %q: got %d, want %d", w, got, n)
+		}
+	}
+	if got := len(collect(t, tr, "NOPE")); got != 0 {
+		t.Fatalf("absent key found %d times", got)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected deep tree with 256B pages, height=%d", tr.Height())
+	}
+}
+
+func TestSortedOrderInvariant(t *testing.T) {
+	tr := newTree(t, 512)
+	r := rand.New(rand.NewSource(2))
+	var words []string
+	for i := 0; i < 2000; i++ {
+		w := randWord(r)
+		words = append(words, w)
+		tr.Insert([]byte(w), rid(i))
+	}
+	sort.Strings(words)
+	var got []string
+	err := tr.RangeScan(nil, nil, func(key []byte, _ heap.RID) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(words) {
+		t.Fatalf("full scan saw %d, want %d", len(got), len(words))
+	}
+	for i := range got {
+		if got[i] != words[i] {
+			t.Fatalf("order violated at %d: %q vs %q", i, got[i], words[i])
+		}
+	}
+}
+
+func TestRangeScanAgainstBruteForce(t *testing.T) {
+	tr := newTree(t, 512)
+	r := rand.New(rand.NewSource(3))
+	var words []string
+	for i := 0; i < 2000; i++ {
+		w := randWord(r)
+		words = append(words, w)
+		tr.Insert([]byte(w), rid(i))
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := randWord(r)
+		hi := randWord(r)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for _, w := range words {
+			if w >= lo && w <= hi {
+				want++
+			}
+		}
+		got := 0
+		err := tr.RangeScan([]byte(lo), []byte(hi), func(_ []byte, _ heap.RID) bool {
+			got++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("range [%q,%q]: got %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestPrefixScanAgainstBruteForce(t *testing.T) {
+	tr := newTree(t, 512)
+	r := rand.New(rand.NewSource(4))
+	var words []string
+	for i := 0; i < 2000; i++ {
+		w := randWord(r)
+		words = append(words, w)
+		tr.Insert([]byte(w), rid(i))
+	}
+	probe := func(p string) {
+		want := 0
+		for _, w := range words {
+			if strings.HasPrefix(w, p) {
+				want++
+			}
+		}
+		got := 0
+		if err := tr.PrefixScan([]byte(p), func(_ []byte, _ heap.RID) bool { got++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("prefix %q: got %d, want %d", p, got, want)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		w := words[r.Intn(len(words))]
+		probe(w[:1+r.Intn(len(w))])
+	}
+	probe("")
+}
+
+func TestMatchScanWildcard(t *testing.T) {
+	tr := newTree(t, 512)
+	r := rand.New(rand.NewSource(5))
+	var words []string
+	for i := 0; i < 2000; i++ {
+		w := randWord(r)
+		words = append(words, w)
+		tr.Insert([]byte(w), rid(i))
+	}
+	probe := func(pat string) {
+		want := 0
+		for _, w := range words {
+			if trie.MatchPattern(w, pat) {
+				want++
+			}
+		}
+		got := 0
+		err := tr.MatchScan(pat, trie.MatchPattern, func(_ []byte, _ heap.RID) bool { got++; return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("match %q: got %d, want %d", pat, got, want)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		w := words[r.Intn(len(words))]
+		b := []byte(w)
+		for j := range b {
+			if r.Intn(3) == 0 {
+				b[j] = '?'
+			}
+		}
+		probe(string(b))
+	}
+	probe("???") // leading wildcard: full scan path
+	probe("?bc?")
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []byte
+	}{
+		{"abc", []byte("abd")},
+		{"az", []byte("a{")}, // byte-wise: 'z'+1 = '{'
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := PrefixSuccessor([]byte(c.in))
+		if !bytes.Equal(got, c.want) && !(got == nil && c.want == nil) {
+			t.Errorf("PrefixSuccessor(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := PrefixSuccessor([]byte{0xFF, 0xFF}); got != nil {
+		t.Errorf("PrefixSuccessor(all-FF) = %q, want nil", got)
+	}
+	if got := PrefixSuccessor([]byte{'a', 0xFF}); !bytes.Equal(got, []byte{'b'}) {
+		t.Errorf("PrefixSuccessor(a\\xff) = %q, want b", got)
+	}
+}
+
+func TestDuplicatesAcrossSplits(t *testing.T) {
+	tr := newTree(t, 256)
+	// Enough duplicates to span several leaves.
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert([]byte("dup"), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Surround them with other keys.
+	for i := 0; i < 500; i++ {
+		tr.Insert([]byte(fmt.Sprintf("a%03d", i)), rid(1000+i))
+		tr.Insert([]byte(fmt.Sprintf("z%03d", i)), rid(2000+i))
+	}
+	if got := len(collect(t, tr, "dup")); got != 500 {
+		t.Fatalf("duplicates: got %d, want 500", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 512)
+	r := rand.New(rand.NewSource(6))
+	var words []string
+	for i := 0; i < 1000; i++ {
+		w := randWord(r)
+		words = append(words, w)
+		tr.Insert([]byte(w), rid(i))
+	}
+	n, err := tr.Delete([]byte(words[0]), rid(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delete removed %d, want 1", n)
+	}
+	for _, rd := range collect(t, tr, words[0]) {
+		if rd == rid(0) {
+			t.Fatal("deleted rid still found")
+		}
+	}
+	if tr.Count() != 999 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "btree.dat")
+	dm, err := storage.OpenFile(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := storage.NewBufferPool(dm, 64)
+	tr, err := Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key%04d", i)), rid(i))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bp.Close()
+
+	dm2, _ := storage.OpenFile(path, 512)
+	bp2 := storage.NewBufferPool(dm2, 64)
+	tr2, err := Open(bp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bp2.Close()
+	if tr2.Count() != 500 {
+		t.Fatalf("Count after reopen = %d", tr2.Count())
+	}
+	for i := 0; i < 500; i++ {
+		if got := len(collect(t, tr2, fmt.Sprintf("key%04d", i))); got != 1 {
+			t.Fatalf("key%04d found %d times after reopen", i, got)
+		}
+	}
+}
+
+func TestEarlyStopScan(t *testing.T) {
+	tr := newTree(t, 512)
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("k%02d", i)), rid(i))
+	}
+	n := 0
+	tr.RangeScan(nil, nil, func(_ []byte, _ heap.RID) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

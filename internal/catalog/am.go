@@ -1,0 +1,103 @@
+package catalog
+
+// AccessMethod is one row of the mini pg_am table. The fields mirror the
+// columns of the paper's Table 2 — the INSERT INTO pg_am statement that
+// introduces SP-GiST to PostgreSQL — with the interface-routine columns
+// represented as the names of the routines the executor dispatches to.
+type AccessMethod struct {
+	Name           string // amname
+	MaxStrategies  int    // amstrategies
+	MaxSupport     int    // amsupport
+	OrderStrategy  int    // amorderstrategy: 0 = index entries are unordered
+	CanUnique      bool   // amcanunique
+	CanMultiCol    bool   // amcanmulticol
+	IndexNulls     bool   // amindexnulls
+	Concurrent     bool   // amconcurrent
+	GetTupleProc   string // amgettuple
+	InsertProc     string // aminsert
+	BeginScanProc  string // ambeginscan
+	RescanProc     string // amrescan
+	EndScanProc    string // amendscan
+	MarkPosProc    string // ammarkpos
+	RestrPosProc   string // amrestrpos
+	BuildProc      string // ambuild
+	BulkDeleteProc string // ambulkdelete
+	CostProc       string // amcostestimate
+}
+
+var accessMethods = map[string]*AccessMethod{}
+
+// RegisterAM adds an access method to the catalog.
+func RegisterAM(am *AccessMethod) { accessMethods[am.Name] = am }
+
+// LookupAM finds an access method by name.
+func LookupAM(name string) (*AccessMethod, bool) {
+	am, ok := accessMethods[name]
+	return am, ok
+}
+
+// AMs lists the registered access methods (for the CLI's \dam).
+func AMs() []*AccessMethod {
+	var out []*AccessMethod
+	for _, am := range accessMethods {
+		out = append(out, am)
+	}
+	return out
+}
+
+func init() {
+	// The SP-GiST entry, verbatim from the paper's Table 2.
+	RegisterAM(&AccessMethod{
+		Name:           "spgist",
+		MaxStrategies:  20,
+		MaxSupport:     20,
+		OrderStrategy:  0, // SP-GiST index entries do not follow an order
+		Concurrent:     true,
+		GetTupleProc:   "spgistgettuple",
+		InsertProc:     "spgistinsert",
+		BeginScanProc:  "spgistbeginscan",
+		RescanProc:     "spgistrescan",
+		EndScanProc:    "spgistendscan",
+		MarkPosProc:    "spgistmarkpos",
+		RestrPosProc:   "spgistrestrpos",
+		BuildProc:      "spgistbuild",
+		BulkDeleteProc: "spgistbulkdelete",
+		CostProc:       "spgistcostestimate",
+	})
+	RegisterAM(&AccessMethod{
+		Name:           "btree",
+		MaxStrategies:  5,
+		MaxSupport:     1,
+		OrderStrategy:  1,
+		CanUnique:      true,
+		CanMultiCol:    true,
+		Concurrent:     true,
+		GetTupleProc:   "btgettuple",
+		InsertProc:     "btinsert",
+		BeginScanProc:  "btbeginscan",
+		RescanProc:     "btrescan",
+		EndScanProc:    "btendscan",
+		MarkPosProc:    "btmarkpos",
+		RestrPosProc:   "btrestrpos",
+		BuildProc:      "btbuild",
+		BulkDeleteProc: "btbulkdelete",
+		CostProc:       "btcostestimate",
+	})
+	RegisterAM(&AccessMethod{
+		Name:           "rtree",
+		MaxStrategies:  8,
+		MaxSupport:     3,
+		OrderStrategy:  0,
+		Concurrent:     false,
+		GetTupleProc:   "rtgettuple",
+		InsertProc:     "rtinsert",
+		BeginScanProc:  "rtbeginscan",
+		RescanProc:     "rtrescan",
+		EndScanProc:    "rtendscan",
+		MarkPosProc:    "rtmarkpos",
+		RestrPosProc:   "rtrestrpos",
+		BuildProc:      "rtbuild",
+		BulkDeleteProc: "rtbulkdelete",
+		CostProc:       "rtcostestimate",
+	})
+}

@@ -1,0 +1,211 @@
+package catalog
+
+import (
+	"strings"
+
+	"repro/internal/trie"
+)
+
+// Selectivity constants, after PostgreSQL's defaults: the restrict
+// procedures the paper wires into its operator definitions (Table 4)
+// resolve to these when no statistics are available.
+const (
+	DefaultEqSel    = 0.005  // eqsel: equality operators
+	DefaultMatchSel = 0.005  // likesel: pattern-match operators
+	DefaultContSel  = 0.001  // contsel: containment operators
+	DefaultIneqSel  = 0.3333 // scalarltsel/scalargtsel: inequalities
+)
+
+// TableStats is what a restrict procedure may consult.
+type TableStats struct {
+	Rows      int64
+	NDistinct int64 // 0 = unknown
+}
+
+// RestrictProc estimates the fraction of rows an operator selects — the
+// procedures named in the paper's Table 4 restrict clauses.
+type RestrictProc func(st TableStats, arg Datum) float64
+
+// EqSel is PostgreSQL's eqsel: 1/ndistinct when known, else the default.
+func EqSel(st TableStats, _ Datum) float64 {
+	if st.NDistinct > 0 {
+		return 1 / float64(st.NDistinct)
+	}
+	return DefaultEqSel
+}
+
+// LikeSel is PostgreSQL's likesel/matchsel for pattern operators. Longer
+// literal prefixes select fewer rows.
+func LikeSel(_ TableStats, arg Datum) float64 {
+	if arg.Typ == Text {
+		lit := 0
+		for lit < len(arg.S) && arg.S[lit] != '?' {
+			lit++
+		}
+		sel := DefaultMatchSel
+		for i := 0; i < lit && i < 4; i++ {
+			sel *= 0.5
+		}
+		if sel < 1e-7 {
+			sel = 1e-7
+		}
+		return sel
+	}
+	return DefaultMatchSel
+}
+
+// MatchSel estimates '?=' wildcard patterns: the match is anchored to the
+// full key length, so every literal character prunes the candidates.
+func MatchSel(_ TableStats, arg Datum) float64 {
+	sel := 1.0
+	for i := 0; i < len(arg.S); i++ {
+		if arg.S[i] != '?' {
+			sel /= 8
+		}
+	}
+	if sel < 1e-7 {
+		sel = 1e-7
+	}
+	if sel > DefaultMatchSel {
+		sel = DefaultMatchSel
+	}
+	return sel
+}
+
+// ContSel is PostgreSQL's contsel for containment/overlap operators.
+func ContSel(_ TableStats, _ Datum) float64 { return DefaultContSel }
+
+// IneqSel is PostgreSQL's scalar inequality default.
+func IneqSel(_ TableStats, _ Datum) float64 { return DefaultIneqSel }
+
+// Operator is one row of the mini pg_operator (paper Table 4): a named
+// binary predicate over a left (column) and right (constant) type, with
+// the procedure that evaluates it and the restrict procedure the planner
+// uses to estimate its selectivity.
+type Operator struct {
+	Name       string
+	Left       Type
+	Right      Type
+	Proc       func(l, r Datum) bool
+	Commutator string
+	Restrict   RestrictProc
+}
+
+// operators indexes the built-in operator table by (name, left type).
+var operators = map[string]map[Type]*Operator{}
+
+// RegisterOperator adds an operator to the catalog (CREATE OPERATOR).
+func RegisterOperator(op *Operator) {
+	byType, ok := operators[op.Name]
+	if !ok {
+		byType = map[Type]*Operator{}
+		operators[op.Name] = byType
+	}
+	byType[op.Left] = op
+}
+
+// LookupOperator finds the operator for a name and left (column) type.
+func LookupOperator(name string, left Type) (*Operator, bool) {
+	byType, ok := operators[name]
+	if !ok {
+		return nil, false
+	}
+	op, ok := byType[left]
+	return op, ok
+}
+
+// Operators lists all registered operators (for the CLI's \do).
+func Operators() []*Operator {
+	var out []*Operator
+	for _, byType := range operators {
+		for _, op := range byType {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+func init() {
+	// Text operators (trie / suffix tree / B+-tree; paper Table 4 left).
+	RegisterOperator(&Operator{
+		Name: "=", Left: Text, Right: Text, Commutator: "=",
+		Proc:     func(l, r Datum) bool { return l.S == r.S },
+		Restrict: EqSel,
+	})
+	RegisterOperator(&Operator{
+		Name: "#=", Left: Text, Right: Text,
+		Proc:     func(l, r Datum) bool { return strings.HasPrefix(l.S, r.S) },
+		Restrict: LikeSel,
+	})
+	RegisterOperator(&Operator{
+		Name: "?=", Left: Text, Right: Text,
+		Proc:     func(l, r Datum) bool { return trie.MatchPattern(l.S, r.S) },
+		Restrict: MatchSel,
+	})
+	RegisterOperator(&Operator{
+		Name: "@=", Left: Text, Right: Text,
+		Proc:     func(l, r Datum) bool { return strings.Contains(l.S, r.S) },
+		Restrict: LikeSel,
+	})
+	RegisterOperator(&Operator{
+		Name: "<", Left: Text, Right: Text,
+		Proc:     func(l, r Datum) bool { return l.S < r.S },
+		Restrict: IneqSel,
+	})
+	RegisterOperator(&Operator{
+		Name: "<=", Left: Text, Right: Text,
+		Proc:     func(l, r Datum) bool { return l.S <= r.S },
+		Restrict: IneqSel,
+	})
+	RegisterOperator(&Operator{
+		Name: ">", Left: Text, Right: Text,
+		Proc:     func(l, r Datum) bool { return l.S > r.S },
+		Restrict: IneqSel,
+	})
+	RegisterOperator(&Operator{
+		Name: ">=", Left: Text, Right: Text,
+		Proc:     func(l, r Datum) bool { return l.S >= r.S },
+		Restrict: IneqSel,
+	})
+
+	// Point operators (kd-tree / point quadtree / R-tree; Table 4 right).
+	RegisterOperator(&Operator{
+		Name: "@", Left: Point, Right: Point, Commutator: "@",
+		Proc:     func(l, r Datum) bool { return l.P.Eq(r.P) },
+		Restrict: EqSel,
+	})
+	RegisterOperator(&Operator{
+		Name: "^", Left: Point, Right: Box,
+		Proc:     func(l, r Datum) bool { return r.B.Contains(l.P) },
+		Restrict: ContSel,
+	})
+
+	// Segment operators (PMR quadtree / R-tree).
+	RegisterOperator(&Operator{
+		Name: "=", Left: Segment, Right: Segment, Commutator: "=",
+		Proc:     func(l, r Datum) bool { return l.G.Eq(r.G) },
+		Restrict: EqSel,
+	})
+	RegisterOperator(&Operator{
+		Name: "&&", Left: Segment, Right: Box,
+		Proc:     func(l, r Datum) bool { return l.G.IntersectsBox(r.B) },
+		Restrict: ContSel,
+	})
+
+	// Integer operators (plain attribute filters).
+	RegisterOperator(&Operator{
+		Name: "=", Left: Int, Right: Int, Commutator: "=",
+		Proc:     func(l, r Datum) bool { return l.I == r.I },
+		Restrict: EqSel,
+	})
+	RegisterOperator(&Operator{
+		Name: "<", Left: Int, Right: Int,
+		Proc:     func(l, r Datum) bool { return l.I < r.I },
+		Restrict: IneqSel,
+	})
+	RegisterOperator(&Operator{
+		Name: ">", Left: Int, Right: Int,
+		Proc:     func(l, r Datum) bool { return l.I > r.I },
+		Restrict: IneqSel,
+	})
+}

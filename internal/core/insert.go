@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/storage"
+)
+
+const (
+	// maxChooseIters bounds the AddNode/SplitNode retries at one inner
+	// node; a well-formed opclass needs at most three.
+	maxChooseIters = 64
+	// maxSplitDepth bounds how many PickSplit rounds one insertion may
+	// cascade through; a well-formed opclass consumes level on every
+	// round, so this is a defense against non-converging external
+	// methods, not a working limit.
+	maxSplitDepth = 1024
+)
+
+// Insert adds one (key, rid) pair to the index. This is the generic
+// internal method of the framework: all tree-specific behaviour comes
+// from the opclass's Choose and PickSplit external methods.
+func (t *Tree) Insert(key Value, rid heap.RID) error {
+	kb := t.oc.EncodeKey(key)
+	if !t.root.Valid() {
+		n := &node{leaf: true, items: []item{{key: kb, rid: rid}}}
+		ref, err := t.allocNode(storage.InvalidPageID, n.encode())
+		if err != nil {
+			return err
+		}
+		t.root = ref
+		t.nKeys++
+		return nil
+	}
+	if err := t.insertAt(t.root, nil, 0, t.oc.RootRecon(), kb, rid); err != nil {
+		return err
+	}
+	t.nKeys++
+	return nil
+}
+
+// insertAt descends from the node at ref until the key lands in a data
+// node, applying Choose at every inner node and PickSplit on overflow.
+func (t *Tree) insertAt(ref NodeRef, parent *parentLink, level int, recon Value, kb []byte, rid heap.RID) error {
+	for guard := 0; ; guard++ {
+		if guard >= maxChooseIters {
+			return fmt.Errorf("spgist: %s.Choose did not converge at node %v", t.oc.Name(), ref)
+		}
+		n, err := t.readNode(ref)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			items, chain, err := t.readLeafChain(n)
+			if err != nil {
+				return err
+			}
+			items = append(items, item{key: kb, rid: rid})
+			if len(items) <= t.pr.BucketSize || t.atResolution(level) {
+				return t.writeLeafChain(ref, parent, items, chain)
+			}
+			return t.splitLeaf(ref, parent, items, chain, level, recon)
+		}
+
+		in := &ChooseIn{
+			Key:    t.oc.DecodeKey(kb),
+			Level:  level,
+			Pred:   t.decodePred(n.pred),
+			Labels: t.decodeLabels(n),
+			Recon:  recon,
+		}
+		out := t.oc.Choose(in)
+		switch out.Action {
+		case MatchNode:
+			if len(out.Matches) == 0 {
+				return fmt.Errorf("spgist: %s.Choose returned MatchNode with no matches", t.oc.Name())
+			}
+			if len(out.Matches) > 1 && !t.pr.MultiAssign {
+				return fmt.Errorf("spgist: %s.Choose returned %d matches without MultiAssign", t.oc.Name(), len(out.Matches))
+			}
+			if len(out.Matches) == 1 {
+				m := out.Matches[0]
+				if m.Entry < 0 || m.Entry >= len(n.entries) {
+					return fmt.Errorf("spgist: Choose match entry %d out of range", m.Entry)
+				}
+				child := n.entries[m.Entry].child
+				if !child.Valid() {
+					// First key of an empty partition: hang a fresh data
+					// node off the entry.
+					leafN := &node{leaf: true, items: []item{{key: kb, rid: rid}}}
+					cref, err := t.allocNode(ref.Page, leafN.encode())
+					if err != nil {
+						return err
+					}
+					n.entries[m.Entry].child = cref
+					_, err = t.writeNode(ref, n, parent)
+					return err
+				}
+				parent = &parentLink{ref: ref, entry: m.Entry}
+				ref = child
+				level += m.LevelAdd
+				recon = m.Recon
+				continue
+			}
+			// Multi-assignment (PMR quadtree): the key descends into every
+			// matched partition. Re-read the node before each branch — the
+			// previous branch may have patched child pointers in place.
+			for i, m := range out.Matches {
+				if i > 0 {
+					if n, err = t.readNode(ref); err != nil {
+						return err
+					}
+				}
+				if m.Entry < 0 || m.Entry >= len(n.entries) {
+					return fmt.Errorf("spgist: Choose match entry %d out of range", m.Entry)
+				}
+				child := n.entries[m.Entry].child
+				if !child.Valid() {
+					leafN := &node{leaf: true, items: []item{{key: kb, rid: rid}}}
+					cref, err := t.allocNode(ref.Page, leafN.encode())
+					if err != nil {
+						return err
+					}
+					n.entries[m.Entry].child = cref
+					if _, err := t.writeNode(ref, n, parent); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := t.insertAt(child, &parentLink{ref: ref, entry: m.Entry}, level+m.LevelAdd, m.Recon, kb, rid); err != nil {
+					return err
+				}
+			}
+			return nil
+
+		case AddNode:
+			n.entries = append(n.entries, entry{label: t.oc.EncodeLabel(out.NewLabel), child: InvalidRef})
+			newRef, err := t.writeNode(ref, n, parent)
+			if err != nil {
+				return err
+			}
+			ref = newRef
+			// Retry: Choose will now MatchNode the new entry.
+			continue
+
+		case SplitNode:
+			// Prefix-conflict restructuring (patricia trie): the node
+			// splits into upper (shortened predicate, one partition) and
+			// lower (rest of the predicate, the original entries).
+			lower := &node{pred: t.encodePred(out.LowerPred), entries: n.entries}
+			lref, err := t.allocNode(ref.Page, lower.encode())
+			if err != nil {
+				return err
+			}
+			upper := &node{
+				pred:    t.encodePred(out.UpperPred),
+				entries: []entry{{label: t.oc.EncodeLabel(out.UpperLabel), child: lref}},
+			}
+			newRef, err := t.writeNode(ref, upper, parent)
+			if err != nil {
+				return err
+			}
+			ref = newRef
+			continue
+
+		default:
+			return fmt.Errorf("spgist: unknown Choose action %d", out.Action)
+		}
+	}
+}
+
+// splitLeaf decomposes the items of an over-full data node (already
+// including the new item) into an inner node with data-node partitions,
+// cascading into still-over-full partitions unless the opclass runs with
+// the PMR split-once rule. chain lists the node's overflow records, which
+// are freed once the items are redistributed.
+func (t *Tree) splitLeaf(ref NodeRef, parent *parentLink, items []item, chain []NodeRef, level int, recon Value) error {
+	type work struct {
+		ref    NodeRef
+		parent *parentLink
+		items  []item
+		chain  []NodeRef
+		level  int
+		recon  Value
+		depth  int
+	}
+	queue := []work{{ref, parent, items, chain, level, recon, 0}}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if w.depth > maxSplitDepth {
+			return fmt.Errorf("spgist: %s.PickSplit cascaded past depth %d without converging", t.oc.Name(), maxSplitDepth)
+		}
+		keys := make([]Value, len(w.items))
+		for i := range w.items {
+			keys[i] = t.oc.DecodeKey(w.items[i].key)
+		}
+		out := t.oc.PickSplit(&PickSplitIn{Keys: keys, Level: w.level, Recon: w.recon})
+		if !out.Failed {
+			if err := validatePickSplit(&out, len(keys), t.pr.MultiAssign); err != nil {
+				return fmt.Errorf("spgist: %s.PickSplit: %w", t.oc.Name(), err)
+			}
+		}
+		// Distribute items over partitions.
+		var parts [][]item
+		progress := out.Failed
+		if !out.Failed {
+			parts = make([][]item, len(out.Labels))
+			for i, ps := range out.Mapping {
+				for _, p := range ps {
+					parts[p] = append(parts[p], w.items[i])
+				}
+			}
+			// A split that routes every key into one partition without
+			// consuming level cannot make progress; treat it as failed.
+			progress = false
+			for p := range parts {
+				if len(parts[p]) < len(keys) || out.LevelAdds[p] > 0 {
+					progress = true
+					break
+				}
+			}
+			if len(parts) == 0 {
+				progress = false
+			}
+		}
+		if out.Failed || !progress {
+			// Keep one oversized data node (indistinguishable keys or a
+			// resolution-exhausted cell), chained across records as needed.
+			if err := t.writeLeafChain(w.ref, w.parent, w.items, w.chain); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// The items leave this node: free its overflow chain.
+		for _, cr := range w.chain {
+			if err := t.deleteNode(cr); err != nil {
+				return err
+			}
+		}
+
+		inner := &node{pred: t.encodePred(out.Pred)}
+		type childPos struct{ entryIdx, part int }
+		var positions []childPos
+		for p := range parts {
+			if len(parts[p]) == 0 && t.pr.NodeShrink {
+				continue // omit empty partitions (Figure 2(b))
+			}
+			inner.entries = append(inner.entries, entry{
+				label: t.oc.EncodeLabel(out.Labels[p]),
+				child: InvalidRef,
+			})
+			positions = append(positions, childPos{len(inner.entries) - 1, p})
+		}
+		// Write the inner node first so the children know which page to
+		// cluster onto, then attach them and patch the entry table (same
+		// record size, so the second write never relocates).
+		newRef, err := t.writeNode(w.ref, inner, w.parent)
+		if err != nil {
+			return err
+		}
+		childChains := make([][]NodeRef, len(positions))
+		for i, cp := range positions {
+			if len(parts[cp.part]) == 0 {
+				continue
+			}
+			cref, cchain, err := t.allocLeafChain(newRef.Page, parts[cp.part])
+			if err != nil {
+				return err
+			}
+			inner.entries[cp.entryIdx].child = cref
+			childChains[i] = cchain
+		}
+		if _, err := t.writeNode(newRef, inner, w.parent); err != nil {
+			return err
+		}
+		if t.pr.SplitOnce {
+			continue // PMR rule: over-full children wait for future inserts
+		}
+		for i, cp := range positions {
+			p := cp.part
+			childLevel := w.level + out.LevelAdds[p]
+			if len(parts[p]) > t.pr.BucketSize && !t.atResolution(childLevel) {
+				var childRecon Value
+				if out.Recons != nil {
+					childRecon = out.Recons[p]
+				}
+				queue = append(queue, work{
+					ref:    inner.entries[cp.entryIdx].child,
+					parent: &parentLink{ref: newRef, entry: cp.entryIdx},
+					items:  parts[p],
+					chain:  childChains[i],
+					level:  childLevel,
+					recon:  childRecon,
+					depth:  w.depth + 1,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+func validatePickSplit(out *PickSplitOut, nkeys int, multi bool) error {
+	if len(out.Labels) == 0 {
+		return fmt.Errorf("no partitions")
+	}
+	if len(out.Mapping) != nkeys {
+		return fmt.Errorf("mapping covers %d of %d keys", len(out.Mapping), nkeys)
+	}
+	if len(out.LevelAdds) != len(out.Labels) {
+		return fmt.Errorf("LevelAdds has %d entries for %d labels", len(out.LevelAdds), len(out.Labels))
+	}
+	if out.Recons != nil && len(out.Recons) != len(out.Labels) {
+		return fmt.Errorf("Recons has %d entries for %d labels", len(out.Recons), len(out.Labels))
+	}
+	for i, ps := range out.Mapping {
+		if len(ps) == 0 {
+			return fmt.Errorf("key %d mapped to no partition", i)
+		}
+		if len(ps) > 1 && !multi {
+			return fmt.Errorf("key %d mapped to %d partitions without MultiAssign", i, len(ps))
+		}
+		for _, p := range ps {
+			if p < 0 || p >= len(out.Labels) {
+				return fmt.Errorf("key %d mapped to out-of-range partition %d", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Tree) atResolution(level int) bool {
+	return t.pr.Resolution > 0 && level >= t.pr.Resolution
+}
+
+func (t *Tree) decodePred(pred []byte) Value {
+	if len(pred) == 0 {
+		return nil
+	}
+	return t.oc.DecodePred(pred)
+}
+
+func (t *Tree) encodePred(v Value) []byte {
+	if v == nil {
+		return nil
+	}
+	return t.oc.EncodePred(v)
+}
+
+func (t *Tree) decodeLabels(n *node) []Value {
+	labels := make([]Value, len(n.entries))
+	for i, e := range n.entries {
+		labels[i] = t.oc.DecodeLabel(e.label)
+	}
+	return labels
+}

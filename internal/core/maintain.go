@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/heap"
+)
+
+// Delete removes the (key, rid) pair from the index, using the opclass's
+// EqualityOp to locate the data nodes holding the key. With an invalid
+// rid every item matching the key is removed. It returns the number of
+// logical keys removed (MultiAssign copies count once).
+//
+// Like the PostgreSQL realization, deletion removes leaf items but does
+// not merge or shrink inner nodes; BulkDelete plays the role of
+// spgistbulkdelete for batched VACUUM-style cleanup.
+func (t *Tree) Delete(key Value, rid heap.RID) (int, error) {
+	if t.pr.EqualityOp == "" {
+		return 0, fmt.Errorf("spgist: opclass %s declares no EqualityOp; use BulkDelete", t.oc.Name())
+	}
+	kb := t.oc.EncodeKey(key)
+	q := &Query{Op: t.pr.EqualityOp, Arg: key}
+
+	// Collect the data nodes that may hold the key, then rewrite them.
+	// Removal shrinks records, so rewrites always succeed in place and no
+	// parent patching is needed.
+	var leaves []NodeRef
+	err := t.searchLeaves(q, func(ref NodeRef) bool {
+		leaves = append(leaves, ref)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	removed := make(map[heap.RID]struct{})
+	for _, ref := range leaves {
+		n, err := t.readNode(ref)
+		if err != nil {
+			return 0, err
+		}
+		kept := n.items[:0]
+		changed := false
+		for _, it := range n.items {
+			if bytes.Equal(it.key, kb) && (!rid.Valid() || it.rid == rid) {
+				removed[it.rid] = struct{}{}
+				changed = true
+				continue
+			}
+			kept = append(kept, it)
+		}
+		if changed {
+			n.items = kept
+			if _, err := t.writeNode(ref, n, nil); err != nil {
+				return 0, err
+			}
+		}
+	}
+	t.nKeys -= int64(len(removed))
+	return len(removed), nil
+}
+
+// searchLeaves walks the tree like Scan but yields data-node references.
+func (t *Tree) searchLeaves(q *Query, fn func(ref NodeRef) bool) error {
+	if !t.root.Valid() {
+		return nil
+	}
+	type frame struct {
+		ref   NodeRef
+		level int
+		recon Value
+	}
+	stack := []frame{{t.root, 0, t.oc.RootRecon()}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readNodeRO(f.ref)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			if !fn(f.ref) {
+				return nil
+			}
+			if n.next.Valid() {
+				stack = append(stack, frame{n.next, f.level, f.recon})
+			}
+			continue
+		}
+		pred, labels := t.innerValues(n)
+		out := t.oc.InnerConsistent(&InnerIn{
+			Query:  q,
+			Level:  f.level,
+			Pred:   pred,
+			Labels: labels,
+			Recon:  f.recon,
+		})
+		for _, fo := range out.Follow {
+			child := n.entries[fo.Entry].child
+			if !child.Valid() {
+				continue
+			}
+			stack = append(stack, frame{child, f.level + fo.LevelAdd, fo.Recon})
+		}
+	}
+	return nil
+}
+
+// BulkDelete removes every item whose RID satisfies drop, visiting the
+// whole index once (the spgistbulkdelete interface routine of the paper's
+// Table 2). It returns the number of logical keys removed.
+func (t *Tree) BulkDelete(drop func(rid heap.RID) bool) (int, error) {
+	removed := make(map[heap.RID]struct{})
+	var leaves []NodeRef
+	err := t.walk(func(ref NodeRef, n *node, _, _ int) bool {
+		if n.leaf {
+			leaves = append(leaves, ref)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, ref := range leaves {
+		n, err := t.readNode(ref)
+		if err != nil {
+			return 0, err
+		}
+		kept := n.items[:0]
+		changed := false
+		for _, it := range n.items {
+			if drop(it.rid) {
+				removed[it.rid] = struct{}{}
+				changed = true
+				continue
+			}
+			kept = append(kept, it)
+		}
+		if changed {
+			n.items = kept
+			if _, err := t.writeNode(ref, n, nil); err != nil {
+				return 0, err
+			}
+		}
+	}
+	t.nKeys -= int64(len(removed))
+	return len(removed), nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	heapfile "repro/internal/heap"
+)
+
+// This file implements the incremental nearest-neighbor search of the
+// paper's section 5: an adaptation of the Hjaltason–Samet ranking
+// algorithm made generic over all space-partitioning trees. A priority
+// queue holds index nodes and data objects ordered by minimum distance to
+// the query object; the top is repeatedly replaced by its children until a
+// data object surfaces, which is then the next NN. Parent distances are
+// carried in the queue entries so opclasses whose distance accumulates
+// along the path (the trie's Hamming distance) can compute child distances
+// incrementally — the modification the paper describes.
+
+type nnEntry struct {
+	dist   float64
+	seq    uint64 // tie-break for deterministic order
+	isItem bool
+
+	// node fields
+	ref   NodeRef
+	level int
+	recon Value
+
+	// item fields
+	key Value
+	rid heapfile.RID
+}
+
+type nnQueue []*nnEntry
+
+func (q nnQueue) Len() int { return len(q) }
+func (q nnQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	// Prefer items over nodes at equal distance so results surface as
+	// early as possible, then fall back to insertion order.
+	if q[i].isItem != q[j].isItem {
+		return q[i].isItem
+	}
+	return q[i].seq < q[j].seq
+}
+func (q nnQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x any)   { *q = append(*q, x.(*nnEntry)) }
+func (q *nnQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NNCursor is an incremental nearest-neighbor cursor: each Next call
+// returns the next-closest key, so it can feed a query pipeline (the
+// paper's get-next semantics) without knowing k in advance.
+type NNCursor struct {
+	t    *Tree
+	oc   NNOpClass
+	q    Value
+	pq   nnQueue
+	seq  uint64
+	seen map[heapfile.RID]struct{}
+	err  error
+}
+
+// NNScan starts an incremental NN search around the query object q. It
+// fails if the opclass does not implement NNOpClass.
+func (t *Tree) NNScan(q Value) (*NNCursor, error) {
+	oc, ok := t.oc.(NNOpClass)
+	if !ok {
+		return nil, fmt.Errorf("spgist: opclass %s does not support NN search", t.oc.Name())
+	}
+	c := &NNCursor{t: t, oc: oc, q: q}
+	if t.pr.MultiAssign || t.pr.DedupScan {
+		c.seen = make(map[heapfile.RID]struct{})
+	}
+	if t.root.Valid() {
+		heap.Push(&c.pq, &nnEntry{dist: 0, ref: t.root, level: 0, recon: t.oc.RootRecon()})
+	}
+	return c, nil
+}
+
+// Next returns the next nearest neighbor. ok is false when the index is
+// exhausted or an error occurred (check Err).
+func (c *NNCursor) Next() (key Value, rid heapfile.RID, dist float64, ok bool) {
+	if c.err != nil {
+		return nil, heapfile.InvalidRID, 0, false
+	}
+	for c.pq.Len() > 0 {
+		e := heap.Pop(&c.pq).(*nnEntry)
+		if e.isItem {
+			if c.seen != nil {
+				if _, dup := c.seen[e.rid]; dup {
+					continue
+				}
+				c.seen[e.rid] = struct{}{}
+			}
+			return e.key, e.rid, e.dist, true
+		}
+		n, err := c.t.readNodeRO(e.ref)
+		if err != nil {
+			c.err = err
+			return nil, heapfile.InvalidRID, 0, false
+		}
+		if n.leaf {
+			keys := c.t.keyValues(n)
+			for i, it := range n.items {
+				kv := keys[i]
+				c.seq++
+				heap.Push(&c.pq, &nnEntry{
+					dist:   c.oc.NNLeaf(c.q, kv),
+					seq:    c.seq,
+					isItem: true,
+					key:    kv,
+					rid:    it.rid,
+				})
+			}
+			if n.next.Valid() {
+				// The overflow record inherits the node's lower bound.
+				c.seq++
+				heap.Push(&c.pq, &nnEntry{
+					dist:  e.dist,
+					seq:   c.seq,
+					ref:   n.next,
+					level: e.level,
+					recon: e.recon,
+				})
+			}
+			continue
+		}
+		pred, labels := c.t.innerValues(n)
+		for i, ent := range n.entries {
+			if !ent.child.Valid() {
+				continue
+			}
+			label := labels[i]
+			d, childRecon, levelAdd := c.oc.NNInner(c.q, pred, label, e.level, e.recon, e.dist)
+			c.seq++
+			heap.Push(&c.pq, &nnEntry{
+				dist:  d,
+				seq:   c.seq,
+				ref:   ent.child,
+				level: e.level + levelAdd,
+				recon: childRecon,
+			})
+		}
+	}
+	return nil, heapfile.InvalidRID, 0, false
+}
+
+// Err reports a storage error encountered by Next.
+func (c *NNCursor) Err() error { return c.err }
+
+// NN returns the k nearest keys to q in increasing distance order (a
+// convenience wrapper over the incremental cursor).
+func (t *Tree) NN(q Value, k int) (keys []Value, rids []heapfile.RID, dists []float64, err error) {
+	cur, err := t.NNScan(q)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for len(keys) < k {
+		key, rid, d, ok := cur.Next()
+		if !ok {
+			break
+		}
+		keys = append(keys, key)
+		rids = append(rids, rid)
+		dists = append(dists, d)
+	}
+	return keys, rids, dists, cur.Err()
+}

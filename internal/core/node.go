@@ -1,0 +1,205 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/storage"
+)
+
+// NodeRef addresses a tree node: a record slot inside a page. Many nodes
+// share one page — that is the whole point of the clustering technique
+// (paper section 3, "Clustering").
+type NodeRef struct {
+	Page storage.PageID
+	Slot uint16
+}
+
+// InvalidRef is the sentinel "no node" reference, used for the empty
+// partitions that NodeShrink=false trees keep around (paper Figure 2(a)).
+var InvalidRef = NodeRef{Page: storage.InvalidPageID}
+
+// Valid reports whether the reference points at a node. Page 0 is the
+// metadata page and never holds nodes, so the zero NodeRef is invalid —
+// which lets freshly built nodes leave their overflow chain unset.
+func (r NodeRef) Valid() bool { return r.Page != storage.InvalidPageID && r.Page != 0 }
+
+func (r NodeRef) String() string { return fmt.Sprintf("(%d.%d)", r.Page, r.Slot) }
+
+// entry is one partition of an inner node: a label and the child it leads
+// to (possibly InvalidRef while the partition is empty).
+type entry struct {
+	label []byte
+	child NodeRef
+}
+
+// item is one data element of a leaf (data) node.
+type item struct {
+	key []byte
+	rid heap.RID
+}
+
+// node is the in-memory form of a tree node.
+//
+// A data (leaf) node additionally carries a next reference: when a group
+// of keys cannot be partitioned any further (duplicates, or a cell at the
+// resolution limit) and outgrows one page record, the surplus items spill
+// into a chain of overflow leaf records. Chains are invisible to the
+// opclass: the framework re-assembles the full item list before calling
+// PickSplit and follows next pointers during scans.
+type node struct {
+	leaf    bool
+	pred    []byte  // inner only: encoded node predicate
+	entries []entry // inner only
+	items   []item  // leaf only
+	next    NodeRef // leaf only: overflow chain
+
+	// Memoized decoded forms, filled on first read-only visit of a
+	// cached node so repeated searches do not re-decode (PostgreSQL
+	// equivalents live in the buffer page and need no materialization).
+	// Only the read-only paths touch these; mutating paths always work
+	// on freshly decoded nodes.
+	predV   Value
+	labelsV []Value
+	keysV   []Value
+	memoIn  bool // predV/labelsV filled
+	memoKey bool // keysV filled
+}
+
+const (
+	nodeKindInner = 1
+	nodeKindLeaf  = 2
+	refSize       = 6 // page u32 + slot u16
+)
+
+func putRef(b []byte, r NodeRef) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(r.Page))
+	binary.LittleEndian.PutUint16(b[4:], r.Slot)
+}
+
+func getRef(b []byte) NodeRef {
+	return NodeRef{
+		Page: storage.PageID(binary.LittleEndian.Uint32(b[0:])),
+		Slot: binary.LittleEndian.Uint16(b[4:]),
+	}
+}
+
+// encodedSize returns the on-disk size of the node record.
+func (n *node) encodedSize() int {
+	if n.leaf {
+		sz := 1 + refSize + 2
+		for _, it := range n.items {
+			sz += 2 + len(it.key) + heap.RIDSize
+		}
+		return sz
+	}
+	sz := 1 + 2 + len(n.pred) + 2
+	for _, e := range n.entries {
+		sz += 2 + len(e.label) + refSize
+	}
+	return sz
+}
+
+// encode serializes the node.
+func (n *node) encode() []byte {
+	buf := make([]byte, n.encodedSize())
+	if n.leaf {
+		buf[0] = nodeKindLeaf
+		putRef(buf[1:], n.next)
+		binary.LittleEndian.PutUint16(buf[1+refSize:], uint16(len(n.items)))
+		off := 3 + refSize
+		for _, it := range n.items {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(it.key)))
+			off += 2
+			copy(buf[off:], it.key)
+			off += len(it.key)
+			rb := it.rid.Bytes()
+			copy(buf[off:], rb[:])
+			off += heap.RIDSize
+		}
+		return buf
+	}
+	buf[0] = nodeKindInner
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.pred)))
+	off := 3
+	copy(buf[off:], n.pred)
+	off += len(n.pred)
+	binary.LittleEndian.PutUint16(buf[off:], uint16(len(n.entries)))
+	off += 2
+	for _, e := range n.entries {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(e.label)))
+		off += 2
+		copy(buf[off:], e.label)
+		off += len(e.label)
+		putRef(buf[off:], e.child)
+		off += refSize
+	}
+	return buf
+}
+
+// decodeNode parses a node record. The returned node owns copies of all
+// byte slices, so the page buffer may be unpinned afterwards.
+func decodeNode(rec []byte) (*node, error) {
+	if len(rec) < 3 {
+		return nil, fmt.Errorf("spgist: node record too short (%d bytes)", len(rec))
+	}
+	switch rec[0] {
+	case nodeKindLeaf:
+		if len(rec) < 3+refSize {
+			return nil, fmt.Errorf("spgist: truncated leaf header")
+		}
+		next := getRef(rec[1:])
+		cnt := int(binary.LittleEndian.Uint16(rec[1+refSize:]))
+		n := &node{leaf: true, next: next, items: make([]item, 0, cnt)}
+		off := 3 + refSize
+		for i := 0; i < cnt; i++ {
+			if off+2 > len(rec) {
+				return nil, fmt.Errorf("spgist: truncated leaf item header")
+			}
+			kl := int(binary.LittleEndian.Uint16(rec[off:]))
+			off += 2
+			if off+kl+heap.RIDSize > len(rec) {
+				return nil, fmt.Errorf("spgist: truncated leaf item")
+			}
+			key := make([]byte, kl)
+			copy(key, rec[off:off+kl])
+			off += kl
+			rid := heap.RIDFromBytes(rec[off:])
+			off += heap.RIDSize
+			n.items = append(n.items, item{key: key, rid: rid})
+		}
+		return n, nil
+	case nodeKindInner:
+		pl := int(binary.LittleEndian.Uint16(rec[1:]))
+		off := 3
+		if off+pl+2 > len(rec) {
+			return nil, fmt.Errorf("spgist: truncated inner predicate")
+		}
+		pred := make([]byte, pl)
+		copy(pred, rec[off:off+pl])
+		off += pl
+		cnt := int(binary.LittleEndian.Uint16(rec[off:]))
+		off += 2
+		n := &node{pred: pred, entries: make([]entry, 0, cnt)}
+		for i := 0; i < cnt; i++ {
+			if off+2 > len(rec) {
+				return nil, fmt.Errorf("spgist: truncated inner entry header")
+			}
+			ll := int(binary.LittleEndian.Uint16(rec[off:]))
+			off += 2
+			if off+ll+refSize > len(rec) {
+				return nil, fmt.Errorf("spgist: truncated inner entry")
+			}
+			label := make([]byte, ll)
+			copy(label, rec[off:off+ll])
+			off += ll
+			child := getRef(rec[off:])
+			off += refSize
+			n.entries = append(n.entries, entry{label: label, child: child})
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("spgist: unknown node kind %d", rec[0])
+	}
+}

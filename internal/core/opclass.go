@@ -1,0 +1,238 @@
+// Package core implements SP-GiST: an extensible indexing framework for
+// disk-based space-partitioning trees, after Aref & Ilyas and the ICDE
+// 2006 PostgreSQL realization by Eltabakh, Eltarras & Aref.
+//
+// The framework supplies the *internal methods* shared by every
+// space-partitioning tree — Insert, Scan (search), Delete, BulkDelete, and
+// the incremental nearest-neighbor search of the paper's section 5 — plus
+// the node-to-page clustering that packs many small tree nodes into disk
+// pages. A concrete index (trie, kd-tree, point quadtree, PMR quadtree,
+// suffix tree, ...) is obtained by supplying the *external methods* of the
+// OpClass interface and the interface parameters of Params, exactly the
+// extension points Table 1 of the paper describes.
+package core
+
+// Value is an opclass-typed datum: a key stored at data (leaf) nodes, a
+// node predicate, a partition label, or a reconstructed traversal value.
+// The framework never inspects Values; it moves them between the opclass
+// callbacks and (de)serializes them with the opclass codecs.
+type Value = any
+
+// Query is a search predicate handed to Scan. Op is an opclass-defined
+// operator name (for example "=", "#=", "?=", "@", "^", "&&", "@="); Arg
+// is its right-hand operand. A nil *Query means "match everything".
+type Query struct {
+	Op  string
+	Arg Value
+}
+
+// PathShrink controls how chains of single-child nodes collapse,
+// mirroring Figure 1 of the paper.
+type PathShrink int
+
+const (
+	// NeverShrink keeps one tree level per decomposition step.
+	NeverShrink PathShrink = iota
+	// LeafShrink collapses single-child chains at the leaf level only.
+	LeafShrink
+	// TreeShrink collapses single-child chains anywhere (patricia trie).
+	TreeShrink
+)
+
+func (p PathShrink) String() string {
+	switch p {
+	case NeverShrink:
+		return "NeverShrink"
+	case LeafShrink:
+		return "LeafShrink"
+	case TreeShrink:
+		return "TreeShrink"
+	default:
+		return "PathShrink(?)"
+	}
+}
+
+// Params are the SP-GiST interface parameters (paper section 3.1) that
+// tailor the generic index into one member of the space-partitioning
+// class.
+type Params struct {
+	// NumPartitions is the number of disjoint partitions produced by each
+	// space decomposition (quadtree 4, kd-tree 2, trie 27, ...). It is
+	// informational: PickSplit decides the actual fanout.
+	NumPartitions int
+	// PathShrink selects the tree-shrinking mode.
+	PathShrink PathShrink
+	// NodeShrink, when true, omits empty partitions from inner nodes
+	// (Figure 2(b)); when false every partition keeps an entry even while
+	// it has no child.
+	NodeShrink bool
+	// BucketSize is the maximum number of data items a data (leaf) node
+	// holds before PickSplit is invoked.
+	BucketSize int
+	// Resolution bounds the number of space decompositions along any
+	// root-to-leaf path; once a data node sits at level >= Resolution it
+	// grows instead of splitting. Zero means unlimited.
+	Resolution int
+	// SplitOnce, when true, applies the PMR-quadtree splitting rule: the
+	// data node that triggered the split is decomposed exactly once per
+	// insertion, and over-full children wait for future insertions.
+	SplitOnce bool
+	// MultiAssign declares that PickSplit and Choose may route one key
+	// into several partitions (PMR quadtree: a segment belongs to every
+	// quadrant it crosses). Scans then deduplicate results by RID.
+	MultiAssign bool
+	// DedupScan forces RID deduplication during scans even without
+	// MultiAssign. The suffix tree needs it: one heap row contributes one
+	// key per suffix, and several suffixes can satisfy one query.
+	DedupScan bool
+	// EqualityOp is the operator name Delete uses to locate the leaf
+	// items of a key (for example "=" or "@").
+	EqualityOp string
+}
+
+// ChooseAction tells Insert what to do at an inner node.
+type ChooseAction int
+
+const (
+	// MatchNode descends into one (or, with MultiAssign, several) of the
+	// existing partitions.
+	MatchNode ChooseAction = iota
+	// AddNode adds a new labeled partition to this inner node and retries
+	// (NodeShrink trees grow their fanout lazily).
+	AddNode
+	// SplitNode splits this node's predicate because the new key
+	// disagrees with it part-way (patricia-trie prefix conflict,
+	// Figure 1(c) restructuring). The node P with predicate pred becomes
+	// an upper node with UpperPred and a single partition UpperLabel
+	// pointing to a lower node holding LowerPred and P's entries; Insert
+	// then retries at the upper node.
+	SplitNode
+)
+
+// ChooseIn is the input of OpClass.Choose.
+type ChooseIn struct {
+	Key    Value   // key being inserted
+	Level  int     // decomposition level of the node
+	Pred   Value   // node predicate (nil when the opclass stores none)
+	Labels []Value // partition labels in entry order
+	Recon  Value   // reconstructed traversal value at this node
+}
+
+// ChooseMatch is one descent target selected by Choose.
+type ChooseMatch struct {
+	Entry    int   // index into ChooseIn.Labels
+	LevelAdd int   // level increase for the child
+	Recon    Value // reconstructed value for the child
+}
+
+// ChooseOut is the output of OpClass.Choose.
+type ChooseOut struct {
+	Action ChooseAction
+
+	// MatchNode: the partitions to descend into (exactly one unless
+	// Params.MultiAssign).
+	Matches []ChooseMatch
+
+	// AddNode: label of the new partition.
+	NewLabel Value
+
+	// SplitNode: see ChooseAction.
+	UpperPred  Value
+	UpperLabel Value
+	LowerPred  Value
+}
+
+// PickSplitIn is the input of OpClass.PickSplit: the keys of an over-full
+// data node (including the one being inserted).
+type PickSplitIn struct {
+	Keys  []Value
+	Level int
+	Recon Value
+}
+
+// PickSplitOut describes the decomposition of an over-full data node into
+// an inner node with partitions.
+type PickSplitOut struct {
+	// Failed reports that the keys cannot be distinguished any further
+	// (all equal, or past the resolution the opclass supports); the
+	// framework then keeps them in one oversized data node.
+	Failed bool
+
+	Pred      Value   // predicate of the new inner node (nil ok)
+	Labels    []Value // partition labels
+	Mapping   [][]int // Mapping[i] = partitions receiving Keys[i] (each non-empty; len>1 only with MultiAssign)
+	LevelAdds []int   // per-label level increase for each partition
+	Recons    []Value // per-label reconstructed values (nil ok)
+}
+
+// InnerIn is the input of OpClass.InnerConsistent for one inner node met
+// during a search.
+type InnerIn struct {
+	Query  *Query // nil means full scan: follow everything
+	Level  int
+	Pred   Value
+	Labels []Value
+	Recon  Value
+}
+
+// InnerFollow is one child a search should visit.
+type InnerFollow struct {
+	Entry    int
+	LevelAdd int
+	Recon    Value
+}
+
+// InnerOut lists the children consistent with the query.
+type InnerOut struct {
+	Follow []InnerFollow
+}
+
+// OpClass bundles the external methods and codecs of one SP-GiST index
+// type. Implementations must be stateless with respect to the tree: the
+// framework may call the methods in any order and caches nothing between
+// calls.
+type OpClass interface {
+	// Name identifies the opclass (catalog display, file naming).
+	Name() string
+	// Params returns the interface parameters of the instantiation.
+	Params() Params
+	// RootRecon is the reconstructed traversal value at the root (empty
+	// string for tries, the world box for space-driven quadtrees, nil
+	// when unused).
+	RootRecon() Value
+
+	// Codecs. Encode*/Decode* must round-trip; encoded forms are what is
+	// stored on disk.
+	EncodeKey(Value) []byte
+	DecodeKey([]byte) Value
+	EncodePred(Value) []byte
+	DecodePred([]byte) Value
+	EncodeLabel(Value) []byte
+	DecodeLabel([]byte) Value
+
+	// Choose directs the insertion descent at an inner node.
+	Choose(in *ChooseIn) ChooseOut
+	// PickSplit decomposes the keys of an over-full data node.
+	PickSplit(in *PickSplitIn) PickSplitOut
+	// InnerConsistent selects the children to visit during a search.
+	InnerConsistent(in *InnerIn) InnerOut
+	// LeafConsistent decides whether a stored key satisfies the query.
+	LeafConsistent(q *Query, key Value, level int) bool
+}
+
+// NNOpClass is implemented by opclasses that support the incremental
+// nearest-neighbor search of the paper's section 5. Distances must be
+// lower bounds that never decrease along a root-to-leaf path, which is
+// what makes the best-first traversal correct.
+type NNOpClass interface {
+	OpClass
+	// NNInner returns the minimum possible distance between the query
+	// object and any key stored under the partition labeled label, plus
+	// the child's traversal bookkeeping. parentDist is the distance
+	// computed for this node when it was enqueued (the paper's
+	// parent-distance propagation for tries).
+	NNInner(q Value, pred Value, label Value, level int, recon Value, parentDist float64) (dist float64, childRecon Value, levelAdd int)
+	// NNLeaf returns the exact distance between the query object and a
+	// stored key.
+	NNLeaf(q Value, key Value) float64
+}

@@ -1,0 +1,506 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Tree is one disk-based SP-GiST index: the generic internal methods bound
+// to a concrete OpClass and a page file.
+//
+// Writers must be externally serialized (one mutator at a time); readers
+// may run concurrently with each other but not with a mutator. The
+// catalog/executor layer above enforces this, mirroring how the paper
+// delegates fine-grained concurrency to future work.
+type Tree struct {
+	bp *storage.BufferPool
+	oc OpClass
+	pr Params
+
+	root  NodeRef
+	nKeys int64
+
+	// cache holds decoded nodes for read-only paths (Scan, NN, walk),
+	// invalidated on every write. It stands in for PostgreSQL processing
+	// tuples directly inside buffer pages: without it every node visit
+	// would pay a full record decode, which would distort the CPU side
+	// of the experiments. Cached nodes must never be mutated; mutating
+	// paths decode fresh copies.
+	cache map[NodeRef]*node
+
+	// trace, when non-nil, records distinct pages touched by read paths.
+	trace map[storage.PageID]struct{}
+
+	// fsm caches free bytes per page for the clustering allocator.
+	fsm map[storage.PageID]int
+	// spacious indexes the pages whose free space exceeds a quarter page,
+	// so space abandoned by relocations is found again in O(1).
+	spacious map[storage.PageID]struct{}
+	// lastAlloc is the most recent page that received a node; new sibling
+	// groups land there while it has room, keeping subtrees clustered.
+	lastAlloc storage.PageID
+}
+
+// setFree records the free space of a page and maintains the spacious set.
+func (t *Tree) setFree(pid storage.PageID, free int) {
+	t.fsm[pid] = free
+	if free >= t.bp.DM().PageSize()/4 {
+		t.spacious[pid] = struct{}{}
+	} else {
+		delete(t.spacious, pid)
+	}
+}
+
+// Meta page (page 0) layout.
+const (
+	treeMagic    = 0x53504753 // "SPGS"
+	tmMagicOf    = 0
+	tmRootPageOf = 4
+	tmRootSlotOf = 8
+	tmNKeysOf    = 16
+)
+
+// Create initializes a new empty index in an empty page file.
+func Create(bp *storage.BufferPool, oc OpClass) (*Tree, error) {
+	if bp.DM().NumPages() != 0 {
+		return nil, fmt.Errorf("spgist: create on non-empty file")
+	}
+	if oc.Params().BucketSize <= 0 {
+		return nil, fmt.Errorf("spgist: opclass %s has non-positive BucketSize", oc.Name())
+	}
+	meta, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(meta.Data[tmMagicOf:], treeMagic)
+	bp.Unpin(meta, true)
+	t := &Tree{
+		bp:        bp,
+		oc:        oc,
+		pr:        oc.Params(),
+		root:      InvalidRef,
+		cache:     make(map[NodeRef]*node),
+		fsm:       make(map[storage.PageID]int),
+		spacious:  make(map[storage.PageID]struct{}),
+		lastAlloc: storage.InvalidPageID,
+	}
+	return t, t.saveMeta()
+}
+
+// Open attaches to an existing index file, rebuilding the free-space map.
+func Open(bp *storage.BufferPool, oc OpClass) (*Tree, error) {
+	meta, err := bp.Fetch(0)
+	if err != nil {
+		return nil, fmt.Errorf("spgist: open: %w", err)
+	}
+	if binary.LittleEndian.Uint32(meta.Data[tmMagicOf:]) != treeMagic {
+		bp.Unpin(meta, false)
+		return nil, fmt.Errorf("spgist: bad magic (not an SP-GiST file)")
+	}
+	t := &Tree{
+		bp: bp,
+		oc: oc,
+		pr: oc.Params(),
+		root: NodeRef{
+			Page: storage.PageID(binary.LittleEndian.Uint32(meta.Data[tmRootPageOf:])),
+			Slot: binary.LittleEndian.Uint16(meta.Data[tmRootSlotOf:]),
+		},
+		nKeys:     int64(binary.LittleEndian.Uint64(meta.Data[tmNKeysOf:])),
+		cache:     make(map[NodeRef]*node),
+		fsm:       make(map[storage.PageID]int),
+		spacious:  make(map[storage.PageID]struct{}),
+		lastAlloc: storage.InvalidPageID,
+	}
+	bp.Unpin(meta, false)
+	n := bp.DM().NumPages()
+	for pid := storage.PageID(1); uint32(pid) < n; pid++ {
+		p, err := bp.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		t.setFree(pid, storage.SlotFreeSpace(p.Data))
+		bp.Unpin(p, false)
+	}
+	return t, nil
+}
+
+// OpClass returns the opclass the tree was built with.
+func (t *Tree) OpClass() OpClass { return t.oc }
+
+// Pool returns the underlying buffer pool (statistics, flushing).
+func (t *Tree) Pool() *storage.BufferPool { return t.bp }
+
+// Count returns the number of stored (key, RID) pairs. With MultiAssign
+// each logical key counts once even though it occupies several leaves.
+func (t *Tree) Count() int64 { return t.nKeys }
+
+// NumPages returns the number of pages of the index file, including the
+// metadata page.
+func (t *Tree) NumPages() uint32 { return t.bp.DM().NumPages() }
+
+// SizeBytes returns the on-disk size of the index.
+func (t *Tree) SizeBytes() int64 {
+	return int64(t.NumPages()) * int64(t.bp.DM().PageSize())
+}
+
+func (t *Tree) saveMeta() error {
+	meta, err := t.bp.Fetch(0)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(meta.Data[tmRootPageOf:], uint32(t.root.Page))
+	binary.LittleEndian.PutUint16(meta.Data[tmRootSlotOf:], t.root.Slot)
+	binary.LittleEndian.PutUint64(meta.Data[tmNKeysOf:], uint64(t.nKeys))
+	t.bp.Unpin(meta, true)
+	return nil
+}
+
+// Flush persists metadata and all dirty pages.
+func (t *Tree) Flush() error {
+	if err := t.saveMeta(); err != nil {
+		return err
+	}
+	return t.bp.FlushAll()
+}
+
+// maxCachedNodes bounds the decoded-node cache; when full it is dropped
+// wholesale (searches repopulate it quickly).
+const maxCachedNodes = 1 << 19
+
+// readNode loads and decodes the node at ref. The returned node is a
+// private copy the caller may mutate.
+func (t *Tree) readNode(ref NodeRef) (*node, error) {
+	p, err := t.bp.Fetch(ref.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer t.bp.Unpin(p, false)
+	rec := storage.SlotRead(p.Data, int(ref.Slot))
+	if rec == nil {
+		return nil, fmt.Errorf("spgist: dangling node reference %v", ref)
+	}
+	return decodeNode(rec)
+}
+
+// readNodeRO returns the node at ref for read-only use, serving repeated
+// visits from the decoded-node cache. Callers must not mutate the result.
+func (t *Tree) readNodeRO(ref NodeRef) (*node, error) {
+	t.tracePage(ref.Page)
+	if n, ok := t.cache[ref]; ok {
+		return n, nil
+	}
+	n, err := t.readNode(ref)
+	if err != nil {
+		return nil, err
+	}
+	if len(t.cache) >= maxCachedNodes {
+		t.cache = make(map[NodeRef]*node)
+	}
+	t.cache[ref] = n
+	return n, nil
+}
+
+// invalidate drops a node from the decoded-node cache.
+func (t *Tree) invalidate(ref NodeRef) {
+	delete(t.cache, ref)
+}
+
+// innerValues returns the memoized decoded predicate and labels of an
+// inner node (filling them on first use).
+func (t *Tree) innerValues(n *node) (Value, []Value) {
+	if !n.memoIn {
+		n.predV = t.decodePred(n.pred)
+		n.labelsV = t.decodeLabels(n)
+		n.memoIn = true
+	}
+	return n.predV, n.labelsV
+}
+
+// keyValues returns the memoized decoded keys of a leaf node.
+func (t *Tree) keyValues(n *node) []Value {
+	if !n.memoKey {
+		n.keysV = make([]Value, len(n.items))
+		for i := range n.items {
+			n.keysV[i] = t.oc.DecodeKey(n.items[i].key)
+		}
+		n.memoKey = true
+	}
+	return n.keysV
+}
+
+// StartPageTrace begins counting the distinct pages touched by read-only
+// operations — the number of page reads a cold (unbuffered) execution
+// would issue, which is the cost the paper's I/O-bound measurements see.
+func (t *Tree) StartPageTrace() {
+	t.trace = make(map[storage.PageID]struct{})
+}
+
+// PageTraceCount reports the distinct pages touched since StartPageTrace
+// and stops tracing.
+func (t *Tree) PageTraceCount() int {
+	n := len(t.trace)
+	t.trace = nil
+	return n
+}
+
+func (t *Tree) tracePage(pid storage.PageID) {
+	if t.trace != nil {
+		t.trace[pid] = struct{}{}
+	}
+}
+
+// allocNode places an encoded node record using the clustering policy:
+// first the preferred page (normally the parent's), then the most recent
+// allocation page, then a fresh page. It returns the new node's address.
+//
+// This is the greedy realization of the paper's node-packing goal
+// (section 3, "Clustering"; Diwan et al.): children stay on their parent's
+// page while it has room, and sibling groups that overflow are placed
+// together on one page, which keeps the page-height of the tree low
+// (Figure 12) at some cost in page utilization (Figures 10/14).
+func (t *Tree) allocNode(prefer storage.PageID, rec []byte) (NodeRef, error) {
+	try := func(pid storage.PageID) (NodeRef, bool, error) {
+		if pid == storage.InvalidPageID || pid == 0 {
+			return InvalidRef, false, nil
+		}
+		if free, ok := t.fsm[pid]; ok && free < len(rec) {
+			return InvalidRef, false, nil
+		}
+		p, err := t.bp.Fetch(pid)
+		if err != nil {
+			return InvalidRef, false, err
+		}
+		slot, ok := storage.SlotInsert(p.Data, rec)
+		if !ok {
+			t.setFree(pid, storage.SlotFreeSpace(p.Data))
+			t.bp.Unpin(p, false)
+			return InvalidRef, false, nil
+		}
+		t.setFree(pid, storage.SlotFreeSpace(p.Data))
+		t.bp.Unpin(p, true)
+		return NodeRef{Page: pid, Slot: uint16(slot)}, true, nil
+	}
+	if ref, ok, err := try(prefer); err != nil || ok {
+		return ref, err
+	}
+	if t.lastAlloc != prefer {
+		if ref, ok, err := try(t.lastAlloc); err != nil || ok {
+			return ref, err
+		}
+	}
+	// Reclaim space abandoned by relocations: any spacious page will do.
+	// The set only holds pages with at least a quarter page free, so a
+	// typical node fits on the first candidate.
+	for pid := range t.spacious {
+		if pid == prefer || pid == t.lastAlloc {
+			continue
+		}
+		if free := t.fsm[pid]; free < len(rec) {
+			continue
+		}
+		if ref, ok, err := try(pid); err != nil || ok {
+			return ref, err
+		}
+	}
+	p, err := t.bp.NewPage()
+	if err != nil {
+		return InvalidRef, err
+	}
+	storage.SlotInit(p.Data)
+	slot, ok := storage.SlotInsert(p.Data, rec)
+	if !ok {
+		t.bp.Unpin(p, false)
+		return InvalidRef, fmt.Errorf("spgist: node of %d bytes does not fit an empty page", len(rec))
+	}
+	t.setFree(p.ID, storage.SlotFreeSpace(p.Data))
+	t.lastAlloc = p.ID
+	ref := NodeRef{Page: p.ID, Slot: uint16(slot)}
+	t.bp.Unpin(p, true)
+	return ref, nil
+}
+
+// parentLink tells writeNode how to fix the pointer to a node that had to
+// move to another page. A nil parentLink means the node is the root.
+type parentLink struct {
+	ref   NodeRef // the parent inner node
+	entry int     // index of the entry pointing to the child
+}
+
+// writeNode stores n at ref, relocating it (and patching the parent's
+// child pointer or the root pointer) when the record no longer fits its
+// page. It returns the node's possibly-new address.
+func (t *Tree) writeNode(ref NodeRef, n *node, parent *parentLink) (NodeRef, error) {
+	t.invalidate(ref)
+	rec := n.encode()
+	p, err := t.bp.Fetch(ref.Page)
+	if err != nil {
+		return InvalidRef, err
+	}
+	if storage.SlotUpdate(p.Data, int(ref.Slot), rec) {
+		t.setFree(ref.Page, storage.SlotFreeSpace(p.Data))
+		t.bp.Unpin(p, true)
+		return ref, nil
+	}
+	// Relocate: drop the old copy, place the record elsewhere, fix the
+	// incoming pointer. Prefer the parent's page so root-to-leaf paths
+	// keep crossing as few pages as possible.
+	storage.SlotDelete(p.Data, int(ref.Slot))
+	t.setFree(ref.Page, storage.SlotFreeSpace(p.Data))
+	t.bp.Unpin(p, true)
+	prefer := ref.Page
+	if parent != nil {
+		prefer = parent.ref.Page
+	}
+	newRef, err := t.allocNode(prefer, rec)
+	if err != nil {
+		return InvalidRef, err
+	}
+	if parent == nil {
+		if t.root != ref {
+			return InvalidRef, fmt.Errorf("spgist: relocating non-root node %v without parent link", ref)
+		}
+		t.root = newRef
+		return newRef, nil
+	}
+	pn, err := t.readNode(parent.ref)
+	if err != nil {
+		return InvalidRef, err
+	}
+	if parent.entry >= len(pn.entries) {
+		return InvalidRef, fmt.Errorf("spgist: parent link entry %d out of range", parent.entry)
+	}
+	pn.entries[parent.entry].child = newRef
+	t.invalidate(parent.ref)
+	// The parent record keeps its exact size (child refs are fixed
+	// width), so this update always succeeds in place.
+	pp, err := t.bp.Fetch(parent.ref.Page)
+	if err != nil {
+		return InvalidRef, err
+	}
+	if !storage.SlotUpdate(pp.Data, int(parent.ref.Slot), pn.encode()) {
+		t.bp.Unpin(pp, false)
+		return InvalidRef, fmt.Errorf("spgist: same-size parent update failed at %v", parent.ref)
+	}
+	t.bp.Unpin(pp, true)
+	return newRef, nil
+}
+
+// maxNodeSize is the largest node record one page can hold.
+func (t *Tree) maxNodeSize() int {
+	return t.bp.DM().PageSize() - 16 // slotted header + one slot entry
+}
+
+// readLeafChain collects the items of a data node and all its overflow
+// records, returning the overflow references (the head's items come
+// first).
+func (t *Tree) readLeafChain(head *node) ([]item, []NodeRef, error) {
+	items := append([]item(nil), head.items...)
+	var chain []NodeRef
+	next := head.next
+	for next.Valid() {
+		chain = append(chain, next)
+		n, err := t.readNode(next)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !n.leaf {
+			return nil, nil, fmt.Errorf("spgist: overflow chain reaches inner node %v", next)
+		}
+		items = append(items, n.items...)
+		next = n.next
+	}
+	return items, chain, nil
+}
+
+// chunkItems groups items into runs that each fit one node record.
+func (t *Tree) chunkItems(items []item) ([][]item, error) {
+	maxSz := t.maxNodeSize()
+	base := 3 + refSize
+	var groups [][]item
+	cur := []item{}
+	curSz := base
+	for _, it := range items {
+		isz := 2 + len(it.key) + 6
+		if base+isz > maxSz {
+			return nil, fmt.Errorf("spgist: key of %d bytes exceeds page capacity", len(it.key))
+		}
+		if curSz+isz > maxSz {
+			groups = append(groups, cur)
+			cur = []item{}
+			curSz = base
+		}
+		cur = append(cur, it)
+		curSz += isz
+	}
+	groups = append(groups, cur)
+	return groups, nil
+}
+
+// writeLeafChain stores items as the data node at ref plus however many
+// overflow records they need, releasing surplus records of the node's old
+// chain.
+func (t *Tree) writeLeafChain(ref NodeRef, parent *parentLink, items []item, oldChain []NodeRef) error {
+	for _, cr := range oldChain {
+		if err := t.deleteNode(cr); err != nil {
+			return err
+		}
+	}
+	groups, err := t.chunkItems(items)
+	if err != nil {
+		return err
+	}
+	next := InvalidRef
+	for i := len(groups) - 1; i >= 1; i-- {
+		n := &node{leaf: true, items: groups[i], next: next}
+		r, err := t.allocNode(ref.Page, n.encode())
+		if err != nil {
+			return err
+		}
+		next = r
+	}
+	head := &node{leaf: true, items: groups[0], next: next}
+	_, err = t.writeNode(ref, head, parent)
+	return err
+}
+
+// allocLeafChain creates a fresh data node (plus overflow records when
+// items exceed one page record) and returns the head reference and the
+// overflow references.
+func (t *Tree) allocLeafChain(prefer storage.PageID, items []item) (NodeRef, []NodeRef, error) {
+	groups, err := t.chunkItems(items)
+	if err != nil {
+		return InvalidRef, nil, err
+	}
+	next := InvalidRef
+	var chain []NodeRef
+	for i := len(groups) - 1; i >= 1; i-- {
+		n := &node{leaf: true, items: groups[i], next: next}
+		r, err := t.allocNode(prefer, n.encode())
+		if err != nil {
+			return InvalidRef, nil, err
+		}
+		chain = append([]NodeRef{r}, chain...)
+		next = r
+	}
+	head := &node{leaf: true, items: groups[0], next: next}
+	ref, err := t.allocNode(prefer, head.encode())
+	if err != nil {
+		return InvalidRef, nil, err
+	}
+	return ref, chain, nil
+}
+
+// deleteNode removes the record of a node (used when restructuring).
+func (t *Tree) deleteNode(ref NodeRef) error {
+	t.invalidate(ref)
+	p, err := t.bp.Fetch(ref.Page)
+	if err != nil {
+		return err
+	}
+	storage.SlotDelete(p.Data, int(ref.Slot))
+	t.setFree(ref.Page, storage.SlotFreeSpace(p.Data))
+	t.bp.Unpin(p, true)
+	return nil
+}

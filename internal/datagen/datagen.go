@@ -1,0 +1,176 @@
+// Package datagen generates the synthetic workloads of the paper's
+// experiments (section 6), deterministically from a seed:
+//
+//   - word datasets: length uniform in [1, 15], alphabet 'a'..'z'
+//     (the trie / B+-tree / suffix-tree experiments, Figures 6-12 and 16);
+//   - two-dimensional point datasets uniform in [0, 100] x [0, 100]
+//     (the kd-tree / point-quadtree / R-tree experiments, Figures 13-14);
+//   - line-segment datasets with uniform midpoints and short extents in
+//     the same space (the PMR-quadtree experiment, Figure 15);
+//   - query workloads derived from the data: exact-match probes, prefix
+//     probes, wildcard patterns, range boxes and windows.
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// WordConfig shapes a word dataset.
+type WordConfig struct {
+	MinLen, MaxLen int
+	Alphabet       string
+}
+
+// DefaultWords is the paper's configuration.
+var DefaultWords = WordConfig{MinLen: 1, MaxLen: 15, Alphabet: "abcdefghijklmnopqrstuvwxyz"}
+
+// Words returns n random words.
+func Words(n int, seed int64) []string { return WordsCfg(n, seed, DefaultWords) }
+
+// WordsCfg returns n random words under cfg.
+func WordsCfg(n int, seed int64, cfg WordConfig) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = randWord(r, cfg)
+	}
+	return out
+}
+
+func randWord(r *rand.Rand, cfg WordConfig) string {
+	n := cfg.MinLen + r.Intn(cfg.MaxLen-cfg.MinLen+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = cfg.Alphabet[r.Intn(len(cfg.Alphabet))]
+	}
+	return string(b)
+}
+
+// Points returns n points uniform in world.
+func Points(n int, seed int64, world geom.Box) []geom.Point {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	w := world.Max.X - world.Min.X
+	h := world.Max.Y - world.Min.Y
+	for i := range out {
+		out[i] = geom.Point{
+			X: world.Min.X + r.Float64()*w,
+			Y: world.Min.Y + r.Float64()*h,
+		}
+	}
+	return out
+}
+
+// Segments returns n segments with uniform midpoints in world and extents
+// up to maxLen, clamped to the world.
+func Segments(n int, seed int64, world geom.Box, maxLen float64) []geom.Segment {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]geom.Segment, n)
+	clampX := func(v float64) float64 {
+		if v < world.Min.X {
+			return world.Min.X
+		}
+		if v > world.Max.X {
+			return world.Max.X
+		}
+		return v
+	}
+	clampY := func(v float64) float64 {
+		if v < world.Min.Y {
+			return world.Min.Y
+		}
+		if v > world.Max.Y {
+			return world.Max.Y
+		}
+		return v
+	}
+	for i := range out {
+		cx := world.Min.X + r.Float64()*(world.Max.X-world.Min.X)
+		cy := world.Min.Y + r.Float64()*(world.Max.Y-world.Min.Y)
+		dx := (r.Float64() - 0.5) * maxLen
+		dy := (r.Float64() - 0.5) * maxLen
+		out[i] = geom.Segment{
+			A: geom.Point{X: clampX(cx - dx), Y: clampY(cy - dy)},
+			B: geom.Point{X: clampX(cx + dx), Y: clampY(cy + dy)},
+		}
+	}
+	return out
+}
+
+// Sample picks k elements of items (with replacement) for query probes.
+func Sample[T any](items []T, k int, seed int64) []T {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]T, k)
+	for i := range out {
+		out[i] = items[r.Intn(len(items))]
+	}
+	return out
+}
+
+// Patterns derives wildcard patterns from stored words by replacing
+// characters with '?' at the given rate; one guaranteed wildcard each.
+// The paper notes the B+-tree is very sensitive to the wildcard position,
+// so positions are uniform — including position 0.
+func Patterns(words []string, k int, rate float64, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, k)
+	for i := range out {
+		w := words[r.Intn(len(words))]
+		b := []byte(w)
+		forced := r.Intn(len(b))
+		for j := range b {
+			if j == forced || r.Float64() < rate {
+				b[j] = '?'
+			}
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// Prefixes derives prefix probes (1..len chars) from stored words.
+func Prefixes(words []string, k int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, k)
+	for i := range out {
+		w := words[r.Intn(len(words))]
+		out[i] = w[:1+r.Intn(len(w))]
+	}
+	return out
+}
+
+// Substrings derives substring probes from stored words.
+func Substrings(words []string, k int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, k)
+	for i := range out {
+		w := words[r.Intn(len(words))]
+		a := r.Intn(len(w))
+		b := a + 1 + r.Intn(len(w)-a)
+		out[i] = w[a:b]
+	}
+	return out
+}
+
+// Boxes returns k query rectangles with the given side length, anchored
+// uniformly so they stay within the world.
+func Boxes(k int, seed int64, world geom.Box, side float64) []geom.Box {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]geom.Box, k)
+	w := world.Max.X - world.Min.X - side
+	h := world.Max.Y - world.Min.Y - side
+	if w < 0 {
+		w = 0
+	}
+	if h < 0 {
+		h = 0
+	}
+	for i := range out {
+		x := world.Min.X + r.Float64()*w
+		y := world.Min.Y + r.Float64()*h
+		out[i] = geom.MakeBox(x, y, x+side, y+side)
+	}
+	return out
+}

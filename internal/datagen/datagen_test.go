@@ -1,0 +1,166 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestWordsDistribution(t *testing.T) {
+	words := Words(10000, 1)
+	if len(words) != 10000 {
+		t.Fatalf("len = %d", len(words))
+	}
+	minL, maxL := 99, 0
+	for _, w := range words {
+		if len(w) < 1 || len(w) > 15 {
+			t.Fatalf("word %q outside paper length bounds", w)
+		}
+		if len(w) < minL {
+			minL = len(w)
+		}
+		if len(w) > maxL {
+			maxL = len(w)
+		}
+		for i := 0; i < len(w); i++ {
+			if w[i] < 'a' || w[i] > 'z' {
+				t.Fatalf("word %q outside alphabet", w)
+			}
+		}
+	}
+	// With 10K samples the extremes of U[1,15] appear.
+	if minL != 1 || maxL != 15 {
+		t.Fatalf("length range [%d,%d], want [1,15]", minL, maxL)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Words(100, 7)
+	b := Words(100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different words")
+		}
+	}
+	c := Words(100, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical words")
+	}
+}
+
+func TestPointsInWorld(t *testing.T) {
+	world := geom.MakeBox(0, 0, 100, 100)
+	for _, p := range Points(5000, 2, world) {
+		if !world.Contains(p) {
+			t.Fatalf("point %v escapes world", p)
+		}
+	}
+}
+
+func TestSegmentsInWorld(t *testing.T) {
+	world := geom.MakeBox(0, 0, 100, 100)
+	for _, s := range Segments(5000, 3, world, 10) {
+		if !world.Contains(s.A) || !world.Contains(s.B) {
+			t.Fatalf("segment %v escapes world", s)
+		}
+		if s.Length() > 10*1.5 {
+			t.Fatalf("segment %v longer than max extent", s)
+		}
+	}
+}
+
+func TestPatternsHaveWildcardsAndMatchSource(t *testing.T) {
+	words := Words(1000, 4)
+	pats := Patterns(words, 200, 0.3, 5)
+	for _, p := range pats {
+		if !strings.Contains(p, "?") {
+			t.Fatalf("pattern %q has no wildcard", p)
+		}
+		// Each pattern is derived from a stored word of equal length, so
+		// at least one word must match it.
+		found := false
+		for _, w := range words {
+			if len(w) != len(p) {
+				continue
+			}
+			ok := true
+			for i := range w {
+				if p[i] != '?' && p[i] != w[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("pattern %q matches nothing", p)
+		}
+	}
+}
+
+func TestPrefixesAndSubstringsComeFromWords(t *testing.T) {
+	words := Words(500, 6)
+	for _, p := range Prefixes(words, 100, 7) {
+		found := false
+		for _, w := range words {
+			if strings.HasPrefix(w, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("prefix %q not from corpus", p)
+		}
+	}
+	for _, s := range Substrings(words, 100, 8) {
+		found := false
+		for _, w := range words {
+			if strings.Contains(w, s) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("substring %q not from corpus", s)
+		}
+	}
+}
+
+func TestBoxesStayInWorldAndHaveSide(t *testing.T) {
+	world := geom.MakeBox(0, 0, 100, 100)
+	for _, b := range Boxes(500, 9, world, 5) {
+		if !world.ContainsBox(b) {
+			t.Fatalf("box %v escapes world", b)
+		}
+		const eps = 1e-9
+		if dx := b.Max.X - b.Min.X; dx < 5-eps || dx > 5+eps {
+			t.Fatalf("box %v wrong side", b)
+		}
+		if dy := b.Max.Y - b.Min.Y; dy < 5-eps || dy > 5+eps {
+			t.Fatalf("box %v wrong side", b)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	items := []int{1, 2, 3}
+	s := Sample(items, 50, 10)
+	if len(s) != 50 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, v := range s {
+		if v < 1 || v > 3 {
+			t.Fatalf("sample %d not from items", v)
+		}
+	}
+}

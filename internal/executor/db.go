@@ -1,0 +1,363 @@
+// Package executor is the miniature query engine of this reproduction:
+// heap tables, index maintenance across the access methods of package am,
+// a PostgreSQL-style cost-based choice between sequential and index scans
+// (planner.go), and incremental nearest-neighbor cursors. It plays the
+// role of the PostgreSQL executor and planner that the paper's SP-GiST
+// realization plugs into.
+package executor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/am"
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/storage"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type catalog.Type
+}
+
+// IndexInfo is one index over a table column.
+type IndexInfo struct {
+	Name    string
+	Column  int // ordinal in the table schema
+	OpClass *catalog.OperatorClass
+	Idx     am.Index
+}
+
+// Table is a heap file plus its schema and indexes.
+type Table struct {
+	Name    string
+	Columns []Column
+	Heap    *heap.File
+	Indexes []*IndexInfo
+
+	// ndistinct holds per-column distinct-value counts collected by
+	// Analyze (0 = unknown). Like PostgreSQL statistics they go stale as
+	// rows change; the planner treats them as estimates.
+	ndistinct []int64
+
+	db *DB
+}
+
+// Analyze collects per-column statistics (distinct-value counts) for the
+// planner's selectivity estimation — the role of PostgreSQL's ANALYZE.
+// CreateIndex runs it automatically.
+func (t *Table) Analyze() error {
+	seen := make([]map[string]struct{}, len(t.Columns))
+	for i := range seen {
+		seen[i] = make(map[string]struct{})
+	}
+	err := t.Heap.Scan(func(_ heap.RID, rec []byte) bool {
+		tup, err := catalog.DecodeTuple(rec)
+		if err != nil {
+			return false
+		}
+		for i, d := range tup {
+			seen[i][d.String()] = struct{}{}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	t.ndistinct = make([]int64, len(t.Columns))
+	for i := range seen {
+		t.ndistinct[i] = int64(len(seen[i]))
+	}
+	return nil
+}
+
+// DB is a database: a set of tables and indexes over one directory (or
+// over memory when dir is empty).
+type DB struct {
+	mu        sync.Mutex
+	dir       string
+	pageSize  int
+	poolPages int
+	tables    map[string]*Table
+	pools     []*storage.BufferPool
+}
+
+// Options configure a database.
+type Options struct {
+	// Dir is the storage directory; empty means in-memory.
+	Dir string
+	// PageSize defaults to storage.DefaultPageSize.
+	PageSize int
+	// PoolPages is the buffer pool size per file; defaults to 1024.
+	PoolPages int
+}
+
+// Open creates or opens a database. Existing on-disk tables are not
+// rediscovered automatically (no persistent catalog file): callers
+// re-declare their schema, and table/index files are reattached by name.
+func Open(opts Options) (*DB, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = storage.DefaultPageSize
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 1024
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &DB{
+		dir:       opts.Dir,
+		pageSize:  opts.PageSize,
+		poolPages: opts.PoolPages,
+		tables:    make(map[string]*Table),
+	}, nil
+}
+
+// OpenMemory opens an in-memory database with default settings.
+func OpenMemory() *DB {
+	db, _ := Open(Options{})
+	return db
+}
+
+// Close flushes everything and closes the underlying files.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.tables {
+		for _, ix := range t.Indexes {
+			if err := ix.Idx.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, bp := range db.pools {
+		if err := bp.Close(); err != nil {
+			return err
+		}
+	}
+	db.pools = nil
+	db.tables = make(map[string]*Table)
+	return nil
+}
+
+// newPool opens a buffer pool over a fresh or existing file (or memory).
+func (db *DB) newPool(fileName string) (*storage.BufferPool, bool, error) {
+	var dm storage.DiskManager
+	existed := false
+	if db.dir == "" {
+		dm = storage.NewMem(db.pageSize)
+	} else {
+		path := filepath.Join(db.dir, fileName)
+		if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+			existed = true
+		}
+		fdm, err := storage.OpenFile(path, db.pageSize)
+		if err != nil {
+			return nil, false, err
+		}
+		dm = fdm
+	}
+	bp := storage.NewBufferPool(dm, db.poolPages)
+	db.pools = append(db.pools, bp)
+	return bp, existed, nil
+}
+
+// CreateTable creates a table (reattaching its heap file if one exists on
+// disk from a previous session).
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("executor: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("executor: table %q needs at least one column", name)
+	}
+	bp, existed, err := db.newPool(name + ".tbl")
+	if err != nil {
+		return nil, err
+	}
+	var hf *heap.File
+	if existed {
+		hf, err = heap.Open(bp)
+	} else {
+		hf, err = heap.Create(bp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Columns: cols, Heap: hf, db: db}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("executor: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Tables lists the known tables.
+func (db *DB) Tables() []*Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []*Table
+	for _, t := range db.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (t *Table) colIndex(name string) (int, error) {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("executor: table %s has no column %q", t.Name, name)
+}
+
+// CreateIndex creates an index on a column, via CREATE INDEX ... USING
+// method (col opclass). When opclassName is empty the default class of
+// (method, column type) is used. Existing rows are back-filled (ambuild).
+func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName string) (*IndexInfo, error) {
+	t, err := db.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	ci, err := t.colIndex(colName)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := catalog.LookupAM(method); !ok {
+		return nil, fmt.Errorf("executor: unknown access method %q", method)
+	}
+	var oc *catalog.OperatorClass
+	if opclassName == "" {
+		oc, err = catalog.DefaultOpClass(method, t.Columns[ci].Type)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var ok bool
+		oc, ok = catalog.LookupOpClass(opclassName)
+		if !ok {
+			return nil, fmt.Errorf("executor: unknown operator class %q", opclassName)
+		}
+		if oc.AM != method {
+			return nil, fmt.Errorf("executor: operator class %s belongs to %s, not %s", oc.Name, oc.AM, method)
+		}
+		if oc.Type != t.Columns[ci].Type {
+			return nil, fmt.Errorf("executor: operator class %s indexes %v, column %s is %v",
+				oc.Name, oc.Type, colName, t.Columns[ci].Type)
+		}
+	}
+	db.mu.Lock()
+	for _, ix := range t.Indexes {
+		if ix.Name == idxName {
+			db.mu.Unlock()
+			return nil, fmt.Errorf("executor: index %q already exists", idxName)
+		}
+	}
+	db.mu.Unlock()
+
+	bp, existed, err := db.newPool(idxName + ".idx")
+	if err != nil {
+		return nil, err
+	}
+	idx, err := am.New(oc.Name, bp, !existed)
+	if err != nil {
+		return nil, err
+	}
+	info := &IndexInfo{Name: idxName, Column: ci, OpClass: oc, Idx: idx}
+	// ambuild: back-fill from the heap unless the file already held a
+	// built index.
+	if !existed {
+		err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+			tup, derr := catalog.DecodeTuple(rec)
+			if derr != nil {
+				err = derr
+				return false
+			}
+			if ierr := idx.Insert(tup[ci], rid); ierr != nil {
+				err = ierr
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	db.mu.Lock()
+	t.Indexes = append(t.Indexes, info)
+	db.mu.Unlock()
+	// Fresh statistics make the planner's selectivity realistic (like
+	// the auto-ANALYZE PostgreSQL runs after bulk operations).
+	if err := t.Analyze(); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// Insert adds a row, maintaining all indexes, and returns its RID.
+func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
+	if len(tup) != len(t.Columns) {
+		return heap.InvalidRID, fmt.Errorf("executor: %s expects %d values, got %d", t.Name, len(t.Columns), len(tup))
+	}
+	for i, d := range tup {
+		if d.Typ != t.Columns[i].Type {
+			return heap.InvalidRID, fmt.Errorf("executor: column %s expects %v, got %v",
+				t.Columns[i].Name, t.Columns[i].Type, d.Typ)
+		}
+	}
+	rid, err := t.Heap.Insert(catalog.EncodeTuple(tup))
+	if err != nil {
+		return heap.InvalidRID, err
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Idx.Insert(tup[ix.Column], rid); err != nil {
+			return heap.InvalidRID, fmt.Errorf("executor: index %s: %w", ix.Name, err)
+		}
+	}
+	return rid, nil
+}
+
+// Get fetches a row by RID.
+func (t *Table) Get(rid heap.RID) (catalog.Tuple, error) {
+	rec, err := t.Heap.Get(rid)
+	if err != nil || rec == nil {
+		return nil, err
+	}
+	return catalog.DecodeTuple(rec)
+}
+
+// DeleteRow removes one row by RID, maintaining all indexes.
+func (t *Table) DeleteRow(rid heap.RID) error {
+	tup, err := t.Get(rid)
+	if err != nil {
+		return err
+	}
+	if tup == nil {
+		return nil
+	}
+	for _, ix := range t.Indexes {
+		if _, err := ix.Idx.Delete(tup[ix.Column], rid); err != nil {
+			return fmt.Errorf("executor: index %s: %w", ix.Name, err)
+		}
+	}
+	return t.Heap.Delete(rid)
+}

@@ -1,0 +1,187 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/trie"
+)
+
+// Row is one query result: the tuple and its RID.
+type Row struct {
+	RID   heap.RID
+	Tuple catalog.Tuple
+}
+
+// Select plans and runs `SELECT * FROM t [WHERE pred]`, emitting rows
+// until emit returns false. Index hits are rechecked against the heap
+// tuple, so lossy access methods (R-tree MBRs, B+-tree wildcard prefix
+// ranges) never produce false positives.
+func (t *Table) Select(pred *Pred, emit func(Row) bool) (*Plan, error) {
+	plan, err := t.PlanSelect(pred)
+	if err != nil {
+		return nil, err
+	}
+	return plan, t.run(plan, emit)
+}
+
+// run executes a SeqScan or IndexScan plan.
+func (t *Table) run(plan *Plan, emit func(Row) bool) error {
+	var opProc func(l, r catalog.Datum) bool
+	if plan.Pred != nil {
+		op, ok := catalog.LookupOperator(plan.Pred.Op, t.Columns[plan.Pred.Column].Type)
+		if !ok {
+			return fmt.Errorf("executor: no operator %q", plan.Pred.Op)
+		}
+		opProc = op.Proc
+	}
+	accept := func(rid heap.RID, tup catalog.Tuple) bool {
+		if opProc != nil && !opProc(tup[plan.Pred.Column], plan.Pred.Arg) {
+			return true // filtered out; keep scanning
+		}
+		return emit(Row{RID: rid, Tuple: tup})
+	}
+	switch plan.Kind {
+	case SeqScan:
+		var derr error
+		err := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+			tup, e := catalog.DecodeTuple(rec)
+			if e != nil {
+				derr = e
+				return false
+			}
+			return accept(rid, tup)
+		})
+		if err != nil {
+			return err
+		}
+		return derr
+	case IndexScan:
+		var ierr error
+		err := plan.Index.Idx.Scan(plan.Pred.Op, plan.Pred.Arg, func(rid heap.RID) bool {
+			tup, e := t.Get(rid)
+			if e != nil {
+				ierr = e
+				return false
+			}
+			if tup == nil {
+				return true // index points at a vacuumed row; skip
+			}
+			return accept(rid, tup)
+		})
+		if err != nil {
+			return err
+		}
+		return ierr
+	default:
+		return fmt.Errorf("executor: cannot run plan kind %v", plan.Kind)
+	}
+}
+
+// NNResult is one nearest-neighbor result.
+type NNResult struct {
+	Row
+	Distance float64
+}
+
+// SelectNN plans and runs `SELECT * FROM t ORDER BY col <-> arg LIMIT k`
+// via the incremental NN search when an index provides it, falling back
+// to scan-and-sort.
+func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, *Plan, error) {
+	ci, err := t.colIndex(colName)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := t.PlanNN(ci, arg, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan.Kind == IndexNNScan {
+		iter, err := plan.Index.Idx.NNScan(arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out []NNResult
+		for len(out) < k {
+			rid, dist, ok := iter()
+			if !ok {
+				break
+			}
+			tup, err := t.Get(rid)
+			if err != nil {
+				return nil, nil, err
+			}
+			if tup == nil {
+				continue
+			}
+			out = append(out, NNResult{Row: Row{RID: rid, Tuple: tup}, Distance: dist})
+		}
+		return out, plan, nil
+	}
+	// Fallback: full scan, sort by distance.
+	var all []NNResult
+	var derr error
+	err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		tup, e := catalog.DecodeTuple(rec)
+		if e != nil {
+			derr = e
+			return false
+		}
+		d, e := Distance(tup[ci], arg)
+		if e != nil {
+			derr = e
+			return false
+		}
+		all = append(all, NNResult{Row: Row{RID: rid, Tuple: tup}, Distance: d})
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Distance < all[j].Distance })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, plan, nil
+}
+
+// Distance is the NN distance function per column type: Hamming-style for
+// strings (the trie's), Euclidean for points, point-to-segment for
+// segments — the distance functions the paper assigns per index type.
+func Distance(l, r catalog.Datum) (float64, error) {
+	switch {
+	case l.Typ == catalog.Text && r.Typ == catalog.Text:
+		return trie.Distance(l.S, r.S), nil
+	case l.Typ == catalog.Point && r.Typ == catalog.Point:
+		return l.P.Dist(r.P), nil
+	case l.Typ == catalog.Segment && r.Typ == catalog.Point:
+		return l.G.DistToPoint(r.P), nil
+	case l.Typ == catalog.Point && r.Typ == catalog.Segment:
+		return r.G.DistToPoint(l.P), nil
+	default:
+		return 0, fmt.Errorf("executor: no distance between %v and %v", l.Typ, r.Typ)
+	}
+}
+
+// DeleteWhere removes every row matching pred (all rows when pred is
+// nil), returning how many were removed.
+func (t *Table) DeleteWhere(pred *Pred) (int, error) {
+	var rids []heap.RID
+	if _, err := t.Select(pred, func(r Row) bool {
+		rids = append(rids, r.RID)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	for _, rid := range rids {
+		if err := t.DeleteRow(rid); err != nil {
+			return 0, err
+		}
+	}
+	return len(rids), nil
+}

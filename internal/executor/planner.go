@@ -1,0 +1,195 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+)
+
+// Cost-model constants, after PostgreSQL's defaults. The cost estimation
+// mirrors the four quantities the paper's spgistcostestimate computes:
+// index selectivity (from the operator's restrict procedure), index
+// correlation (0 — SP-GiST index order is unrelated to heap order),
+// startup cost, and total cost (startup + I/O, scaled by selectivity and
+// index size).
+const (
+	seqPageCost    = 1.0
+	randomPageCost = 4.0
+	cpuTupleCost   = 0.01
+	cpuIndexCost   = 0.005
+	cpuOperCost    = 0.0025
+)
+
+// Pred is a WHERE clause of the form `col OP constant`.
+type Pred struct {
+	Column int
+	Op     string
+	Arg    catalog.Datum
+}
+
+// PlanKind discriminates access paths.
+type PlanKind int
+
+const (
+	SeqScan PlanKind = iota
+	IndexScan
+	IndexNNScan
+)
+
+func (k PlanKind) String() string {
+	switch k {
+	case SeqScan:
+		return "Seq Scan"
+	case IndexScan:
+		return "Index Scan"
+	case IndexNNScan:
+		return "Index NN Scan"
+	default:
+		return "?"
+	}
+}
+
+// Plan is a chosen access path with its cost estimate.
+type Plan struct {
+	Kind        PlanKind
+	Table       *Table
+	Index       *IndexInfo // IndexScan / IndexNNScan
+	Pred        *Pred      // nil for unqualified scans
+	Selectivity float64
+	StartupCost float64
+	TotalCost   float64
+	Rows        int64 // estimated result rows
+	Recheck     bool  // heap tuples are rechecked against the operator
+}
+
+func (p *Plan) String() string {
+	s := fmt.Sprintf("%s on %s", p.Kind, p.Table.Name)
+	if p.Index != nil {
+		s += fmt.Sprintf(" using %s (%s)", p.Index.Name, p.Index.OpClass.Name)
+	}
+	if p.Pred != nil {
+		s += fmt.Sprintf("  filter: %s %s %s",
+			p.Table.Columns[p.Pred.Column].Name, p.Pred.Op, p.Pred.Arg)
+	}
+	s += fmt.Sprintf("  (cost=%.2f..%.2f rows=%d)", p.StartupCost, p.TotalCost, p.Rows)
+	return s
+}
+
+func (t *Table) stats(column int) catalog.TableStats {
+	st := catalog.TableStats{Rows: t.Heap.Count()}
+	if t.ndistinct != nil && column < len(t.ndistinct) {
+		st.NDistinct = t.ndistinct[column]
+	}
+	return st
+}
+
+// seqScanCost prices a full heap scan with a per-tuple filter.
+func (t *Table) seqScanCost() float64 {
+	pages := float64(t.Heap.NumPages())
+	rows := float64(t.Heap.Count())
+	return pages*seqPageCost + rows*(cpuTupleCost+cpuOperCost)
+}
+
+// indexScanCost prices an index scan: touch sel*indexPages index pages
+// randomly, process sel*rows index tuples, then fetch their heap pages
+// randomly (correlation 0, one page fetch per row in the worst case,
+// capped by the heap size).
+func indexScanCost(t *Table, ix *IndexInfo, sel float64) float64 {
+	rows := float64(t.Heap.Count())
+	idxPages := float64(ix.Idx.NumPages())
+	matched := sel * rows
+	heapFetch := matched
+	if hp := float64(t.Heap.NumPages()); heapFetch > hp {
+		heapFetch = hp
+	}
+	// Fixed descent overhead (root fetch). It keeps one-row tables on
+	// sequential scans, like PostgreSQL.
+	const startup = randomPageCost
+	return startup +
+		sel*idxPages*randomPageCost +
+		matched*(cpuIndexCost+cpuTupleCost+cpuOperCost) +
+		heapFetch*randomPageCost
+}
+
+// PlanSelect chooses the cheapest access path for an optional predicate,
+// comparing the sequential scan against every applicable index.
+func (t *Table) PlanSelect(pred *Pred) (*Plan, error) {
+	rows := t.Heap.Count()
+	best := &Plan{
+		Kind:      SeqScan,
+		Table:     t,
+		Pred:      pred,
+		TotalCost: t.seqScanCost(),
+		Rows:      rows,
+		Recheck:   pred != nil,
+	}
+	if pred == nil {
+		return best, nil
+	}
+	op, ok := catalog.LookupOperator(pred.Op, t.Columns[pred.Column].Type)
+	if !ok {
+		return nil, fmt.Errorf("executor: no operator %q for type %v",
+			pred.Op, t.Columns[pred.Column].Type)
+	}
+	sel := op.Restrict(t.stats(pred.Column), pred.Arg)
+	best.Selectivity = sel
+	best.Rows = int64(sel * float64(rows))
+	for _, ix := range t.Indexes {
+		if ix.Column != pred.Column || !ix.OpClass.SupportsOp(pred.Op) {
+			continue
+		}
+		cost := indexScanCost(t, ix, sel)
+		if cost < best.TotalCost {
+			best = &Plan{
+				Kind:        IndexScan,
+				Table:       t,
+				Index:       ix,
+				Pred:        pred,
+				Selectivity: sel,
+				TotalCost:   cost,
+				Rows:        int64(sel * float64(rows)),
+				Recheck:     true,
+			}
+		}
+	}
+	return best, nil
+}
+
+// PlanNN chooses the access path for an ORDER BY col <-> q LIMIT k query:
+// an index with an ordering operator when available, else a sequential
+// scan with a full sort (priced accordingly).
+func (t *Table) PlanNN(column int, arg catalog.Datum, k int) (*Plan, error) {
+	for _, ix := range t.Indexes {
+		if ix.Column != column || ix.OpClass.NNOp == "" {
+			continue
+		}
+		// Incremental NN visits roughly the fraction of the index needed
+		// to surface k results.
+		rows := float64(t.Heap.Count())
+		frac := 1.0
+		if rows > 0 {
+			frac = float64(k) / rows
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		cost := frac*float64(ix.Idx.NumPages())*randomPageCost +
+			float64(k)*(cpuIndexCost+cpuTupleCost) +
+			float64(k)*randomPageCost
+		return &Plan{
+			Kind:      IndexNNScan,
+			Table:     t,
+			Index:     ix,
+			TotalCost: cost,
+			Rows:      int64(k),
+		}, nil
+	}
+	// Fallback: scan everything and sort by distance.
+	rows := float64(t.Heap.Count())
+	return &Plan{
+		Kind:      SeqScan,
+		Table:     t,
+		TotalCost: t.seqScanCost() + rows*cpuOperCost, // + sort work
+		Rows:      int64(k),
+	}, nil
+}

@@ -1,0 +1,261 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxContains(t *testing.T) {
+	b := MakeBox(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},
+		{Point{10, 10}, true},
+		{Point{10, 0}, true},
+		{Point{-0.001, 5}, false},
+		{Point{5, 10.001}, false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMakeBoxNormalizes(t *testing.T) {
+	b := MakeBox(10, 8, 2, 3)
+	if b.Min.X != 2 || b.Min.Y != 3 || b.Max.X != 10 || b.Max.Y != 8 {
+		t.Fatalf("MakeBox did not normalize: %v", b)
+	}
+}
+
+func TestBoxIntersects(t *testing.T) {
+	a := MakeBox(0, 0, 5, 5)
+	cases := []struct {
+		b    Box
+		want bool
+	}{
+		{MakeBox(4, 4, 9, 9), true},
+		{MakeBox(5, 5, 9, 9), true}, // touching corner counts
+		{MakeBox(6, 0, 9, 5), false},
+		{MakeBox(1, 1, 2, 2), true}, // contained
+		{MakeBox(-5, -5, 10, 10), true},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects symmetric (%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestBoxUnionArea(t *testing.T) {
+	a := MakeBox(0, 0, 2, 2)
+	b := MakeBox(1, 1, 4, 3)
+	u := a.Union(b)
+	if u != MakeBox(0, 0, 4, 3) {
+		t.Fatalf("Union = %v", u)
+	}
+	if u.Area() != 12 {
+		t.Fatalf("Area = %g, want 12", u.Area())
+	}
+}
+
+func TestQuadrantsTile(t *testing.T) {
+	b := MakeBox(0, 0, 100, 100)
+	// Every quadrant must be inside the parent, and their corners must
+	// reconstruct it.
+	var u Box
+	for i := 0; i < 4; i++ {
+		q := b.Quadrant(i)
+		if !b.ContainsBox(q) {
+			t.Fatalf("quadrant %d %v escapes parent", i, q)
+		}
+		if i == 0 {
+			u = q
+		} else {
+			u = u.Union(q)
+		}
+	}
+	if u != b {
+		t.Fatalf("quadrants do not tile parent: union %v", u)
+	}
+}
+
+func TestBoxDistToPoint(t *testing.T) {
+	b := MakeBox(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 5}, 0},
+		{Point{0, 0}, 0},
+		{Point{13, 4}, 3},
+		{Point{5, -2}, 2},
+		{Point{13, 14}, 5},
+	}
+	for _, c := range cases {
+		if got := b.DistToPoint(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DistToPoint(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntersectsSegment(t *testing.T) {
+	cases := []struct {
+		s, u Segment
+		want bool
+	}{
+		{Segment{Point{0, 0}, Point{4, 4}}, Segment{Point{0, 4}, Point{4, 0}}, true},
+		{Segment{Point{0, 0}, Point{4, 0}}, Segment{Point{2, 0}, Point{6, 0}}, true},  // collinear overlap
+		{Segment{Point{0, 0}, Point{4, 0}}, Segment{Point{5, 0}, Point{6, 0}}, false}, // collinear disjoint
+		{Segment{Point{0, 0}, Point{1, 1}}, Segment{Point{2, 2}, Point{3, 1}}, false},
+		{Segment{Point{0, 0}, Point{2, 2}}, Segment{Point{2, 2}, Point{4, 0}}, true}, // shared endpoint
+	}
+	for _, c := range cases {
+		if got := c.s.IntersectsSegment(c.u); got != c.want {
+			t.Errorf("%v x %v = %v, want %v", c.s, c.u, got, c.want)
+		}
+		if got := c.u.IntersectsSegment(c.s); got != c.want {
+			t.Errorf("symmetric %v x %v = %v, want %v", c.u, c.s, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntersectsBox(t *testing.T) {
+	b := MakeBox(2, 2, 6, 6)
+	cases := []struct {
+		s    Segment
+		want bool
+	}{
+		{Segment{Point{3, 3}, Point{5, 5}}, true},  // fully inside
+		{Segment{Point{0, 0}, Point{8, 8}}, true},  // crosses through
+		{Segment{Point{0, 4}, Point{3, 4}}, true},  // one end inside
+		{Segment{Point{0, 0}, Point{1, 8}}, false}, // passes left of box
+		{Segment{Point{0, 2}, Point{8, 2}}, true},  // runs along bottom edge
+		{Segment{Point{7, 0}, Point{7, 8}}, false}, // right of box
+	}
+	for _, c := range cases {
+		if got := c.s.IntersectsBox(b); got != c.want {
+			t.Errorf("IntersectsBox(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 3}, 3},
+		{Point{-3, 0}, 3},
+		{Point{13, 4}, 5},
+		{Point{7, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := s.DistToPoint(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DistToPoint(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment behaves like a point.
+	d := Segment{Point{1, 1}, Point{1, 1}}
+	if got := d.DistToPoint(Point{4, 5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("degenerate DistToPoint = %g, want 5", got)
+	}
+}
+
+func TestSegmentEq(t *testing.T) {
+	s := Segment{Point{1, 2}, Point{3, 4}}
+	if !s.Eq(Segment{Point{3, 4}, Point{1, 2}}) {
+		t.Error("Eq should ignore endpoint order")
+	}
+	if s.Eq(Segment{Point{1, 2}, Point{3, 5}}) {
+		t.Error("Eq false positive")
+	}
+}
+
+// Property: union always contains both inputs; intersection test agrees
+// with a sampled containment check.
+func TestQuickUnionContains(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		a := MakeBox(clamp(x1), clamp(y1), clamp(x2), clamp(y2))
+		b := MakeBox(clamp(x3), clamp(y3), clamp(x4), clamp(y4))
+		u := a.Union(b)
+		return u.ContainsBox(a) && u.ContainsBox(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1000)
+}
+
+// Property: box/point distance is zero iff the box contains the point.
+func TestQuickDistZeroIffContains(t *testing.T) {
+	f := func(x1, y1, x2, y2, px, py float64) bool {
+		b := MakeBox(clamp(x1), clamp(y1), clamp(x2), clamp(y2))
+		p := Point{clamp(px), clamp(py)}
+		return (b.DistToPoint(p) == 0) == b.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a segment intersects the box of its own MBR, and any segment
+// intersects a box containing one of its endpoints.
+func TestQuickSegmentBox(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		s := Segment{
+			Point{r.Float64() * 100, r.Float64() * 100},
+			Point{r.Float64() * 100, r.Float64() * 100},
+		}
+		if !s.IntersectsBox(s.MBR()) {
+			t.Fatalf("segment %v does not intersect own MBR", s)
+		}
+		b := MakeBox(s.A.X-1, s.A.Y-1, s.A.X+1, s.A.Y+1)
+		if !s.IntersectsBox(b) {
+			t.Fatalf("segment %v does not intersect box around endpoint", s)
+		}
+	}
+}
+
+// Property: segment-box intersection agrees with dense point sampling along
+// the segment (sampling can only prove intersection, not absence; so check
+// one direction).
+func TestQuickSegmentBoxSampling(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := Segment{
+			Point{r.Float64() * 100, r.Float64() * 100},
+			Point{r.Float64() * 100, r.Float64() * 100},
+		}
+		b := MakeBox(r.Float64()*100, r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		sampleHit := false
+		for j := 0; j <= 200; j++ {
+			t := float64(j) / 200
+			p := Point{s.A.X + t*(s.B.X-s.A.X), s.A.Y + t*(s.B.Y-s.A.Y)}
+			if b.Contains(p) {
+				sampleHit = true
+				break
+			}
+		}
+		if sampleHit && !s.IntersectsBox(b) {
+			t.Fatalf("sampling found hit but IntersectsBox=false: %v %v", s, b)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package heap implements heap files: unordered collections of
+// variable-length records stored in slotted pages, addressed by record
+// identifiers (RIDs). Heap files play the role of PostgreSQL heap tables
+// in this reproduction — every table's tuples live in one, indexes store
+// RIDs pointing into it, and the sequential-scan baseline of the paper's
+// suffix-tree experiment (Figure 16) is a full scan of one.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// RID identifies a record inside a heap file: a page number and a slot
+// within the page. The zero value is not a valid RID (page 0 is the heap
+// metadata page).
+type RID struct {
+	Page storage.PageID
+	Slot uint16
+}
+
+// InvalidRID is the sentinel "no record" value.
+var InvalidRID = RID{Page: storage.InvalidPageID}
+
+// Valid reports whether r could reference a record.
+func (r RID) Valid() bool { return r.Page != storage.InvalidPageID && r.Page != 0 }
+
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// Bytes encodes the RID in 6 bytes (page:4, slot:2), little-endian.
+func (r RID) Bytes() [6]byte {
+	var b [6]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(r.Page))
+	binary.LittleEndian.PutUint16(b[4:], r.Slot)
+	return b
+}
+
+// RIDFromBytes decodes a RID written by Bytes.
+func RIDFromBytes(b []byte) RID {
+	return RID{
+		Page: storage.PageID(binary.LittleEndian.Uint32(b[0:])),
+		Slot: binary.LittleEndian.Uint16(b[4:]),
+	}
+}
+
+// RIDSize is the encoded size of a RID.
+const RIDSize = 6
+
+// Heap file metadata page layout (page 0).
+const (
+	metaMagic   = 0x48454150 // "HEAP"
+	metaMagicOf = 0
+	metaLastOf  = 4 // last page with free space (hint)
+	metaCountOf = 8 // number of live records
+)
+
+// File is a heap file over a buffer pool. Methods are not safe for
+// concurrent mutation; the executor layer serializes access per table.
+type File struct {
+	bp       *storage.BufferPool
+	lastPage storage.PageID
+	count    int64
+}
+
+// Create initializes a new heap file on an empty buffer pool / disk.
+func Create(bp *storage.BufferPool) (*File, error) {
+	if bp.DM().NumPages() != 0 {
+		return nil, fmt.Errorf("heap: create on non-empty file")
+	}
+	meta, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(meta.Data[metaMagicOf:], metaMagic)
+	binary.LittleEndian.PutUint32(meta.Data[metaLastOf:], uint32(storage.InvalidPageID))
+	binary.LittleEndian.PutUint64(meta.Data[metaCountOf:], 0)
+	bp.Unpin(meta, true)
+	return &File{bp: bp, lastPage: storage.InvalidPageID}, nil
+}
+
+// Open attaches to an existing heap file.
+func Open(bp *storage.BufferPool) (*File, error) {
+	meta, err := bp.Fetch(0)
+	if err != nil {
+		return nil, fmt.Errorf("heap: open: %w", err)
+	}
+	defer bp.Unpin(meta, false)
+	if binary.LittleEndian.Uint32(meta.Data[metaMagicOf:]) != metaMagic {
+		return nil, fmt.Errorf("heap: bad magic (not a heap file)")
+	}
+	return &File{
+		bp:       bp,
+		lastPage: storage.PageID(binary.LittleEndian.Uint32(meta.Data[metaLastOf:])),
+		count:    int64(binary.LittleEndian.Uint64(meta.Data[metaCountOf:])),
+	}, nil
+}
+
+// Pool returns the underlying buffer pool (for statistics).
+func (f *File) Pool() *storage.BufferPool { return f.bp }
+
+// Count returns the number of live records.
+func (f *File) Count() int64 { return f.count }
+
+// NumPages returns the number of pages in the file (including metadata).
+func (f *File) NumPages() uint32 { return f.bp.DM().NumPages() }
+
+func (f *File) saveMeta() error {
+	meta, err := f.bp.Fetch(0)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(meta.Data[metaLastOf:], uint32(f.lastPage))
+	binary.LittleEndian.PutUint64(meta.Data[metaCountOf:], uint64(f.count))
+	f.bp.Unpin(meta, true)
+	return nil
+}
+
+// Insert appends rec and returns its RID.
+func (f *File) Insert(rec []byte) (RID, error) {
+	if len(rec) > f.bp.DM().PageSize()-64 {
+		return InvalidRID, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(rec))
+	}
+	// Fast path: the last page we inserted into.
+	if f.lastPage != storage.InvalidPageID {
+		p, err := f.bp.Fetch(f.lastPage)
+		if err != nil {
+			return InvalidRID, err
+		}
+		if slot, ok := storage.SlotInsert(p.Data, rec); ok {
+			rid := RID{Page: p.ID, Slot: uint16(slot)}
+			f.bp.Unpin(p, true)
+			f.count++
+			return rid, f.saveMeta()
+		}
+		f.bp.Unpin(p, false)
+	}
+	p, err := f.bp.NewPage()
+	if err != nil {
+		return InvalidRID, err
+	}
+	storage.SlotInit(p.Data)
+	slot, ok := storage.SlotInsert(p.Data, rec)
+	if !ok {
+		f.bp.Unpin(p, false)
+		return InvalidRID, fmt.Errorf("heap: record of %d bytes does not fit an empty page", len(rec))
+	}
+	rid := RID{Page: p.ID, Slot: uint16(slot)}
+	f.lastPage = p.ID
+	f.bp.Unpin(p, true)
+	f.count++
+	return rid, f.saveMeta()
+}
+
+// Get returns a copy of the record at rid, or nil if it does not exist.
+func (f *File) Get(rid RID) ([]byte, error) {
+	if !rid.Valid() || uint32(rid.Page) >= f.NumPages() {
+		return nil, nil
+	}
+	p, err := f.bp.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer f.bp.Unpin(p, false)
+	rec := storage.SlotRead(p.Data, int(rid.Slot))
+	if rec == nil {
+		return nil, nil
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Delete removes the record at rid. Deleting a non-existent record is a
+// no-op.
+func (f *File) Delete(rid RID) error {
+	if !rid.Valid() || uint32(rid.Page) >= f.NumPages() {
+		return nil
+	}
+	p, err := f.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	existed := storage.SlotRead(p.Data, int(rid.Slot)) != nil
+	storage.SlotDelete(p.Data, int(rid.Slot))
+	f.bp.Unpin(p, existed)
+	if existed {
+		f.count--
+		return f.saveMeta()
+	}
+	return nil
+}
+
+// Scan calls fn for every live record in file order. The rec slice is
+// only valid during the call. Scanning stops early if fn returns false.
+func (f *File) Scan(fn func(rid RID, rec []byte) bool) error {
+	n := f.NumPages()
+	for pid := storage.PageID(1); uint32(pid) < n; pid++ {
+		p, err := f.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		stop := false
+		storage.SlotForEach(p.Data, func(slot int, rec []byte) bool {
+			if !fn(RID{Page: pid, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		f.bp.Unpin(p, false)
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newTestHeap(t *testing.T) *File {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMem(1024), 16)
+	f, err := Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestInsertGet(t *testing.T) {
+	f := newTestHeap(t)
+	rid, err := f.Insert([]byte("tuple one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec) != "tuple one" {
+		t.Fatalf("Get = %q", rec)
+	}
+	if f.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", f.Count())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	f := newTestHeap(t)
+	rec, err := f.Get(RID{Page: 99, Slot: 0})
+	if err != nil || rec != nil {
+		t.Fatalf("Get missing = %v, %v; want nil, nil", rec, err)
+	}
+	rec, err = f.Get(InvalidRID)
+	if err != nil || rec != nil {
+		t.Fatalf("Get invalid = %v, %v; want nil, nil", rec, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := newTestHeap(t)
+	rid, _ := f.Insert([]byte("doomed"))
+	if err := f.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := f.Get(rid)
+	if rec != nil {
+		t.Fatal("deleted record still readable")
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", f.Count())
+	}
+	// Double delete is a no-op.
+	if err := f.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if f.Count() != 0 {
+		t.Fatalf("Count after double delete = %d", f.Count())
+	}
+}
+
+func TestScanOrderAndContent(t *testing.T) {
+	f := newTestHeap(t)
+	want := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		s := fmt.Sprintf("record-%04d", i)
+		if _, err := f.Insert([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+		want[s] = true
+	}
+	got := map[string]bool{}
+	err := f.Scan(func(rid RID, rec []byte) bool {
+		got[string(rec)] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d records, want %d", len(got), len(want))
+	}
+	for s := range want {
+		if !got[s] {
+			t.Fatalf("scan missed %q", s)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	f := newTestHeap(t)
+	for i := 0; i < 100; i++ {
+		f.Insert([]byte("x"))
+	}
+	n := 0
+	f.Scan(func(rid RID, rec []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d, want 10", n)
+	}
+}
+
+func TestSpillsAcrossPages(t *testing.T) {
+	f := newTestHeap(t)
+	rec := bytes.Repeat([]byte("p"), 300)
+	for i := 0; i < 50; i++ {
+		if _, err := f.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.NumPages() < 10 {
+		t.Fatalf("expected many pages, got %d", f.NumPages())
+	}
+	n := 0
+	f.Scan(func(rid RID, rec []byte) bool { n++; return true })
+	if n != 50 {
+		t.Fatalf("scan found %d records, want 50", n)
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	f := newTestHeap(t)
+	if _, err := f.Insert(make([]byte, 2000)); err == nil {
+		t.Fatal("expected error for record larger than page")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.dat")
+	dm, err := storage.OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := storage.NewBufferPool(dm, 16)
+	f, err := Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 100; i++ {
+		rid, err := f.Insert([]byte(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := bp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dm2, err := storage.OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp2 := storage.NewBufferPool(dm2, 16)
+	f2, err := Open(bp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bp2.Close()
+	if f2.Count() != 100 {
+		t.Fatalf("Count after reopen = %d, want 100", f2.Count())
+	}
+	for i, rid := range rids {
+		rec, err := f2.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rec) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("record %d mismatch after reopen: %q", i, rec)
+		}
+	}
+	// Inserts continue to work after reopen.
+	if _, err := f2.Insert([]byte("post-reopen")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIDEncoding(t *testing.T) {
+	r := RID{Page: 123456, Slot: 789}
+	b := r.Bytes()
+	if got := RIDFromBytes(b[:]); got != r {
+		t.Fatalf("RID round trip: got %v, want %v", got, r)
+	}
+}
+
+// Model-based randomized test against a map.
+func TestRandomizedModel(t *testing.T) {
+	f := newTestHeap(t)
+	r := rand.New(rand.NewSource(3))
+	model := map[RID][]byte{}
+	for step := 0; step < 3000; step++ {
+		if r.Intn(3) != 0 || len(model) == 0 {
+			rec := make([]byte, 1+r.Intn(60))
+			r.Read(rec)
+			rid, err := f.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := model[rid]; dup {
+				t.Fatalf("step %d: duplicate RID %v", step, rid)
+			}
+			model[rid] = append([]byte(nil), rec...)
+		} else {
+			for rid := range model {
+				if err := f.Delete(rid); err != nil {
+					t.Fatal(err)
+				}
+				delete(model, rid)
+				break
+			}
+		}
+	}
+	if int(f.Count()) != len(model) {
+		t.Fatalf("Count = %d, model = %d", f.Count(), len(model))
+	}
+	for rid, want := range model {
+		got, err := f.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("rid %v mismatch", rid)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package kdtree instantiates SP-GiST as a disk-based kd-tree over 2-D
+// points — the paper's Table 1, right column:
+//
+//	PathShrink = NeverShrink   NodeShrink = false
+//	BucketSize = 1             NoOfSpacePartitions = 2
+//	NodePredicate = splitting point, labels = "blank", "left", "right"
+//
+// Even levels discriminate on X, odd levels on Y. Every inner node stores
+// the point that caused its creation in its blank partition, exactly as
+// the table describes ("put the old point in a child node with predicate
+// blank").
+//
+// Supported operators (paper Tables 3–4):
+//
+//	"@"   point equality
+//	"^"   range (inside box)
+//	"@@"  incremental nearest neighbor by Euclidean distance
+package kdtree
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Partition labels.
+const (
+	LabelSelf  = byte(0) // the splitting point itself ("blank")
+	LabelLeft  = byte(1) // coordinate < discriminator
+	LabelRight = byte(2) // coordinate >= discriminator
+)
+
+// OpClass is the kd-tree instantiation.
+type OpClass struct{}
+
+// New returns the kd-tree opclass.
+func New() *OpClass { return &OpClass{} }
+
+// Name implements core.OpClass.
+func (o *OpClass) Name() string { return "spgist_kdtree" }
+
+// Params implements core.OpClass (paper Table 1).
+func (o *OpClass) Params() core.Params {
+	return core.Params{
+		NumPartitions: 2,
+		PathShrink:    core.NeverShrink,
+		NodeShrink:    false,
+		BucketSize:    1,
+		EqualityOp:    "@",
+	}
+}
+
+// RootRecon implements core.OpClass: the unbounded plane, refined into
+// half-plane boxes as the search descends (used by NN distance bounds).
+func (o *OpClass) RootRecon() core.Value {
+	inf := math.Inf(1)
+	return geom.Box{Min: geom.Point{X: -inf, Y: -inf}, Max: geom.Point{X: inf, Y: inf}}
+}
+
+// EncodePoint serializes a point in 16 bytes.
+func EncodePoint(p geom.Point) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b[0:], math.Float64bits(p.X))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(p.Y))
+	return b
+}
+
+// DecodePoint parses a point written by EncodePoint.
+func DecodePoint(b []byte) geom.Point {
+	return geom.Point{
+		X: math.Float64frombits(binary.LittleEndian.Uint64(b[0:])),
+		Y: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+	}
+}
+
+// EncodeKey implements core.OpClass.
+func (o *OpClass) EncodeKey(v core.Value) []byte { return EncodePoint(v.(geom.Point)) }
+
+// DecodeKey implements core.OpClass.
+func (o *OpClass) DecodeKey(b []byte) core.Value { return DecodePoint(b) }
+
+// EncodePred implements core.OpClass.
+func (o *OpClass) EncodePred(v core.Value) []byte { return EncodePoint(v.(geom.Point)) }
+
+// DecodePred implements core.OpClass.
+func (o *OpClass) DecodePred(b []byte) core.Value { return DecodePoint(b) }
+
+// EncodeLabel implements core.OpClass.
+func (o *OpClass) EncodeLabel(v core.Value) []byte { return []byte{v.(byte)} }
+
+// DecodeLabel implements core.OpClass.
+func (o *OpClass) DecodeLabel(b []byte) core.Value { return b[0] }
+
+// coord returns the discriminated coordinate at the given level: X on
+// even levels, Y on odd (Table 1's "level is odd/even" rule, zero-based).
+func coord(p geom.Point, level int) float64 {
+	if level%2 == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// side classifies k against the discriminator point at level.
+func side(k, disc geom.Point, level int) byte {
+	if k.Eq(disc) {
+		return LabelSelf
+	}
+	if coord(k, level) < coord(disc, level) {
+		return LabelLeft
+	}
+	return LabelRight
+}
+
+// childBox clips the parent's bounding box to the partition's half-plane.
+func childBox(parent geom.Box, disc geom.Point, level int, label byte) geom.Box {
+	switch label {
+	case LabelSelf:
+		return geom.Box{Min: disc, Max: disc}
+	case LabelLeft:
+		b := parent
+		if level%2 == 0 {
+			b.Max.X = disc.X
+		} else {
+			b.Max.Y = disc.Y
+		}
+		return b
+	default:
+		b := parent
+		if level%2 == 0 {
+			b.Min.X = disc.X
+		} else {
+			b.Min.Y = disc.Y
+		}
+		return b
+	}
+}
+
+// Choose implements core.OpClass.
+func (o *OpClass) Choose(in *core.ChooseIn) core.ChooseOut {
+	k := in.Key.(geom.Point)
+	disc := in.Pred.(geom.Point)
+	want := side(k, disc, in.Level)
+	for i, l := range in.Labels {
+		if l.(byte) == want {
+			var recon core.Value
+			if box, ok := in.Recon.(geom.Box); ok {
+				recon = childBox(box, disc, in.Level, want)
+			}
+			return core.ChooseOut{
+				Action:  core.MatchNode,
+				Matches: []core.ChooseMatch{{Entry: i, LevelAdd: 1, Recon: recon}},
+			}
+		}
+	}
+	// NodeShrink=false trees create all partitions at split time, so a
+	// missing label cannot happen with well-formed data; adding it keeps
+	// the opclass total.
+	return core.ChooseOut{Action: core.AddNode, NewLabel: want}
+}
+
+// PickSplit implements core.OpClass, following Table 1: the first (old)
+// point becomes the node predicate and sits in the blank partition; the
+// other keys go left or right of it.
+func (o *OpClass) PickSplit(in *core.PickSplitIn) core.PickSplitOut {
+	disc := in.Keys[0].(geom.Point)
+	allSame := true
+	mapping := make([][]int, len(in.Keys))
+	for i, kv := range in.Keys {
+		k := kv.(geom.Point)
+		if !k.Eq(disc) {
+			allSame = false
+		}
+		var part int
+		switch side(k, disc, in.Level) {
+		case LabelSelf:
+			part = 0
+		case LabelLeft:
+			part = 1
+		default:
+			part = 2
+		}
+		mapping[i] = []int{part}
+	}
+	if allSame {
+		return core.PickSplitOut{Failed: true} // duplicate points
+	}
+	out := core.PickSplitOut{
+		Pred:      disc,
+		Labels:    []core.Value{LabelSelf, LabelLeft, LabelRight},
+		Mapping:   mapping,
+		LevelAdds: []int{1, 1, 1},
+	}
+	if box, ok := in.Recon.(geom.Box); ok {
+		out.Recons = []core.Value{
+			childBox(box, disc, in.Level, LabelSelf),
+			childBox(box, disc, in.Level, LabelLeft),
+			childBox(box, disc, in.Level, LabelRight),
+		}
+	}
+	return out
+}
+
+// InnerConsistent implements core.OpClass for "@" (point equality) and
+// "^" (inside box).
+func (o *OpClass) InnerConsistent(in *core.InnerIn) core.InnerOut {
+	var out core.InnerOut
+	disc := in.Pred.(geom.Point)
+	follow := func(i int) {
+		lb := in.Labels[i].(byte)
+		var recon core.Value
+		if box, ok := in.Recon.(geom.Box); ok {
+			recon = childBox(box, disc, in.Level, lb)
+		}
+		out.Follow = append(out.Follow, core.InnerFollow{Entry: i, LevelAdd: 1, Recon: recon})
+	}
+	if in.Query == nil {
+		for i := range in.Labels {
+			follow(i)
+		}
+		return out
+	}
+	switch in.Query.Op {
+	case "@":
+		q := in.Query.Arg.(geom.Point)
+		want := side(q, disc, in.Level)
+		for i, l := range in.Labels {
+			if l.(byte) == want {
+				follow(i)
+			}
+		}
+	case "^":
+		q := in.Query.Arg.(geom.Box)
+		for i, l := range in.Labels {
+			switch l.(byte) {
+			case LabelSelf:
+				if q.Contains(disc) {
+					follow(i)
+				}
+			case LabelLeft:
+				if coord(q.Min, in.Level) < coord(disc, in.Level) {
+					follow(i)
+				}
+			case LabelRight:
+				if coord(q.Max, in.Level) >= coord(disc, in.Level) {
+					follow(i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LeafConsistent implements core.OpClass.
+func (o *OpClass) LeafConsistent(q *core.Query, key core.Value, _ int) bool {
+	k := key.(geom.Point)
+	switch q.Op {
+	case "@":
+		return k.Eq(q.Arg.(geom.Point))
+	case "^":
+		return q.Arg.(geom.Box).Contains(k)
+	}
+	return false
+}
+
+// NNInner implements core.NNOpClass: the lower bound for a partition is
+// the Euclidean distance from the query point to the partition's bounding
+// box.
+func (o *OpClass) NNInner(q core.Value, pred core.Value, label core.Value, level int, recon core.Value, parentDist float64) (float64, core.Value, int) {
+	qp := q.(geom.Point)
+	disc := pred.(geom.Point)
+	box := childBox(recon.(geom.Box), disc, level, label.(byte))
+	d := box.DistToPoint(qp)
+	if d < parentDist {
+		d = parentDist // numeric safety: bounds never decrease downward
+	}
+	return d, box, 1
+}
+
+// NNLeaf implements core.NNOpClass.
+func (o *OpClass) NNLeaf(q core.Value, key core.Value) float64 {
+	return q.(geom.Point).Dist(key.(geom.Point))
+}

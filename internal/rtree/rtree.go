@@ -1,0 +1,529 @@
+// Package rtree implements a disk-based R-tree (Guttman 1984, quadratic
+// split) — the baseline PostgreSQL spatial access method the paper
+// compares the SP-GiST kd-tree and PMR quadtree against (Figures 13–15).
+//
+// One tree node occupies one page. Leaf entries carry the exact geometry
+// bounding box of the indexed object plus its RID; inner entries carry
+// the minimum bounding rectangle of a child page. Points are indexed as
+// degenerate rectangles; line segments by their MBR, so an exact segment
+// match filters candidates against the heap tuple (the executor layer
+// does that, like PostgreSQL rechecks lossy index hits).
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/heap"
+	"repro/internal/storage"
+)
+
+// Meta page (page 0) layout.
+const (
+	magic     = 0x52545245 // "RTRE"
+	mMagicOf  = 0
+	mRootOf   = 4
+	mHeightOf = 8
+	mCountOf  = 12
+)
+
+// Node page layout:
+//
+//	[kind u8][n u16] entries: [4 x float64 rect][child u32 | rid 6, padded to 8]
+const (
+	kindLeaf  = 1
+	kindInner = 2
+	hdrSize   = 3
+	entrySize = 40
+)
+
+type entry struct {
+	rect  geom.Box
+	child storage.PageID // inner
+	rid   heap.RID       // leaf
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is one disk-based R-tree index. Writers must be externally
+// serialized.
+type Tree struct {
+	bp      *storage.BufferPool
+	root    storage.PageID
+	height  int
+	count   int64
+	maxFill int // M: entries per node
+	minFill int // m: lower bound after split
+
+	// trace, when non-nil, records distinct pages touched by read paths.
+	trace map[storage.PageID]struct{}
+
+	// cache holds decoded nodes for read-only paths, invalidated on
+	// writes (see the btree package for rationale).
+	cache map[storage.PageID]*node
+}
+
+// Create initializes a new empty R-tree in an empty page file.
+func Create(bp *storage.BufferPool) (*Tree, error) {
+	if bp.DM().NumPages() != 0 {
+		return nil, fmt.Errorf("rtree: create on non-empty file")
+	}
+	meta, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(meta.Data[mMagicOf:], magic)
+	bp.Unpin(meta, true)
+	t := newTree(bp)
+	return t, t.saveMeta()
+}
+
+// Open attaches to an existing R-tree file.
+func Open(bp *storage.BufferPool) (*Tree, error) {
+	meta, err := bp.Fetch(0)
+	if err != nil {
+		return nil, err
+	}
+	defer bp.Unpin(meta, false)
+	if binary.LittleEndian.Uint32(meta.Data[mMagicOf:]) != magic {
+		return nil, fmt.Errorf("rtree: bad magic")
+	}
+	t := newTree(bp)
+	t.root = storage.PageID(binary.LittleEndian.Uint32(meta.Data[mRootOf:]))
+	t.height = int(binary.LittleEndian.Uint32(meta.Data[mHeightOf:]))
+	t.count = int64(binary.LittleEndian.Uint64(meta.Data[mCountOf:]))
+	return t, nil
+}
+
+func newTree(bp *storage.BufferPool) *Tree {
+	maxFill := (bp.DM().PageSize() - hdrSize) / entrySize
+	minFill := maxFill * 2 / 5 // Guttman's recommended m ~ 40% of M
+	if minFill < 1 {
+		minFill = 1
+	}
+	return &Tree{
+		bp: bp, root: storage.InvalidPageID,
+		maxFill: maxFill, minFill: minFill,
+		cache: make(map[storage.PageID]*node),
+	}
+}
+
+func (t *Tree) saveMeta() error {
+	meta, err := t.bp.Fetch(0)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(meta.Data[mRootOf:], uint32(t.root))
+	binary.LittleEndian.PutUint32(meta.Data[mHeightOf:], uint32(t.height))
+	binary.LittleEndian.PutUint64(meta.Data[mCountOf:], uint64(t.count))
+	t.bp.Unpin(meta, true)
+	return nil
+}
+
+// Flush persists metadata and dirty pages.
+func (t *Tree) Flush() error {
+	if err := t.saveMeta(); err != nil {
+		return err
+	}
+	return t.bp.FlushAll()
+}
+
+// Pool returns the underlying buffer pool.
+func (t *Tree) Pool() *storage.BufferPool { return t.bp }
+
+// Count returns the number of stored entries.
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the number of levels; 0 when empty.
+func (t *Tree) Height() int { return t.height }
+
+// NumPages returns the number of pages, including metadata.
+func (t *Tree) NumPages() uint32 { return t.bp.DM().NumPages() }
+
+// SizeBytes returns the on-disk size of the index.
+func (t *Tree) SizeBytes() int64 {
+	return int64(t.NumPages()) * int64(t.bp.DM().PageSize())
+}
+
+// MaxEntries exposes M (used by tests).
+func (t *Tree) MaxEntries() int { return t.maxFill }
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+func getF64(b []byte) float64    { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+func (n *node) encode(buf []byte) {
+	if n.leaf {
+		buf[0] = kindLeaf
+	} else {
+		buf[0] = kindInner
+	}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.entries)))
+	off := hdrSize
+	for _, e := range n.entries {
+		putF64(buf[off:], e.rect.Min.X)
+		putF64(buf[off+8:], e.rect.Min.Y)
+		putF64(buf[off+16:], e.rect.Max.X)
+		putF64(buf[off+24:], e.rect.Max.Y)
+		if n.leaf {
+			rb := e.rid.Bytes()
+			copy(buf[off+32:], rb[:])
+			buf[off+38] = 0
+			buf[off+39] = 0
+		} else {
+			binary.LittleEndian.PutUint32(buf[off+32:], uint32(e.child))
+		}
+		off += entrySize
+	}
+}
+
+func decode(buf []byte) (*node, error) {
+	n := &node{}
+	switch buf[0] {
+	case kindLeaf:
+		n.leaf = true
+	case kindInner:
+	default:
+		return nil, fmt.Errorf("rtree: unknown node kind %d", buf[0])
+	}
+	cnt := int(binary.LittleEndian.Uint16(buf[1:]))
+	n.entries = make([]entry, 0, cnt)
+	off := hdrSize
+	for i := 0; i < cnt; i++ {
+		e := entry{rect: geom.Box{
+			Min: geom.Point{X: getF64(buf[off:]), Y: getF64(buf[off+8:])},
+			Max: geom.Point{X: getF64(buf[off+16:]), Y: getF64(buf[off+24:])},
+		}}
+		if n.leaf {
+			e.rid = heap.RIDFromBytes(buf[off+32:])
+		} else {
+			e.child = storage.PageID(binary.LittleEndian.Uint32(buf[off+32:]))
+		}
+		n.entries = append(n.entries, e)
+		off += entrySize
+	}
+	return n, nil
+}
+
+func (t *Tree) readNode(pid storage.PageID) (*node, error) {
+	p, err := t.bp.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	defer t.bp.Unpin(p, false)
+	return decode(p.Data)
+}
+
+// StartPageTrace begins counting the distinct pages touched by read-only
+// operations (the page reads a cold execution would issue).
+func (t *Tree) StartPageTrace() {
+	t.trace = make(map[storage.PageID]struct{})
+}
+
+// PageTraceCount reports the distinct pages touched since StartPageTrace
+// and stops tracing.
+func (t *Tree) PageTraceCount() int {
+	n := len(t.trace)
+	t.trace = nil
+	return n
+}
+
+// maxCachedNodes bounds the decoded-node cache.
+const maxCachedNodes = 1 << 16
+
+// readNodeRO serves read-only visits from the decoded-node cache. The
+// result must not be mutated.
+func (t *Tree) readNodeRO(pid storage.PageID) (*node, error) {
+	if t.trace != nil {
+		t.trace[pid] = struct{}{}
+	}
+	if n, ok := t.cache[pid]; ok {
+		return n, nil
+	}
+	n, err := t.readNode(pid)
+	if err != nil {
+		return nil, err
+	}
+	if len(t.cache) >= maxCachedNodes {
+		t.cache = make(map[storage.PageID]*node)
+	}
+	t.cache[pid] = n
+	return n, nil
+}
+
+func (t *Tree) writeNode(pid storage.PageID, n *node) error {
+	delete(t.cache, pid)
+	p, err := t.bp.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	n.encode(p.Data)
+	t.bp.Unpin(p, true)
+	return nil
+}
+
+func (t *Tree) allocNode(n *node) (storage.PageID, error) {
+	p, err := t.bp.NewPage()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	n.encode(p.Data)
+	t.bp.Unpin(p, true)
+	return p.ID, nil
+}
+
+func mbr(entries []entry) geom.Box {
+	b := entries[0].rect
+	for _, e := range entries[1:] {
+		b = b.Union(e.rect)
+	}
+	return b
+}
+
+// enlargement returns how much b must grow to cover r.
+func enlargement(b, r geom.Box) float64 {
+	return b.Union(r).Area() - b.Area()
+}
+
+// Insert adds one (rect, rid) entry.
+func (t *Tree) Insert(rect geom.Box, rid heap.RID) error {
+	if t.root == storage.InvalidPageID {
+		pid, err := t.allocNode(&node{leaf: true, entries: []entry{{rect: rect, rid: rid}}})
+		if err != nil {
+			return err
+		}
+		t.root = pid
+		t.height = 1
+		t.count++
+		return nil
+	}
+	splitRect1, splitRect2, right, err := t.insertAt(t.root, rect, rid, t.height)
+	if err != nil {
+		return err
+	}
+	if right != storage.InvalidPageID {
+		newRoot := &node{entries: []entry{
+			{rect: splitRect1, child: t.root},
+			{rect: splitRect2, child: right},
+		}}
+		pid, err := t.allocNode(newRoot)
+		if err != nil {
+			return err
+		}
+		t.root = pid
+		t.height++
+	}
+	t.count++
+	return nil
+}
+
+// insertAt implements ChooseLeaf + AdjustTree. On split it returns the
+// MBRs of the two halves and the new right sibling's page.
+func (t *Tree) insertAt(pid storage.PageID, rect geom.Box, rid heap.RID, level int) (geom.Box, geom.Box, storage.PageID, error) {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return geom.Box{}, geom.Box{}, storage.InvalidPageID, err
+	}
+	if n.leaf {
+		n.entries = append(n.entries, entry{rect: rect, rid: rid})
+		return t.writeSplit(pid, n)
+	}
+	// ChooseSubtree: least enlargement, ties by smallest area.
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, e := range n.entries {
+		enl := enlargement(e.rect, rect)
+		area := e.rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	child := n.entries[best].child
+	r1, r2, right, err := t.insertAt(child, rect, rid, level-1)
+	if err != nil {
+		return geom.Box{}, geom.Box{}, storage.InvalidPageID, err
+	}
+	if right == storage.InvalidPageID {
+		// AdjustTree: widen the child's MBR.
+		n.entries[best].rect = n.entries[best].rect.Union(rect)
+		return geom.Box{}, geom.Box{}, storage.InvalidPageID, t.writeNode(pid, n)
+	}
+	n.entries[best].rect = r1
+	n.entries = append(n.entries, entry{rect: r2, child: right})
+	return t.writeSplit(pid, n)
+}
+
+// writeSplit stores n at pid, applying Guttman's quadratic split when the
+// node exceeds M entries.
+func (t *Tree) writeSplit(pid storage.PageID, n *node) (geom.Box, geom.Box, storage.PageID, error) {
+	if len(n.entries) <= t.maxFill {
+		return geom.Box{}, geom.Box{}, storage.InvalidPageID, t.writeNode(pid, n)
+	}
+	g1, g2 := quadraticSplit(n.entries, t.minFill)
+	rightN := &node{leaf: n.leaf, entries: g2}
+	rightPID, err := t.allocNode(rightN)
+	if err != nil {
+		return geom.Box{}, geom.Box{}, storage.InvalidPageID, err
+	}
+	n.entries = g1
+	if err := t.writeNode(pid, n); err != nil {
+		return geom.Box{}, geom.Box{}, storage.InvalidPageID, err
+	}
+	return mbr(g1), mbr(g2), rightPID, nil
+}
+
+// quadraticSplit distributes entries into two groups per Guttman's
+// quadratic algorithm: seed with the pair wasting the most area, then
+// repeatedly assign the entry with the greatest preference difference.
+func quadraticSplit(entries []entry, minFill int) ([]entry, []entry) {
+	// PickSeeds.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.Union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	g1 := []entry{entries[s1]}
+	g2 := []entry{entries[s2]}
+	b1 := entries[s1].rect
+	b2 := entries[s2].rect
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take everything to reach minFill, do so.
+		need1 := minFill - len(g1)
+		need2 := minFill - len(g2)
+		if need1 > 0 && need1 >= len(rest) {
+			g1 = append(g1, rest...)
+			break
+		}
+		if need2 > 0 && need2 >= len(rest) {
+			g2 = append(g2, rest...)
+			break
+		}
+		// PickNext: greatest difference of enlargements.
+		pick := 0
+		bestDiff := math.Inf(-1)
+		for i, e := range rest {
+			diff := math.Abs(enlargement(b1, e.rect) - enlargement(b2, e.rect))
+			if diff > bestDiff {
+				bestDiff, pick = diff, i
+			}
+		}
+		e := rest[pick]
+		rest = append(rest[:pick], rest[pick+1:]...)
+		d1 := enlargement(b1, e.rect)
+		d2 := enlargement(b2, e.rect)
+		if d1 < d2 || (d1 == d2 && b1.Area() <= b2.Area()) {
+			g1 = append(g1, e)
+			b1 = b1.Union(e.rect)
+		} else {
+			g2 = append(g2, e)
+			b2 = b2.Union(e.rect)
+		}
+	}
+	return g1, g2
+}
+
+// Search calls emit for every leaf entry whose rectangle intersects q.
+func (t *Tree) Search(q geom.Box, emit func(rect geom.Box, rid heap.RID) bool) error {
+	if t.root == storage.InvalidPageID {
+		return nil
+	}
+	stack := []storage.PageID{t.root}
+	for len(stack) > 0 {
+		pid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readNodeRO(pid)
+		if err != nil {
+			return err
+		}
+		for _, e := range n.entries {
+			if !e.rect.Intersects(q) {
+				continue
+			}
+			if n.leaf {
+				if !emit(e.rect, e.rid) {
+					return nil
+				}
+			} else {
+				stack = append(stack, e.child)
+			}
+		}
+	}
+	return nil
+}
+
+// SearchPoint calls emit for leaf entries whose rectangle is exactly the
+// degenerate rectangle at p (point equality for point datasets).
+func (t *Tree) SearchPoint(p geom.Point, emit func(rid heap.RID) bool) error {
+	q := geom.Box{Min: p, Max: p}
+	return t.Search(q, func(rect geom.Box, rid heap.RID) bool {
+		if rect.Min.Eq(p) && rect.Max.Eq(p) {
+			return emit(rid)
+		}
+		return true
+	})
+}
+
+// SearchContained calls emit for leaf entries fully inside q (range
+// search over point data; for extended objects the executor rechecks).
+func (t *Tree) SearchContained(q geom.Box, emit func(rect geom.Box, rid heap.RID) bool) error {
+	return t.Search(q, func(rect geom.Box, rid heap.RID) bool {
+		if q.ContainsBox(rect) {
+			return emit(rect, rid)
+		}
+		return true
+	})
+}
+
+// Delete removes the entry with exactly this rectangle and RID. It
+// returns the number removed (0 or 1). MBRs on the path are not shrunk
+// (Guttman's CondenseTree is skipped, as deletes do not occur in the
+// paper's experiments); search correctness is unaffected.
+func (t *Tree) Delete(rect geom.Box, rid heap.RID) (int, error) {
+	if t.root == storage.InvalidPageID {
+		return 0, nil
+	}
+	stack := []storage.PageID{t.root}
+	for len(stack) > 0 {
+		pid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readNode(pid)
+		if err != nil {
+			return 0, err
+		}
+		for i, e := range n.entries {
+			if !e.rect.Intersects(rect) {
+				continue
+			}
+			if n.leaf {
+				if e.rect == rect && e.rid == rid {
+					n.entries = append(n.entries[:i], n.entries[i+1:]...)
+					if err := t.writeNode(pid, n); err != nil {
+						return 0, err
+					}
+					t.count--
+					return 1, nil
+				}
+			} else {
+				stack = append(stack, e.child)
+			}
+		}
+	}
+	return 0, nil
+}

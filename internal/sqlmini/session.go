@@ -1,0 +1,463 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns and Rows are set for SELECT.
+	Columns []string
+	Rows    []catalog.Tuple
+	// Distances accompanies Rows for ORDER BY ... <-> queries.
+	Distances []float64
+	// Plan is the chosen access path (always set for SELECT; the whole
+	// point for EXPLAIN).
+	Plan string
+	// Affected counts rows for INSERT/DELETE.
+	Affected int
+	// Msg is a human-readable confirmation for DDL.
+	Msg string
+}
+
+// Session executes SQL against a database.
+type Session struct {
+	DB *executor.DB
+}
+
+// NewSession wraps a database.
+func NewSession(db *executor.DB) *Session { return &Session{DB: db} }
+
+// Exec parses and runs one statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	res, err := p.statement(s)
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return res, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != k {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.text, text)
+}
+
+func (p *parser) accept(k tokenKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, text string) (token, error) {
+	t := p.peek()
+	if !p.at(k, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", k)
+		}
+		return t, fmt.Errorf("sql: expected %q, found %q", want, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) keyword(words ...string) error {
+	for _, w := range words {
+		if _, err := p.expect(tokIdent, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) statement(s *Session) (*Result, error) {
+	switch {
+	case p.at(tokIdent, "CREATE"):
+		p.i++
+		if p.accept(tokIdent, "TABLE") {
+			return p.createTable(s)
+		}
+		if p.accept(tokIdent, "INDEX") {
+			return p.createIndex(s)
+		}
+		return nil, fmt.Errorf("sql: CREATE must be followed by TABLE or INDEX")
+	case p.at(tokIdent, "INSERT"):
+		p.i++
+		return p.insert(s)
+	case p.at(tokIdent, "SELECT"):
+		return p.selectStmt(s, false)
+	case p.at(tokIdent, "EXPLAIN"):
+		p.i++
+		return p.selectStmt(s, true)
+	case p.at(tokIdent, "DELETE"):
+		p.i++
+		return p.deleteStmt(s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement starting with %q", p.peek().text)
+	}
+}
+
+// CREATE TABLE name (col TYPE, ...)
+func (p *parser) createTable(s *Session) (*Result, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var cols []executor.Column
+	for {
+		cn, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		tn, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typ, err := catalog.TypeByName(tn.text)
+		if err != nil {
+			return nil, err
+		}
+		// Swallow an optional length like VARCHAR(50).
+		if p.accept(tokPunct, "(") {
+			if _, err := p.expect(tokNumber, ""); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+		cols = append(cols, executor.Column{Name: cn.text, Type: typ})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := s.DB.CreateTable(name.text, cols); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("CREATE TABLE %s", name.text)}, nil
+}
+
+// CREATE INDEX name ON table USING method (col [opclass])
+func (p *parser) createIndex(s *Session) (*Result, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("USING"); err != nil {
+		return nil, err
+	}
+	method, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	opclass := ""
+	if p.at(tokIdent, "") {
+		oc, _ := p.expect(tokIdent, "")
+		opclass = oc.text
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := s.DB.CreateIndex(name.text, table.text, col.text, strings.ToLower(method.text), opclass); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("CREATE INDEX %s", name.text)}, nil
+}
+
+// INSERT INTO table VALUES (lit, ...), (...)
+func (p *parser) insert(s *Session) (*Result, error) {
+	if err := p.keyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.DB.Table(name.text)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("VALUES"); err != nil {
+		return nil, err
+	}
+	n := 0
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var tup catalog.Tuple
+		for ci := 0; ; ci++ {
+			tok := p.peek()
+			if tok.kind != tokString && tok.kind != tokNumber {
+				return nil, fmt.Errorf("sql: expected literal, found %q", tok.text)
+			}
+			p.i++
+			if ci >= len(t.Columns) {
+				return nil, fmt.Errorf("sql: too many values for table %s", t.Name)
+			}
+			d, err := catalog.ParseLiteral(t.Columns[ci].Type, tok.text)
+			if err != nil {
+				return nil, err
+			}
+			tup = append(tup, d)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if len(tup) != len(t.Columns) {
+			return nil, fmt.Errorf("sql: table %s expects %d values, got %d", t.Name, len(t.Columns), len(tup))
+		}
+		if _, err := t.Insert(tup); err != nil {
+			return nil, err
+		}
+		n++
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	return &Result{Affected: n, Msg: fmt.Sprintf("INSERT %d", n)}, nil
+}
+
+// where parses [WHERE col OP literal].
+func (p *parser) where(t *executor.Table) (*executor.Pred, error) {
+	if !p.accept(tokIdent, "WHERE") {
+		return nil, nil
+	}
+	col, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ci := -1
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, col.text) {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return nil, fmt.Errorf("sql: unknown column %q", col.text)
+	}
+	opTok := p.peek()
+	if opTok.kind != tokOp {
+		return nil, fmt.Errorf("sql: expected operator, found %q", opTok.text)
+	}
+	p.i++
+	op, ok := catalog.LookupOperator(opTok.text, t.Columns[ci].Type)
+	if !ok {
+		return nil, fmt.Errorf("sql: no operator %q for type %v", opTok.text, t.Columns[ci].Type)
+	}
+	lit := p.peek()
+	if lit.kind != tokString && lit.kind != tokNumber {
+		return nil, fmt.Errorf("sql: expected literal, found %q", lit.text)
+	}
+	p.i++
+	arg, err := catalog.ParseLiteral(op.Right, lit.text)
+	if err != nil {
+		return nil, err
+	}
+	return &executor.Pred{Column: ci, Op: opTok.text, Arg: arg}, nil
+}
+
+// SELECT * FROM t [WHERE ...] [ORDER BY col <-> lit] [LIMIT n]
+func (p *parser) selectStmt(s *Session, explainOnly bool) (*Result, error) {
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "*"); err != nil {
+		return nil, fmt.Errorf("sql: only SELECT * is supported")
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.DB.Table(name.text)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := p.where(t)
+	if err != nil {
+		return nil, err
+	}
+	// ORDER BY col <-> literal
+	nnCol := ""
+	var nnArg catalog.Datum
+	if p.accept(tokIdent, "ORDER") {
+		if err := p.keyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "<->"); err != nil {
+			return nil, err
+		}
+		lit := p.peek()
+		if lit.kind != tokString && lit.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected literal after <->, found %q", lit.text)
+		}
+		p.i++
+		ci := -1
+		for i, c := range t.Columns {
+			if strings.EqualFold(c.Name, col.text) {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q", col.text)
+		}
+		// The <-> right operand has the column's own type (point-to-point,
+		// string-to-string) except for segments, whose NN queries use a
+		// point.
+		argType := t.Columns[ci].Type
+		if argType == catalog.Segment {
+			argType = catalog.Point
+		}
+		nnArg, err = catalog.ParseLiteral(argType, lit.text)
+		if err != nil {
+			return nil, err
+		}
+		nnCol = t.Columns[ci].Name
+	}
+	limit := -1
+	if p.accept(tokIdent, "LIMIT") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		fmt.Sscanf(n.text, "%d", &limit)
+	}
+
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = c.Name
+	}
+	res := &Result{Columns: cols}
+
+	if nnCol != "" {
+		if pred != nil {
+			return nil, fmt.Errorf("sql: WHERE together with ORDER BY <-> is not supported")
+		}
+		k := limit
+		if k < 0 {
+			k = int(t.Heap.Count())
+		}
+		ci, _ := 0, 0
+		for i, c := range t.Columns {
+			if c.Name == nnCol {
+				ci = i
+			}
+		}
+		plan, err := t.PlanNN(ci, nnArg, k)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan = plan.String()
+		if explainOnly {
+			return res, nil
+		}
+		nns, _, err := t.SelectNN(nnCol, nnArg, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, nn := range nns {
+			res.Rows = append(res.Rows, nn.Tuple)
+			res.Distances = append(res.Distances, nn.Distance)
+		}
+		return res, nil
+	}
+
+	plan, err := t.PlanSelect(pred)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan.String()
+	if explainOnly {
+		return res, nil
+	}
+	_, err = t.Select(pred, func(r executor.Row) bool {
+		res.Rows = append(res.Rows, r.Tuple)
+		return limit < 0 || len(res.Rows) < limit
+	})
+	return res, err
+}
+
+// DELETE FROM t [WHERE ...]
+func (p *parser) deleteStmt(s *Session) (*Result, error) {
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.DB.Table(name.text)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := p.where(t)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.DeleteWhere(pred)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Msg: fmt.Sprintf("DELETE %d", n)}, nil
+}

@@ -1,0 +1,194 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/executor"
+)
+
+func newSession(t testing.TB) *Session {
+	t.Helper()
+	db, err := executor.Open(executor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(db)
+}
+
+func mustExec(t testing.TB, s *Session, sql string) *Result {
+	t.Helper()
+	res, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+// The paper's Table 6, nearly verbatim.
+func TestPaperTable6Statements(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE word_data (name VARCHAR(50), id INT)`)
+	mustExec(t, s, `CREATE INDEX sp_trie_index ON word_data USING spgist (name spgist_trie)`)
+	mustExec(t, s, `INSERT INTO word_data VALUES ('random', 1), ('spade', 2), ('spark', 3), ('rondom', 4)`)
+
+	res := mustExec(t, s, `SELECT * FROM word_data WHERE name = 'random'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "random" {
+		t.Fatalf("equality query: %v", res.Rows)
+	}
+	res = mustExec(t, s, `SELECT * FROM word_data WHERE name ?= 'r?nd?m'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("regular expression query returned %d rows, want 2", len(res.Rows))
+	}
+
+	mustExec(t, s, `CREATE TABLE point_data (p POINT, id INT)`)
+	mustExec(t, s, `CREATE INDEX sp_kdtree_index ON point_data USING spgist (p spgist_kdtree)`)
+	mustExec(t, s, `INSERT INTO point_data VALUES ('(0,1)', 1), ('(2,3)', 2), ('(7,8)', 3)`)
+
+	res = mustExec(t, s, `SELECT * FROM point_data WHERE p @ '(0,1)'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("point equality: %d rows", len(res.Rows))
+	}
+	res = mustExec(t, s, `SELECT * FROM point_data WHERE p ^ '(0,0,5,5)'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("range query: %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestPrefixAndSubstring(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR)`)
+	mustExec(t, s, `CREATE INDEX w_sfx ON w USING spgist (name spgist_suffix)`)
+	mustExec(t, s, `INSERT INTO w VALUES ('database'), ('databank'), ('bass'), ('abase')`)
+	// 'bas' occurs in database, bass, abase — not in databank.
+	res := mustExec(t, s, `SELECT * FROM w WHERE name @= 'bas'`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("substring: %d rows, want 3", len(res.Rows))
+	}
+	res = mustExec(t, s, `SELECT * FROM w WHERE name #= 'data'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("prefix: %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestOrderByDistanceLimit(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE pts (p POINT)`)
+	mustExec(t, s, `CREATE INDEX pts_kd ON pts USING spgist (p)`)
+	mustExec(t, s, `INSERT INTO pts VALUES ('(1,1)'), ('(2,2)'), ('(50,50)'), ('(51,51)'), ('(100,100)')`)
+	res := mustExec(t, s, `SELECT * FROM pts ORDER BY p <-> '(50,50)' LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("NN limit: %d rows", len(res.Rows))
+	}
+	if res.Rows[0][0].P.X != 50 || res.Rows[1][0].P.X != 51 {
+		t.Fatalf("NN order wrong: %v", res.Rows)
+	}
+	if len(res.Distances) != 2 || res.Distances[0] != 0 {
+		t.Fatalf("distances: %v", res.Distances)
+	}
+	if !strings.Contains(res.Plan, "NN") {
+		t.Fatalf("plan should be an NN scan: %s", res.Plan)
+	}
+}
+
+func TestSegmentsWindow(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE segs (s SEGMENT)`)
+	mustExec(t, s, `CREATE INDEX segs_pmr ON segs USING spgist (s spgist_pmr)`)
+	mustExec(t, s, `INSERT INTO segs VALUES ('(1,1,9,9)'), ('(20,20,30,20)'), ('(50,1,50,99)')`)
+	res := mustExec(t, s, `SELECT * FROM segs WHERE s && '(0,0,10,10)'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("window: %d rows, want 1", len(res.Rows))
+	}
+	res = mustExec(t, s, `SELECT * FROM segs WHERE s = '(20,20,30,20)'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("segment equality: %d rows", len(res.Rows))
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR)`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, s, `INSERT INTO w VALUES ('filler`+string(rune('a'+i%26))+`')`)
+	}
+	res := mustExec(t, s, `EXPLAIN SELECT * FROM w WHERE name = 'fillera'`)
+	if !strings.Contains(res.Plan, "Seq Scan") {
+		t.Fatalf("expected seq scan without index: %s", res.Plan)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("EXPLAIN must not return rows")
+	}
+	mustExec(t, s, `CREATE INDEX w_bt ON w USING btree (name)`)
+	// B+-tree equality on a 50-row table may still seqscan; force more
+	// data so the index wins.
+	for i := 0; i < 2000; i++ {
+		mustExec(t, s, `INSERT INTO w VALUES ('bulk`+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+`')`)
+	}
+	res = mustExec(t, s, `EXPLAIN SELECT * FROM w WHERE name = 'fillera'`)
+	if !strings.Contains(res.Plan, "Index Scan") || !strings.Contains(res.Plan, "btree_text") {
+		t.Fatalf("expected btree index scan: %s", res.Plan)
+	}
+}
+
+func TestDeleteStatement(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR)`)
+	mustExec(t, s, `CREATE INDEX w_trie ON w USING spgist (name)`)
+	mustExec(t, s, `INSERT INTO w VALUES ('keep'), ('drop'), ('drop'), ('keep2')`)
+	res := mustExec(t, s, `DELETE FROM w WHERE name = 'drop'`)
+	if res.Affected != 2 {
+		t.Fatalf("DELETE affected %d, want 2", res.Affected)
+	}
+	res = mustExec(t, s, `SELECT * FROM w`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows remain, want 2", len(res.Rows))
+	}
+}
+
+func TestSQLComments(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR) -- trailing comment`)
+	mustExec(t, s, "INSERT INTO w VALUES ('x') -- comment\n;")
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR)`)
+	mustExec(t, s, `INSERT INTO w VALUES ('it''s')`)
+	res := mustExec(t, s, `SELECT * FROM w WHERE name = 'it''s'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "it's" {
+		t.Fatalf("escape handling: %v", res.Rows)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	s := newSession(t)
+	for _, bad := range []string{
+		`SELECT`,
+		`CREATE`,
+		`SELECT * FROM missing`,
+		`CREATE TABLE t (x NOTATYPE)`,
+		`INSERT INTO nowhere VALUES (1)`,
+		`SELECT name FROM t`,
+		`SELECT * FROM t WHERE`,
+		`BOGUS STATEMENT`,
+		`SELECT * FROM t WHERE x == 'y'`,
+	} {
+		if _, err := s.Exec(bad); err == nil {
+			t.Errorf("statement %q should fail", bad)
+		}
+	}
+}
+
+func TestLimitStopsScan(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR)`)
+	for i := 0; i < 100; i++ {
+		mustExec(t, s, `INSERT INTO w VALUES ('x')`)
+	}
+	res := mustExec(t, s, `SELECT * FROM w LIMIT 7`)
+	if len(res.Rows) != 7 {
+		t.Fatalf("LIMIT: %d rows", len(res.Rows))
+	}
+}

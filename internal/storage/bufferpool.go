@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Page is a pinned buffer-pool frame. The holder may read and mutate Data
+// and must Unpin it (marking it dirty if mutated) when done.
+type Page struct {
+	ID   PageID
+	Data []byte
+
+	frame int // frame index inside the owning pool
+}
+
+// PoolStats counts logical page traffic at the buffer-pool level. Logical
+// accesses minus hits equals physical reads triggered by this pool.
+type PoolStats struct {
+	Accesses  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// BufferPool caches pages of one DiskManager using clock replacement.
+// All methods are safe for concurrent use.
+type BufferPool struct {
+	mu     sync.Mutex
+	dm     DiskManager
+	frames []frame
+	table  map[PageID]int
+	hand   int
+	stats  PoolStats
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pin   int
+	dirty bool
+	ref   bool // clock reference bit
+	valid bool
+}
+
+// NewBufferPool creates a pool with capacity frames over dm.
+func NewBufferPool(dm DiskManager, capacity int) *BufferPool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	bp := &BufferPool{
+		dm:     dm,
+		frames: make([]frame, capacity),
+		table:  make(map[PageID]int, capacity),
+	}
+	for i := range bp.frames {
+		bp.frames[i].data = make([]byte, dm.PageSize())
+	}
+	return bp
+}
+
+// DM exposes the underlying disk manager.
+func (bp *BufferPool) DM() DiskManager { return bp.dm }
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters (the disk counters are separate).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}
+
+// Fetch pins the page with the given id, reading it from disk on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats.Accesses++
+	if fi, ok := bp.table[id]; ok {
+		bp.stats.Hits++
+		f := &bp.frames[fi]
+		f.pin++
+		f.ref = true
+		return &Page{ID: id, Data: f.data, frame: fi}, nil
+	}
+	bp.stats.Misses++
+	fi, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &bp.frames[fi]
+	if err := bp.dm.ReadPage(id, f.data); err != nil {
+		f.valid = false
+		return nil, err
+	}
+	f.id = id
+	f.pin = 1
+	f.dirty = false
+	f.ref = true
+	f.valid = true
+	bp.table[id] = fi
+	return &Page{ID: id, Data: f.data, frame: fi}, nil
+}
+
+// NewPage allocates a fresh zeroed page on disk and returns it pinned.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	id, err := bp.dm.AllocatePage()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats.Accesses++
+	bp.stats.Misses++
+	fi, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &bp.frames[fi]
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.id = id
+	f.pin = 1
+	f.dirty = true // must reach disk even if never modified again
+	f.ref = true
+	f.valid = true
+	bp.table[id] = fi
+	return &Page{ID: id, Data: f.data, frame: fi}, nil
+}
+
+// Unpin releases one pin on p. dirty marks the frame as modified.
+func (bp *BufferPool) Unpin(p *Page, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f := &bp.frames[p.frame]
+	if !f.valid || f.id != p.ID {
+		panic(fmt.Sprintf("storage: unpin of stale page %d", p.ID))
+	}
+	if f.pin <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", p.ID))
+	}
+	f.pin--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// victimLocked finds a free or evictable frame, writing back a dirty
+// victim. Caller holds bp.mu.
+func (bp *BufferPool) victimLocked() (int, error) {
+	n := len(bp.frames)
+	// Two full sweeps: the first clears reference bits, the second takes
+	// the first unpinned frame.
+	for sweep := 0; sweep < 2*n+1; sweep++ {
+		f := &bp.frames[bp.hand]
+		i := bp.hand
+		bp.hand = (bp.hand + 1) % n
+		if !f.valid {
+			return i, nil
+		}
+		if f.pin > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.dirty {
+			if err := bp.dm.WritePage(f.id, f.data); err != nil {
+				return 0, err
+			}
+		}
+		delete(bp.table, f.id)
+		f.valid = false
+		bp.stats.Evictions++
+		return i, nil
+	}
+	return 0, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", n)
+}
+
+// FlushAll writes every dirty frame back to disk. Pages stay cached.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for i := range bp.frames {
+		f := &bp.frames[i]
+		if f.valid && f.dirty {
+			if err := bp.dm.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Close flushes all dirty pages and closes the disk manager.
+func (bp *BufferPool) Close() error {
+	if err := bp.FlushAll(); err != nil {
+		return err
+	}
+	return bp.dm.Close()
+}

@@ -1,0 +1,230 @@
+package storage
+
+import "encoding/binary"
+
+// Slotted-page layout. A slotted area is any byte slice (usually a whole
+// page, sometimes a page minus a structure-specific header). Records are
+// addressed by stable slot numbers, so tree nodes can hold (page, slot)
+// child pointers while records move during compaction.
+//
+//	+--------+--------+--------+--------+----------------- - -
+//	| nslots | freeLo | freeHi | nlive  | slot dir (4B each) ...
+//	+--------+--------+--------+--------+----------------- - -
+//	                 ... free space ...    records (grow down) |
+//
+// All header fields are uint16 little-endian, so the slotted area must be
+// at most 65535 bytes (the default 8 KB page qualifies).
+const (
+	slottedHeaderSize = 8
+	slotSize          = 4
+	deadOffset        = 0xFFFF
+)
+
+func get16(b []byte, off int) uint16    { return binary.LittleEndian.Uint16(b[off:]) }
+func put16(b []byte, off int, v uint16) { binary.LittleEndian.PutUint16(b[off:], v) }
+
+// SlotInit initializes an empty slotted area in data.
+func SlotInit(data []byte) {
+	if len(data) > 0xFFFF {
+		panic("storage: slotted area larger than 64KB")
+	}
+	put16(data, 0, 0)                 // nslots
+	put16(data, 2, slottedHeaderSize) // freeLo: end of slot directory
+	put16(data, 4, uint16(len(data))) // freeHi: start of record heap
+	put16(data, 6, 0)                 // nlive
+}
+
+// SlotCount returns the number of slots ever created (live and dead).
+func SlotCount(data []byte) int { return int(get16(data, 0)) }
+
+// SlotLive returns the number of live records.
+func SlotLive(data []byte) int { return int(get16(data, 6)) }
+
+func slotEntry(data []byte, slot int) (off, length uint16) {
+	base := slottedHeaderSize + slot*slotSize
+	return get16(data, base), get16(data, base+2)
+}
+
+func setSlotEntry(data []byte, slot int, off, length uint16) {
+	base := slottedHeaderSize + slot*slotSize
+	put16(data, base, off)
+	put16(data, base+2, length)
+}
+
+// SlotFreeSpace returns the number of payload bytes available for one new
+// record, accounting for the slot-directory entry the record may need and
+// assuming compaction. A record of size <= SlotFreeSpace(data) is
+// guaranteed to be insertable.
+func SlotFreeSpace(data []byte) int {
+	nslots := SlotCount(data)
+	used := 0
+	reusable := false
+	for s := 0; s < nslots; s++ {
+		off, length := slotEntry(data, s)
+		if off != deadOffset {
+			used += int(length)
+		} else {
+			reusable = true
+		}
+	}
+	free := len(data) - slottedHeaderSize - nslots*slotSize - used
+	if !reusable {
+		free -= slotSize // a new slot entry would be needed
+	}
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// SlotInsert stores rec and returns its slot number, or ok=false if the
+// area cannot hold it even after compaction.
+func SlotInsert(data []byte, rec []byte) (slot int, ok bool) {
+	if len(rec) > SlotFreeSpace(data) {
+		return 0, false
+	}
+	nslots := SlotCount(data)
+	// Reuse a dead slot if any, else append one.
+	slot = -1
+	for s := 0; s < nslots; s++ {
+		if off, _ := slotEntry(data, s); off == deadOffset {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		// Extending the directory must not overwrite record bytes: if the
+		// new entry would cross freeHi, compact first to push records to
+		// the high end (the SlotFreeSpace check above guarantees room).
+		if slottedHeaderSize+(nslots+1)*slotSize > int(get16(data, 4)) {
+			slotCompact(data)
+		}
+		slot = nslots
+		put16(data, 0, uint16(nslots+1))
+		// Mark the fresh slot dead until the record is placed so that a
+		// compaction triggered below does not read stale directory bytes.
+		setSlotEntry(data, slot, deadOffset, 0)
+	}
+	freeLo := int(slottedHeaderSize + SlotCount(data)*slotSize)
+	freeHi := int(get16(data, 4))
+	if freeHi-freeLo < len(rec) {
+		slotCompact(data)
+		freeHi = int(get16(data, 4))
+	}
+	off := freeHi - len(rec)
+	copy(data[off:], rec)
+	put16(data, 4, uint16(off))
+	setSlotEntry(data, slot, uint16(off), uint16(len(rec)))
+	put16(data, 6, get16(data, 6)+1)
+	return slot, true
+}
+
+// SlotRead returns the record stored in slot, or nil if the slot is dead
+// or out of range. The returned slice aliases data.
+func SlotRead(data []byte, slot int) []byte {
+	if slot < 0 || slot >= SlotCount(data) {
+		return nil
+	}
+	off, length := slotEntry(data, slot)
+	if off == deadOffset {
+		return nil
+	}
+	return data[off : int(off)+int(length)]
+}
+
+// SlotDelete removes the record in slot. Space is reclaimed lazily by
+// compaction.
+func SlotDelete(data []byte, slot int) {
+	if SlotRead(data, slot) == nil {
+		return
+	}
+	setSlotEntry(data, slot, deadOffset, 0)
+	put16(data, 6, get16(data, 6)-1)
+	// Trim trailing dead slots so their directory space is reusable.
+	n := SlotCount(data)
+	for n > 0 {
+		if off, _ := slotEntry(data, n-1); off != deadOffset {
+			break
+		}
+		n--
+	}
+	put16(data, 0, uint16(n))
+}
+
+// SlotUpdate replaces the record in slot with rec, keeping the slot number
+// stable. Returns false if the area cannot hold the new record (the old
+// record is preserved in that case).
+func SlotUpdate(data []byte, slot int, rec []byte) bool {
+	old := SlotRead(data, slot)
+	if old == nil {
+		return false
+	}
+	if len(rec) <= len(old) {
+		off, _ := slotEntry(data, slot)
+		copy(data[off:], rec)
+		setSlotEntry(data, slot, off, uint16(len(rec)))
+		return true
+	}
+	// Would the record fit once the old copy is dropped? (Conservative:
+	// the update never needs a new slot entry, but SlotFreeSpace may have
+	// reserved one.)
+	if len(rec) > SlotFreeSpace(data)+len(old) {
+		return false
+	}
+	off, length := slotEntry(data, slot)
+	_ = length
+	// Temporarily kill the slot (without trimming) so compaction reclaims
+	// the old bytes, then place the new record.
+	setSlotEntry(data, slot, deadOffset, 0)
+	slotCompact(data)
+	freeLo := slottedHeaderSize + SlotCount(data)*slotSize
+	freeHi := int(get16(data, 4))
+	if freeHi-freeLo < len(rec) {
+		// Restore is impossible (old bytes were compacted away), but this
+		// cannot happen: the space check above guarantees fit.
+		panic("storage: slotted update lost record")
+	}
+	off = uint16(freeHi - len(rec))
+	copy(data[off:], rec)
+	put16(data, 4, off)
+	setSlotEntry(data, slot, off, uint16(len(rec)))
+	return true
+}
+
+// slotCompact rewrites all live records contiguously at the high end of
+// the area, leaving slot numbers unchanged.
+func slotCompact(data []byte) {
+	type liveRec struct {
+		slot int
+		rec  []byte
+	}
+	nslots := SlotCount(data)
+	live := make([]liveRec, 0, nslots)
+	for s := 0; s < nslots; s++ {
+		if r := SlotRead(data, s); r != nil {
+			cp := make([]byte, len(r))
+			copy(cp, r)
+			live = append(live, liveRec{s, cp})
+		}
+	}
+	hi := len(data)
+	for _, lr := range live {
+		hi -= len(lr.rec)
+		copy(data[hi:], lr.rec)
+		setSlotEntry(data, lr.slot, uint16(hi), uint16(len(lr.rec)))
+	}
+	put16(data, 4, uint16(hi))
+}
+
+// SlotForEach calls fn for every live record in slot order. fn must not
+// mutate the area. Iteration stops early if fn returns false.
+func SlotForEach(data []byte, fn func(slot int, rec []byte) bool) {
+	n := SlotCount(data)
+	for s := 0; s < n; s++ {
+		if r := SlotRead(data, s); r != nil {
+			if !fn(s, r) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE word_data (name VARCHAR, id INT)`)
+	db.MustExec(`CREATE INDEX trie_idx ON word_data USING spgist (name spgist_trie)`)
+	db.MustExec(`INSERT INTO word_data VALUES ('random', 1), ('spade', 2)`)
+	res, err := db.Exec(`SELECT * FROM word_data WHERE name ?= 'r?nd?m'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].I != 1 {
+		t.Fatalf("quickstart query: %+v", res.Rows)
+	}
+}
+
+func TestCatalogExposure(t *testing.T) {
+	ams := AccessMethods()
+	names := map[string]bool{}
+	for _, am := range ams {
+		names[am.Name] = true
+	}
+	for _, want := range []string{"spgist", "btree", "rtree"} {
+		if !names[want] {
+			t.Errorf("access method %q missing", want)
+		}
+	}
+	ocs := OperatorClasses()
+	ocNames := map[string]bool{}
+	for _, oc := range ocs {
+		ocNames[oc.Name] = true
+	}
+	for _, want := range []string{"spgist_trie", "spgist_suffix", "spgist_kdtree",
+		"spgist_pquadtree", "spgist_pmr", "btree_text", "rtree_point", "rtree_segment"} {
+		if !ocNames[want] {
+			t.Errorf("operator class %q missing", want)
+		}
+	}
+}
+
+func TestFacadeOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE t (name VARCHAR)`)
+	db.MustExec(`INSERT INTO t VALUES ('persisted')`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.MustExec(`CREATE TABLE t (name VARCHAR)`) // reattach
+	res := db2.MustExec(`SELECT * FROM t`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "persisted" {
+		t.Fatalf("reopen: %v", res.Rows)
+	}
+}
