@@ -25,6 +25,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/suffix"
 	"repro/internal/trie"
+	"repro/internal/wal"
 )
 
 const (
@@ -391,4 +392,98 @@ func TestBenchFixturesSane(t *testing.T) {
 		t.Fatal("bench fixtures too small to be meaningful")
 	}
 	_ = fmt.Sprintf
+}
+
+// BenchmarkWALAppend measures the write-ahead-log append path that every
+// mutating statement pays when logging is on: buffered appends alone
+// (what group-commit batching reduces commits to), an fsync per commit
+// (the durable worst case), and parallel committers sharing fsyncs
+// through the leader/follower group commit.
+func BenchmarkWALAppend(b *testing.B) {
+	rec := make([]byte, 200)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	b.Run("buffered", func(b *testing.B) {
+		w, err := wal.OpenWriter(b.TempDir(), wal.Options{Mode: wal.SyncLazy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		b.SetBytes(int64(len(rec)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.AppendHeapInsert("t.tbl", uint32(i), 0, rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sync-every-commit", func(b *testing.B) {
+		w, err := wal.OpenWriter(b.TempDir(), wal.Options{Mode: wal.SyncCommit})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		b.SetBytes(int64(len(rec)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.AppendHeapInsert("t.tbl", uint32(i), 0, rec); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("group-commit-parallel", func(b *testing.B) {
+		w, err := wal.OpenWriter(b.TempDir(), wal.Options{Mode: wal.SyncCommit})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		b.SetBytes(int64(len(rec)))
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				lsn, err := w.AppendHeapInsert("t.tbl", 1, 0, rec)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := w.Sync(lsn); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkWALPageImage measures the page-image record path the buffer
+// pool takes on every dirty unpin of an index page, for a sparse
+// (mostly-zero, heavily truncated) and a full page image.
+func BenchmarkWALPageImage(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		fill int
+	}{{"sparse", 64}, {"full", storage.DefaultPageSize}} {
+		b.Run(bc.name, func(b *testing.B) {
+			w, err := wal.OpenWriter(b.TempDir(), wal.Options{Mode: wal.SyncLazy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			page := make([]byte, storage.DefaultPageSize)
+			for i := 0; i < bc.fill; i++ {
+				page[i] = byte(i | 1)
+			}
+			b.SetBytes(int64(len(page)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.AppendPageImage("t.idx", uint32(i%64), page); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -9,7 +9,7 @@
 //	spgist> SELECT * FROM word_data WHERE name ?= 'r?nd?m';
 //
 // Meta commands: \dam (access methods), \doc (operator classes),
-// \do (operators), \dt (tables), \q (quit).
+// \do (operators), \dt (tables), \wal (log/recovery stats), \q (quit).
 package main
 
 import (
@@ -22,18 +22,29 @@ import (
 
 	"repro"
 	"repro/internal/catalog"
+	"repro/internal/wal"
 )
 
 func main() {
 	dir := flag.String("dir", "", "database directory (default: in-memory)")
+	useWAL := flag.Bool("wal", false, "enable write-ahead logging and crash recovery (requires -dir)")
+	walLazy := flag.Bool("wal-lazy", false, "sync the log lazily instead of on every commit")
 	flag.Parse()
 
-	db, err := repro.Open(repro.Options{Dir: *dir})
+	mode := wal.SyncCommit
+	if *walLazy {
+		mode = wal.SyncLazy
+	}
+	db, err := repro.Open(repro.Options{Dir: *dir, WAL: *useWAL, WALSync: mode})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer db.Close()
+	if rs := db.Engine().RecoveryStats(); rs.PagesWritten > 0 || rs.TornTail {
+		fmt.Printf("recovered from WAL: %d records (%d page images, %d heap inserts, %d heap deletes), %d pages written across %d files\n",
+			rs.Records, rs.PageImages, rs.HeapInserts, rs.HeapDeletes, rs.PagesWritten, rs.FilesTouched)
+	}
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -153,8 +164,23 @@ func meta(db *repro.DB, line string) bool {
 					ix.Name, t.Columns[ix.Column].Name, ix.OpClass.AM, ix.OpClass.Name, ix.Idx.NumPages())
 			}
 		}
+	case "\\wal":
+		w := db.Engine().WAL()
+		if w == nil {
+			fmt.Println("write-ahead logging is off (start with -dir DIR -wal)")
+			break
+		}
+		st := w.Stats()
+		fmt.Printf("wal: dir=%s segments=%d appended-lsn=%d durable-lsn=%d\n",
+			w.Dir(), w.Segments(), w.AppendedLSN(), w.DurableLSN())
+		fmt.Printf("     appends=%d bytes=%d syncs=%d rotations=%d checkpoints=%d\n",
+			st.Appends, st.AppendedBytes, st.Syncs, st.Rotations, st.Checkpoints)
+		if rs := db.Engine().RecoveryStats(); rs.Records > 0 {
+			fmt.Printf("     recovered: %d records, %d pages written, %d files, torn-tail=%v\n",
+				rs.Records, rs.PagesWritten, rs.FilesTouched, rs.TornTail)
+		}
 	default:
-		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\q")
+		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\wal \\q")
 	}
 	return false
 }

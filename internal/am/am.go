@@ -49,6 +49,11 @@ type Index interface {
 	NumPages() uint32
 	// SizeBytes returns the index size in bytes.
 	SizeBytes() int64
+	// SaveMeta persists the index's in-memory metadata (root, count)
+	// into its metadata page without flushing data pages. Called after
+	// every mutating statement when write-ahead logging is on, so the
+	// metadata is redone from the log after a crash.
+	SaveMeta() error
 	// Flush persists the index.
 	Flush() error
 }
@@ -145,6 +150,7 @@ func (x *spgistIndex) OpClass() *catalog.OperatorClass { return x.oc }
 func (x *spgistIndex) Count() int64                    { return x.tree.Count() }
 func (x *spgistIndex) NumPages() uint32                { return x.tree.NumPages() }
 func (x *spgistIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
+func (x *spgistIndex) SaveMeta() error                 { return x.tree.SaveMeta() }
 func (x *spgistIndex) Flush() error                    { return x.tree.Flush() }
 
 // Tree exposes the underlying SP-GiST tree (statistics, ablations).
@@ -229,6 +235,7 @@ func (x *btreeIndex) OpClass() *catalog.OperatorClass { return x.oc }
 func (x *btreeIndex) Count() int64                    { return x.tree.Count() }
 func (x *btreeIndex) NumPages() uint32                { return x.tree.NumPages() }
 func (x *btreeIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
+func (x *btreeIndex) SaveMeta() error                 { return x.tree.SaveMeta() }
 func (x *btreeIndex) Flush() error                    { return x.tree.Flush() }
 
 // Tree exposes the underlying B+-tree (statistics).
@@ -281,6 +288,7 @@ func (x *rtreeIndex) OpClass() *catalog.OperatorClass { return x.oc }
 func (x *rtreeIndex) Count() int64                    { return x.tree.Count() }
 func (x *rtreeIndex) NumPages() uint32                { return x.tree.NumPages() }
 func (x *rtreeIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
+func (x *rtreeIndex) SaveMeta() error                 { return x.tree.SaveMeta() }
 func (x *rtreeIndex) Flush() error                    { return x.tree.Flush() }
 
 // Tree exposes the underlying R-tree (statistics).

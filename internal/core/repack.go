@@ -72,8 +72,8 @@ func (t *Tree) Repack(bp *storage.BufferPool) (*Tree, error) {
 	}
 
 	// Group nodes into pages: BFS with capacity from each group root.
-	const slotOverhead = 4
-	capacity := bp.DM().PageSize() - 16
+	const slotOverhead = storage.SlotEntrySize
+	capacity := storage.SlotUsable(bp.DM().PageSize())
 	type group struct{ refs []NodeRef }
 	var groups []group
 	assigned := make(map[NodeRef]bool, len(nodes))
@@ -96,6 +96,12 @@ func (t *Tree) Repack(bp *storage.BufferPool) (*Tree, error) {
 			inf := nodes[ref]
 			need := inf.size + slotOverhead
 			if need > free {
+				if len(g.refs) == 0 {
+					// A lone node exceeding an empty page cannot exist
+					// (maxNodeSize caps encodings); requeueing it would
+					// loop forever, so fail loudly instead.
+					return nil, fmt.Errorf("spgist: repack node of %d bytes exceeds page capacity %d", inf.size, capacity)
+				}
 				// Too big for this page: the node roots its own group.
 				groupRoots = append(groupRoots, ref)
 				continue

@@ -157,6 +157,12 @@ func (t *Tree) saveMeta() error {
 	return nil
 }
 
+// SaveMeta persists the in-memory metadata (root reference, key count)
+// into the metadata page without flushing data pages. With a WAL
+// attached this is enough to make the metadata recoverable: the dirty
+// meta page is logged as a page image and replayed on reopen.
+func (t *Tree) SaveMeta() error { return t.saveMeta() }
+
 // Flush persists metadata and all dirty pages.
 func (t *Tree) Flush() error {
 	if err := t.saveMeta(); err != nil {
@@ -389,7 +395,7 @@ func (t *Tree) writeNode(ref NodeRef, n *node, parent *parentLink) (NodeRef, err
 
 // maxNodeSize is the largest node record one page can hold.
 func (t *Tree) maxNodeSize() int {
-	return t.bp.DM().PageSize() - 16 // slotted header + one slot entry
+	return storage.SlotCapacity(t.bp.DM().PageSize())
 }
 
 // readLeafChain collects the items of a data node and all its overflow

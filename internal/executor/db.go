@@ -17,6 +17,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/heap"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Column describes one table column.
@@ -85,6 +86,19 @@ type DB struct {
 	poolPages int
 	tables    map[string]*Table
 	pools     []*storage.BufferPool
+	wal       *wal.Writer
+	recovered storage.RecoveryStats
+	crashed   bool
+
+	// stmtMu serializes mutating statements against each other and
+	// against Checkpoint/Close/Crash (single-writer, like SQLite).
+	// Interleaved writers would let one statement's commit marker cover
+	// another statement's half-appended records, and a checkpoint
+	// running concurrently with an insert could recycle the log segment
+	// holding the insert's records while its dirty pages are still only
+	// in memory. Reads are unaffected. stmtMu is always acquired before
+	// db.mu.
+	stmtMu sync.Mutex
 }
 
 // Options configure a database.
@@ -95,6 +109,15 @@ type Options struct {
 	PageSize int
 	// PoolPages is the buffer pool size per file; defaults to 1024.
 	PoolPages int
+	// WAL enables write-ahead logging and crash recovery (requires
+	// Dir). On open, any log left by a previous run is replayed into
+	// the data files before they are attached.
+	WAL bool
+	// WALSegmentBytes is the soft segment size limit; defaults to
+	// wal.DefaultSegmentBytes.
+	WALSegmentBytes int64
+	// WALSync controls commit durability; defaults to wal.SyncCommit.
+	WALSync wal.SyncMode
 }
 
 // Open creates or opens a database. Existing on-disk tables are not
@@ -112,13 +135,47 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
-	return &DB{
+	db := &DB{
 		dir:       opts.Dir,
 		pageSize:  opts.PageSize,
 		poolPages: opts.PoolPages,
 		tables:    make(map[string]*Table),
-	}, nil
+	}
+	if !opts.WAL && opts.Dir != "" && wal.HasLog(filepath.Join(opts.Dir, "wal")) {
+		// Ignoring a leftover log would skip its recovery now and then
+		// replay it over newer (unlogged) data if WAL is re-enabled.
+		return nil, fmt.Errorf("executor: %s holds a write-ahead log from a previous run; open with Options.WAL or remove its wal/ directory", opts.Dir)
+	}
+	if opts.WAL {
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("executor: write-ahead logging requires an on-disk database (Options.Dir)")
+		}
+		walDir := filepath.Join(opts.Dir, "wal")
+		// Redo pass: bring the data files up to the end of the log left
+		// by the previous run before anything reattaches them.
+		st, err := storage.RecoverDir(opts.Dir, walDir, opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		db.recovered = st
+		w, err := wal.OpenWriter(walDir, wal.Options{
+			SegmentBytes: opts.WALSegmentBytes,
+			Mode:         opts.WALSync,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+	}
+	return db, nil
 }
+
+// WAL returns the attached log writer (nil when logging is off).
+func (db *DB) WAL() *wal.Writer { return db.wal }
+
+// RecoveryStats reports the redo pass performed when the database was
+// opened (all zeros when logging is off or the log was empty).
+func (db *DB) RecoveryStats() storage.RecoveryStats { return db.recovered }
 
 // OpenMemory opens an in-memory database with default settings.
 func OpenMemory() *DB {
@@ -126,16 +183,25 @@ func OpenMemory() *DB {
 	return db
 }
 
-// Close flushes everything and closes the underlying files.
+// Close flushes everything, checkpoints the log, and closes the
+// underlying files.
 func (db *DB) Close() error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.crashed {
+		return nil
+	}
 	for _, t := range db.tables {
 		for _, ix := range t.Indexes {
 			if err := ix.Idx.Flush(); err != nil {
 				return err
 			}
 		}
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
 	}
 	for _, bp := range db.pools {
 		if err := bp.Close(); err != nil {
@@ -144,7 +210,105 @@ func (db *DB) Close() error {
 	}
 	db.pools = nil
 	db.tables = make(map[string]*Table)
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
+		db.wal = nil
+	}
 	return nil
+}
+
+// Checkpoint flushes every buffer pool, syncs the data files, and (with
+// a WAL attached) logs a checkpoint record and recycles old log
+// segments — the role of the CHECKPOINT statement.
+func (db *DB) Checkpoint() error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	for _, t := range db.tables {
+		for _, ix := range t.Indexes {
+			if err := ix.Idx.SaveMeta(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, bp := range db.pools {
+		if err := bp.FlushAll(); err != nil {
+			return err
+		}
+		if err := bp.DM().Sync(); err != nil {
+			return err
+		}
+	}
+	if db.wal != nil {
+		if _, err := db.wal.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Crash simulates a process crash for tests and demos: the write-ahead
+// log is made durable up to its last appended record (the state an
+// OS-level crash would leave after the last commit), every buffer pool
+// discards its frames without writing them back, and the files close.
+// Data pages keep only what earlier evictions and flushes wrote; a
+// subsequent Open with WAL enabled must redo the rest from the log.
+func (db *DB) Crash() error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
+		db.wal = nil
+	}
+	for _, bp := range db.pools {
+		if err := bp.Crash(); err != nil {
+			return err
+		}
+	}
+	db.pools = nil
+	db.tables = make(map[string]*Table)
+	db.crashed = true
+	return nil
+}
+
+// commitWAL is the per-statement commit point: index metadata is saved
+// into (logged) meta pages, a commit marker closes the statement in the
+// log, and the log is forced according to the sync mode. A no-op when
+// logging is off.
+func (db *DB) commitWAL(t *Table) error {
+	if db.wal == nil {
+		return nil
+	}
+	if t != nil {
+		for _, ix := range t.Indexes {
+			if err := ix.Idx.SaveMeta(); err != nil {
+				return err
+			}
+		}
+	}
+	// Materialize the deferred page images of every pool so the marker
+	// covers them. db.pools is only mutated under stmtMu, which every
+	// caller of commitWAL holds.
+	for _, bp := range db.pools {
+		if err := bp.LogPendingImages(); err != nil {
+			return err
+		}
+	}
+	if _, err := db.wal.AppendCommit(); err != nil {
+		return err
+	}
+	return db.wal.Commit()
 }
 
 // newPool opens a buffer pool over a fresh or existing file (or memory).
@@ -165,6 +329,14 @@ func (db *DB) newPool(fileName string) (*storage.BufferPool, bool, error) {
 		dm = fdm
 	}
 	bp := storage.NewBufferPool(dm, db.poolPages)
+	if db.wal != nil {
+		if !existed {
+			if _, err := db.wal.AppendFileCreate(fileName); err != nil {
+				return nil, false, err
+			}
+		}
+		bp.AttachWAL(db.wal, fileName)
+	}
 	db.pools = append(db.pools, bp)
 	return bp, existed, nil
 }
@@ -172,6 +344,8 @@ func (db *DB) newPool(fileName string) (*storage.BufferPool, bool, error) {
 // CreateTable creates a table (reattaching its heap file if one exists on
 // disk from a previous session).
 func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
@@ -195,6 +369,9 @@ func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 	}
 	t := &Table{Name: name, Columns: cols, Heap: hf, db: db}
 	db.tables[name] = t
+	if err := db.commitWAL(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -233,7 +410,14 @@ func (t *Table) colIndex(name string) (int, error) {
 // CreateIndex creates an index on a column, via CREATE INDEX ... USING
 // method (col opclass). When opclassName is empty the default class of
 // (method, column type) is used. Existing rows are back-filled (ambuild).
+//
+// CREATE INDEX is not crash-atomic: a crash mid-build leaves a partial
+// index file that a later CreateIndex reattaches as-is (there is no
+// persistent catalog recording build completion yet). After a crash
+// during a build, remove the .idx file so the index is rebuilt.
 func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName string) (*IndexInfo, error) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	t, err := db.Table(tableName)
 	if err != nil {
 		return nil, err
@@ -286,6 +470,7 @@ func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName strin
 	// ambuild: back-fill from the heap unless the file already held a
 	// built index.
 	if !existed {
+		rows := 0
 		err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
 			tup, derr := catalog.DecodeTuple(rec)
 			if derr != nil {
@@ -295,6 +480,23 @@ func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName strin
 			if ierr := idx.Insert(tup[ci], rid); ierr != nil {
 				err = ierr
 				return false
+			}
+			rows++
+			// Under the buffer pool's no-steal rule a build's dirty
+			// pages are unevictable until a commit marker covers them;
+			// marking in batches keeps a large backfill from exhausting
+			// the pool. (CREATE INDEX is not crash-atomic: a crash mid
+			// build can leave a partial index file — remove it to
+			// rebuild.)
+			if db.wal != nil && rows%256 == 0 {
+				if werr := bp.LogPendingImages(); werr != nil {
+					err = werr
+					return false
+				}
+				if _, werr := db.wal.AppendCommit(); werr != nil {
+					err = werr
+					return false
+				}
 			}
 			return true
 		})
@@ -310,11 +512,19 @@ func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName strin
 	if err := t.Analyze(); err != nil {
 		return nil, err
 	}
+	// The build dirtied many index pages (all logged as page images);
+	// persist the index metadata and force the log once for the whole
+	// ambuild rather than per row.
+	if err := db.commitWAL(t); err != nil {
+		return nil, err
+	}
 	return info, nil
 }
 
 // Insert adds a row, maintaining all indexes, and returns its RID.
 func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
+	t.db.stmtMu.Lock()
+	defer t.db.stmtMu.Unlock()
 	if len(tup) != len(t.Columns) {
 		return heap.InvalidRID, fmt.Errorf("executor: %s expects %d values, got %d", t.Name, len(t.Columns), len(tup))
 	}
@@ -333,6 +543,9 @@ func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
 			return heap.InvalidRID, fmt.Errorf("executor: index %s: %w", ix.Name, err)
 		}
 	}
+	if err := t.db.commitWAL(t); err != nil {
+		return heap.InvalidRID, err
+	}
 	return rid, nil
 }
 
@@ -347,6 +560,8 @@ func (t *Table) Get(rid heap.RID) (catalog.Tuple, error) {
 
 // DeleteRow removes one row by RID, maintaining all indexes.
 func (t *Table) DeleteRow(rid heap.RID) error {
+	t.db.stmtMu.Lock()
+	defer t.db.stmtMu.Unlock()
 	tup, err := t.Get(rid)
 	if err != nil {
 		return err
@@ -359,5 +574,8 @@ func (t *Table) DeleteRow(rid heap.RID) error {
 			return fmt.Errorf("executor: index %s: %w", ix.Name, err)
 		}
 	}
-	return t.Heap.Delete(rid)
+	if err := t.Heap.Delete(rid); err != nil {
+		return err
+	}
+	return t.db.commitWAL(t)
 }

@@ -27,6 +27,21 @@ func (t *Table) Select(pred *Pred, emit func(Row) bool) (*Plan, error) {
 	return plan, t.run(plan, emit)
 }
 
+// SelectIndexed runs `pred` through a specific index, bypassing the
+// cost-based access-path choice — the moral equivalent of PostgreSQL's
+// enable_seqscan=off. Tests and demos use it to prove a particular index
+// structure answers correctly (e.g. after crash recovery) even when the
+// planner would prefer a sequential scan on a small table.
+func (t *Table) SelectIndexed(ix *IndexInfo, pred *Pred, emit func(Row) bool) error {
+	if pred == nil || pred.Column != ix.Column {
+		return fmt.Errorf("executor: SelectIndexed needs a predicate on the indexed column")
+	}
+	if !ix.OpClass.SupportsOp(pred.Op) {
+		return fmt.Errorf("executor: operator class %s does not support %q", ix.OpClass.Name, pred.Op)
+	}
+	return t.run(&Plan{Kind: IndexScan, Table: t, Index: ix, Pred: pred, Recheck: true}, emit)
+}
+
 // run executes a SeqScan or IndexScan plan.
 func (t *Table) run(plan *Plan, emit func(Row) bool) error {
 	var opProc func(l, r catalog.Datum) bool

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // RID identifies a record inside a heap file: a page number and a slot
@@ -117,9 +118,36 @@ func (f *File) saveMeta() error {
 	return nil
 }
 
+// unpinLogged releases a data page after an insert or delete of rec at
+// slot. With a WAL attached the mutation is covered by a logical record
+// (not a page image): the record's LSN is stamped into the slotted-page
+// header and becomes the frame's WAL-before-data horizon. rec is nil for
+// a delete.
+func (f *File) unpinLogged(p *storage.Page, slot int, rec []byte) error {
+	w, name := f.bp.WAL()
+	if w == nil {
+		f.bp.Unpin(p, true)
+		return nil
+	}
+	var lsn wal.LSN
+	var err error
+	if rec != nil {
+		lsn, err = w.AppendHeapInsert(name, uint32(p.ID), uint16(slot), rec)
+	} else {
+		lsn, err = w.AppendHeapDelete(name, uint32(p.ID), uint16(slot))
+	}
+	if err != nil {
+		f.bp.Unpin(p, true)
+		return err
+	}
+	storage.SetPageLSN(p.Data, uint64(lsn))
+	f.bp.UnpinLSN(p, lsn)
+	return nil
+}
+
 // Insert appends rec and returns its RID.
 func (f *File) Insert(rec []byte) (RID, error) {
-	if len(rec) > f.bp.DM().PageSize()-64 {
+	if len(rec) > storage.SlotCapacity(f.bp.DM().PageSize()) {
 		return InvalidRID, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(rec))
 	}
 	// Fast path: the last page we inserted into.
@@ -130,7 +158,9 @@ func (f *File) Insert(rec []byte) (RID, error) {
 		}
 		if slot, ok := storage.SlotInsert(p.Data, rec); ok {
 			rid := RID{Page: p.ID, Slot: uint16(slot)}
-			f.bp.Unpin(p, true)
+			if err := f.unpinLogged(p, slot, rec); err != nil {
+				return InvalidRID, err
+			}
 			f.count++
 			return rid, f.saveMeta()
 		}
@@ -148,7 +178,9 @@ func (f *File) Insert(rec []byte) (RID, error) {
 	}
 	rid := RID{Page: p.ID, Slot: uint16(slot)}
 	f.lastPage = p.ID
-	f.bp.Unpin(p, true)
+	if err := f.unpinLogged(p, slot, rec); err != nil {
+		return InvalidRID, err
+	}
 	f.count++
 	return rid, f.saveMeta()
 }
@@ -183,13 +215,16 @@ func (f *File) Delete(rid RID) error {
 		return err
 	}
 	existed := storage.SlotRead(p.Data, int(rid.Slot)) != nil
-	storage.SlotDelete(p.Data, int(rid.Slot))
-	f.bp.Unpin(p, existed)
-	if existed {
-		f.count--
-		return f.saveMeta()
+	if !existed {
+		f.bp.Unpin(p, false)
+		return nil
 	}
-	return nil
+	storage.SlotDelete(p.Data, int(rid.Slot))
+	if err := f.unpinLogged(p, int(rid.Slot), nil); err != nil {
+		return err
+	}
+	f.count--
+	return f.saveMeta()
 }
 
 // Scan calls fn for every live record in file order. The rec slice is

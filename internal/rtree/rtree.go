@@ -125,6 +125,11 @@ func (t *Tree) saveMeta() error {
 	return nil
 }
 
+// SaveMeta persists the in-memory metadata (root, height, count) into
+// the metadata page without flushing data pages; with a WAL attached
+// the dirty meta page is logged and recoverable.
+func (t *Tree) SaveMeta() error { return t.saveMeta() }
+
 // Flush persists metadata and dirty pages.
 func (t *Tree) Flush() error {
 	if err := t.saveMeta(); err != nil {

@@ -118,6 +118,12 @@ func (p *parser) statement(s *Session) (*Result, error) {
 	case p.at(tokIdent, "DELETE"):
 		p.i++
 		return p.deleteStmt(s)
+	case p.at(tokIdent, "CHECKPOINT"):
+		p.i++
+		if err := s.DB.Checkpoint(); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "CHECKPOINT"}, nil
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement starting with %q", p.peek().text)
 	}

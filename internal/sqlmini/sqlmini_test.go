@@ -192,3 +192,22 @@ func TestLimitStopsScan(t *testing.T) {
 		t.Fatalf("LIMIT: %d rows", len(res.Rows))
 	}
 }
+
+// CHECKPOINT flushes the pools (and, with a WAL attached, truncates the
+// log); as a statement it must parse and confirm even in-memory.
+func TestCheckpointStatement(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE ck (name VARCHAR, id INT)`)
+	mustExec(t, s, `INSERT INTO ck VALUES ('a', 1)`)
+	res := mustExec(t, s, `CHECKPOINT`)
+	if res.Msg != "CHECKPOINT" {
+		t.Fatalf("CHECKPOINT replied %q", res.Msg)
+	}
+	res = mustExec(t, s, `CHECKPOINT;`)
+	if res.Msg != "CHECKPOINT" {
+		t.Fatalf("CHECKPOINT with semicolon replied %q", res.Msg)
+	}
+	if res2 := mustExec(t, s, `SELECT * FROM ck`); len(res2.Rows) != 1 {
+		t.Fatalf("rows after checkpoint: %d", len(res2.Rows))
+	}
+}

@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/wal"
 )
 
 // Page is a pinned buffer-pool frame. The holder may read and mutate Data
@@ -25,13 +27,23 @@ type PoolStats struct {
 
 // BufferPool caches pages of one DiskManager using clock replacement.
 // All methods are safe for concurrent use.
+//
+// When a write-ahead log is attached (AttachWAL), the pool becomes the
+// WAL integration point for every structure built on it: each dirty
+// unpin appends a page-image record (unless the caller already covered
+// the mutation with a logical record via UnpinLSN), and no dirty frame
+// is written back to disk before the log is durable up to that frame's
+// latest record — the WAL-before-data rule.
 type BufferPool struct {
-	mu     sync.Mutex
-	dm     DiskManager
-	frames []frame
-	table  map[PageID]int
-	hand   int
-	stats  PoolStats
+	mu      sync.Mutex
+	dm      DiskManager
+	frames  []frame
+	table   map[PageID]int
+	hand    int
+	stats   PoolStats
+	wal     *wal.Writer
+	walFile string // file name used in WAL records for this pool's pages
+	pending int    // frames with imagePending set
 }
 
 type frame struct {
@@ -41,6 +53,12 @@ type frame struct {
 	dirty bool
 	ref   bool // clock reference bit
 	valid bool
+	lsn   wal.LSN // latest WAL record covering this page (0 = none)
+	// imagePending marks a frame dirtied since the last commit marker
+	// whose page-image record is deferred to the commit point, so a
+	// page touched N times within one statement is imaged once, not N
+	// times. Such frames are unevictable (no-steal) until logged.
+	imagePending bool
 }
 
 // NewBufferPool creates a pool with capacity frames over dm.
@@ -61,6 +79,25 @@ func NewBufferPool(dm DiskManager, capacity int) *BufferPool {
 
 // DM exposes the underlying disk manager.
 func (bp *BufferPool) DM() DiskManager { return bp.dm }
+
+// AttachWAL enables write-ahead logging for this pool. fileName is the
+// name under which this pool's pages appear in log records (the data
+// file's base name). Must be called before the pool is used.
+func (bp *BufferPool) AttachWAL(w *wal.Writer, fileName string) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.wal = w
+	bp.walFile = fileName
+}
+
+// WAL returns the attached log writer and record file name (nil, "" when
+// logging is disabled). Structures that log logical records instead of
+// page images (the heap) reach the writer through this.
+func (bp *BufferPool) WAL() (*wal.Writer, string) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.wal, bp.walFile
+}
 
 // Stats returns a snapshot of the pool counters.
 func (bp *BufferPool) Stats() PoolStats {
@@ -103,6 +140,8 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	f.dirty = false
 	f.ref = true
 	f.valid = true
+	f.lsn = 0
+	f.imagePending = false
 	bp.table[id] = fi
 	return &Page{ID: id, Data: f.data, frame: fi}, nil
 }
@@ -130,14 +169,59 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	f.dirty = true // must reach disk even if never modified again
 	f.ref = true
 	f.valid = true
+	f.lsn = 0
+	f.imagePending = false
 	bp.table[id] = fi
 	return &Page{ID: id, Data: f.data, frame: fi}, nil
 }
 
-// Unpin releases one pin on p. dirty marks the frame as modified.
+// Unpin releases one pin on p. dirty marks the frame as modified; with a
+// WAL attached, a dirty unpin also logs a page-image record so the
+// mutation can be redone after a crash.
 func (bp *BufferPool) Unpin(p *Page, dirty bool) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	f := bp.unpinLocked(p)
+	if dirty {
+		f.dirty = true
+		switch {
+		case bp.wal == nil:
+		case bp.wal.CommittedLSN() > 0:
+			// Statement boundaries exist: defer the image to the commit
+			// point (LogPendingImages), so repeated dirtying of one
+			// page within a statement logs a single image. The no-steal
+			// rule keeps the frame in memory meanwhile.
+			if !f.imagePending {
+				f.imagePending = true
+				bp.pending++
+			}
+		default:
+			// Raw log without statement boundaries: log eagerly.
+			// Append errors are sticky in the writer; the next
+			// WAL-before-data sync surfaces them, so the failed LSN
+			// does not need to be tracked here.
+			if lsn, err := bp.wal.AppendPageImage(bp.walFile, uint32(p.ID), f.data); err == nil {
+				f.lsn = lsn
+			}
+		}
+	}
+}
+
+// UnpinLSN releases one pin on p, marking it dirty, for a mutation that
+// the caller already covered with a logical WAL record at lsn. No page
+// image is logged; the frame's WAL-before-data horizon advances to lsn.
+func (bp *BufferPool) UnpinLSN(p *Page, lsn wal.LSN) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f := bp.unpinLocked(p)
+	f.dirty = true
+	if lsn > f.lsn {
+		f.lsn = lsn
+	}
+}
+
+// unpinLocked validates and drops one pin, returning the frame.
+func (bp *BufferPool) unpinLocked(p *Page) *frame {
 	f := &bp.frames[p.frame]
 	if !f.valid || f.id != p.ID {
 		panic(fmt.Sprintf("storage: unpin of stale page %d", p.ID))
@@ -146,15 +230,25 @@ func (bp *BufferPool) Unpin(p *Page, dirty bool) {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", p.ID))
 	}
 	f.pin--
-	if dirty {
-		f.dirty = true
-	}
+	return f
 }
 
 // victimLocked finds a free or evictable frame, writing back a dirty
 // victim. Caller holds bp.mu.
 func (bp *BufferPool) victimLocked() (int, error) {
 	n := len(bp.frames)
+	// No-steal rule: with a WAL attached, a dirty frame whose latest
+	// record is past the last commit marker holds uncommitted state.
+	// Writing it in place would require an undo pass at recovery (the
+	// redo log cannot take the row back out of the data file), so such
+	// frames are as unevictable as pinned ones until their statement
+	// commits. committed == 0 means no marker was ever appended — a
+	// raw storage-level log without statement boundaries — and the
+	// rule is off.
+	committed := wal.LSN(0)
+	if bp.wal != nil {
+		committed = bp.wal.CommittedLSN()
+	}
 	// Two full sweeps: the first clears reference bits, the second takes
 	// the first unpinned frame.
 	for sweep := 0; sweep < 2*n+1; sweep++ {
@@ -167,11 +261,25 @@ func (bp *BufferPool) victimLocked() (int, error) {
 		if f.pin > 0 {
 			continue
 		}
+		if f.dirty && (f.imagePending || (committed > 0 && f.lsn > committed)) {
+			continue
+		}
 		if f.ref {
 			f.ref = false
 			continue
 		}
 		if f.dirty {
+			// WAL-before-data, including the commit marker covering
+			// this frame's statement: if only the records (not the
+			// marker) were durable at a crash, recovery would discard
+			// them as an uncommitted tail while the page survived.
+			target := f.lsn
+			if committed > target {
+				target = committed
+			}
+			if err := bp.syncWALLocked(target); err != nil {
+				return 0, err
+			}
 			if err := bp.dm.WritePage(f.id, f.data); err != nil {
 				return 0, err
 			}
@@ -181,21 +289,76 @@ func (bp *BufferPool) victimLocked() (int, error) {
 		bp.stats.Evictions++
 		return i, nil
 	}
-	return 0, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", n)
+	return 0, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned or uncommitted)", n)
+}
+
+// LogPendingImages appends the deferred page-image record of every
+// frame dirtied since the last commit marker. The commit path calls it
+// immediately before appending the marker, so the marker covers the
+// final image of each page the statement touched.
+func (bp *BufferPool) LogPendingImages() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.wal == nil || bp.pending == 0 {
+		return nil
+	}
+	for i := range bp.frames {
+		f := &bp.frames[i]
+		if !f.valid || !f.imagePending {
+			continue
+		}
+		lsn, err := bp.wal.AppendPageImage(bp.walFile, uint32(f.id), f.data)
+		if err != nil {
+			return err
+		}
+		if lsn > f.lsn {
+			f.lsn = lsn
+		}
+		f.imagePending = false
+		bp.pending--
+	}
+	return nil
+}
+
+// syncWALLocked enforces WAL-before-data: with a log attached, the log
+// must be durable up to lsn before the page it covers may be written in
+// place. It also surfaces any sticky log error even when lsn is zero.
+func (bp *BufferPool) syncWALLocked(lsn wal.LSN) error {
+	if bp.wal == nil {
+		return nil
+	}
+	return bp.wal.Sync(lsn)
 }
 
 // FlushAll writes every dirty frame back to disk. Pages stay cached.
+// Deferred page images are materialized first, keeping WAL-before-data
+// intact for frames whose image was postponed to the commit point.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	for i := range bp.frames {
 		f := &bp.frames[i]
-		if f.valid && f.dirty {
-			if err := bp.dm.WritePage(f.id, f.data); err != nil {
+		if !f.valid || !f.dirty {
+			continue
+		}
+		if f.imagePending {
+			lsn, err := bp.wal.AppendPageImage(bp.walFile, uint32(f.id), f.data)
+			if err != nil {
 				return err
 			}
-			f.dirty = false
+			if lsn > f.lsn {
+				f.lsn = lsn
+			}
+			f.imagePending = false
+			bp.pending--
 		}
+		if err := bp.syncWALLocked(f.lsn); err != nil {
+			return err
+		}
+		if err := bp.dm.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
 	}
 	return nil
 }
@@ -205,5 +368,20 @@ func (bp *BufferPool) Close() error {
 	if err := bp.FlushAll(); err != nil {
 		return err
 	}
+	return bp.dm.Close()
+}
+
+// Crash discards every frame — dirty or not, pinned or not — without
+// writing anything back, then closes the disk manager. It simulates the
+// loss of volatile state in a crash: the data file keeps only what
+// earlier evictions and flushes wrote. Test and demo hook.
+func (bp *BufferPool) Crash() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for i := range bp.frames {
+		bp.frames[i] = frame{data: bp.frames[i].data}
+	}
+	bp.table = make(map[PageID]int)
+	bp.pending = 0
 	return bp.dm.Close()
 }

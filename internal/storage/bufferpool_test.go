@@ -1,0 +1,512 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestBufferPoolConcurrent hammers one small pool from many goroutines
+// (forcing constant eviction) and checks that every page keeps its own
+// contents. Run with -race to exercise the locking.
+func TestBufferPoolConcurrent(t *testing.T) {
+	dm := NewMem(256)
+	bp := NewBufferPool(dm, 8)
+	const pages = 64
+	for i := 0; i < pages; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(p.Data, uint32(i))
+		bp.Unpin(p, true)
+	}
+	const workers, rounds = 8, 300
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := PageID((g*31 + i*7) % pages)
+				p, err := bp.Fetch(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := binary.LittleEndian.Uint32(p.Data); got != uint32(id) {
+					errs <- fmt.Errorf("page %d holds contents of page %d", id, got)
+					bp.Unpin(p, false)
+					return
+				}
+				// Rewrite the page's own marker: a benign dirty write
+				// that must never bleed into another page.
+				binary.LittleEndian.PutUint32(p.Data, uint32(id))
+				bp.Unpin(p, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	for i := 0; i < pages; i++ {
+		if err := dm.ReadPage(PageID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint32(buf); got != uint32(i) {
+			t.Fatalf("after flush, page %d holds %d", i, got)
+		}
+	}
+}
+
+// TestEvictionNeverReclaimsPinned pins a set of pages, then cycles many
+// other pages through a pool with barely more frames than pins. The
+// pinned frames' contents must survive untouched, and a pool whose
+// frames are all pinned must refuse (not corrupt) the next fetch.
+func TestEvictionNeverReclaimsPinned(t *testing.T) {
+	dm := NewMem(256)
+	bp := NewBufferPool(dm, 4)
+	const pages = 32
+	for i := 0; i < pages; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(p.Data, uint32(i))
+		bp.Unpin(p, true)
+	}
+	var pinned []*Page
+	for i := 0; i < 3; i++ {
+		p, err := bp.Fetch(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, p)
+	}
+	// Drive eviction through the single unpinned frame.
+	for round := 0; round < 4; round++ {
+		for i := 3; i < pages; i++ {
+			p, err := bp.Fetch(PageID(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bp.Unpin(p, false)
+		}
+	}
+	if ev := bp.Stats().Evictions; ev == 0 {
+		t.Fatal("test exercised no evictions")
+	}
+	for i, p := range pinned {
+		if got := binary.LittleEndian.Uint32(p.Data); got != uint32(i) {
+			t.Fatalf("pinned page %d was reclaimed: frame now holds page %d", i, got)
+		}
+	}
+	// Pin the last frame too: the pool is now exhausted.
+	p4, err := bp.Fetch(PageID(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Fetch(PageID(20)); err == nil {
+		t.Fatal("fetch succeeded with every frame pinned")
+	}
+	bp.Unpin(p4, false)
+	for _, p := range pinned {
+		bp.Unpin(p, false)
+	}
+	if _, err := bp.Fetch(PageID(20)); err != nil {
+		t.Fatalf("fetch after unpinning: %v", err)
+	}
+}
+
+func TestPageLSNRoundTrip(t *testing.T) {
+	data := make([]byte, 512)
+	SlotInit(data)
+	if PageLSN(data) != 0 {
+		t.Fatalf("fresh area has pageLSN %d", PageLSN(data))
+	}
+	SetPageLSN(data, 0xDEADBEEF01)
+	if PageLSN(data) != 0xDEADBEEF01 {
+		t.Fatalf("pageLSN round trip failed: %d", PageLSN(data))
+	}
+	// The LSN must survive record traffic and compaction.
+	s, ok := SlotInsert(data, []byte("hello"))
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	SlotDelete(data, s)
+	if _, ok := SlotInsert(data, make([]byte, 400)); !ok {
+		t.Fatal("compacting insert failed")
+	}
+	if PageLSN(data) != 0xDEADBEEF01 {
+		t.Fatalf("pageLSN clobbered by slot traffic: %d", PageLSN(data))
+	}
+}
+
+func TestSlotAreaBlank(t *testing.T) {
+	data := make([]byte, 256)
+	if !SlotAreaBlank(data) {
+		t.Fatal("zeroed area not reported blank")
+	}
+	SlotInit(data)
+	if SlotAreaBlank(data) {
+		t.Fatal("initialized area reported blank")
+	}
+}
+
+func TestSlotInsertAt(t *testing.T) {
+	data := make([]byte, 256)
+	SlotInit(data)
+	// Redo into a slot far past the current directory.
+	if !SlotInsertAt(data, 3, []byte("dddd")) {
+		t.Fatal("insert at slot 3 failed")
+	}
+	if SlotCount(data) != 4 || SlotLive(data) != 1 {
+		t.Fatalf("directory after sparse insert: count=%d live=%d", SlotCount(data), SlotLive(data))
+	}
+	if string(SlotRead(data, 3)) != "dddd" {
+		t.Fatalf("slot 3 holds %q", SlotRead(data, 3))
+	}
+	if SlotRead(data, 0) != nil || SlotRead(data, 2) != nil {
+		t.Fatal("intermediate slots not dead")
+	}
+	// Idempotent re-apply.
+	if !SlotInsertAt(data, 3, []byte("dddd")) {
+		t.Fatal("idempotent re-insert failed")
+	}
+	if SlotLive(data) != 1 {
+		t.Fatalf("re-insert changed live count to %d", SlotLive(data))
+	}
+	// Fill earlier slots and check contents coexist.
+	if !SlotInsertAt(data, 0, []byte("aa")) || !SlotInsertAt(data, 1, []byte("bb")) {
+		t.Fatal("insert at earlier slots failed")
+	}
+	if string(SlotRead(data, 0)) != "aa" || string(SlotRead(data, 1)) != "bb" || string(SlotRead(data, 3)) != "dddd" {
+		t.Fatal("records corrupted after redo inserts")
+	}
+	// Replacement with different bytes (page ahead of an older record
+	// cannot happen under LSN guards, but the primitive must cope).
+	if !SlotInsertAt(data, 1, []byte("nine-bytes")) {
+		t.Fatal("replacement failed")
+	}
+	if string(SlotRead(data, 1)) != "nine-bytes" {
+		t.Fatalf("slot 1 holds %q", SlotRead(data, 1))
+	}
+	// An impossible fit must fail cleanly, not corrupt.
+	if SlotInsertAt(data, 5, make([]byte, 300)) {
+		t.Fatal("oversized redo insert accepted")
+	}
+	if string(SlotRead(data, 3)) != "dddd" {
+		t.Fatal("failed insert corrupted existing record")
+	}
+}
+
+// TestWALBeforeData checks the invariant the whole recovery design rests
+// on: a dirty page may not be written back unless the log is durable up
+// to that page's latest record.
+func TestWALBeforeData(t *testing.T) {
+	w, err := wal.OpenWriter(t.TempDir(), wal.Options{Mode: wal.SyncLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	dm := NewMem(256)
+	bp := NewBufferPool(dm, 4)
+	bp.AttachWAL(w, "t.tbl")
+
+	p, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Data[0] = 1
+	bp.Unpin(p, true) // logs a page image
+	lsn := w.AppendedLSN()
+	if lsn == 0 {
+		t.Fatal("dirty unpin logged nothing")
+	}
+	if w.DurableLSN() >= lsn {
+		t.Fatal("lazy mode synced prematurely; test cannot observe the invariant")
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if w.DurableLSN() < lsn {
+		t.Fatalf("page written back while log durable only to %d < %d", w.DurableLSN(), lsn)
+	}
+}
+
+// TestNoStealOfUncommittedFrames: once statement boundaries exist in
+// the log, a dirty frame whose record is past the last commit marker
+// must not be evicted (its write-back could survive a crash whose
+// recovery discards the record as an uncommitted tail).
+func TestNoStealOfUncommittedFrames(t *testing.T) {
+	w, err := wal.OpenWriter(t.TempDir(), wal.Options{Mode: wal.SyncLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	dm := NewMem(256)
+	bp := NewBufferPool(dm, 4)
+	bp.AttachWAL(w, "t.tbl")
+	if _, err := w.AppendCommit(); err != nil { // enable the no-steal rule
+		t.Fatal(err)
+	}
+
+	var pages []*Page
+	for i := 0; i < 4; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+	}
+	// Unpin all four as uncommitted mid-statement mutations.
+	for i, p := range pages {
+		lsn, err := w.AppendHeapInsert("t.tbl", uint32(p.ID), uint16(i), []byte("u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.UnpinLSN(p, lsn)
+	}
+	if _, err := bp.NewPage(); err == nil {
+		t.Fatal("pool evicted an uncommitted dirty frame")
+	}
+	if reads, writes, _ := dm.Stats().Snapshot(); writes > 5 {
+		// 5 allocation writes (zero-fill) are expected; an eviction
+		// write-back of page data would exceed that.
+		t.Fatalf("uncommitted page written back (reads=%d writes=%d)", reads, writes)
+	}
+	// Commit the statement: the frames become evictable again.
+	if _, err := w.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := bp.NewPage()
+	if err != nil {
+		t.Fatalf("fetch after commit: %v", err)
+	}
+	if w.DurableLSN() < w.CommittedLSN() {
+		t.Fatalf("eviction did not sync through the commit marker (durable %d < committed %d)",
+			w.DurableLSN(), w.CommittedLSN())
+	}
+	bp.Unpin(p, false)
+}
+
+// TestDeferredImageCoalescing: once statement boundaries exist, N dirty
+// unpins of one page within a statement must produce a single page
+// image (logged by LogPendingImages at the commit point), not N.
+func TestDeferredImageCoalescing(t *testing.T) {
+	w, err := wal.OpenWriter(t.TempDir(), wal.Options{Mode: wal.SyncLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	bp := NewBufferPool(NewMem(256), 4)
+	bp.AttachWAL(w, "t.tbl")
+	if _, err := w.AppendCommit(); err != nil { // enable deferral
+		t.Fatal(err)
+	}
+	p, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(p, false)
+	base := w.Stats().Appends
+	for i := 0; i < 3; i++ {
+		p, err := bp.Fetch(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Data[i] = byte(i + 1)
+		bp.Unpin(p, true)
+	}
+	if got := w.Stats().Appends - base; got != 0 {
+		t.Fatalf("%d images logged before the commit point", got)
+	}
+	if err := bp.LogPendingImages(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Appends - base; got != 1 {
+		t.Fatalf("logged %d images for one thrice-dirtied page, want 1", got)
+	}
+	// The single image must carry the final state.
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	var rec *wal.Record
+	if _, err := wal.Replay(w.Dir(), func(r *wal.Record) error {
+		if r.Type == wal.RecPageImage {
+			rec = r
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || len(rec.Data) < 3 || rec.Data[0] != 1 || rec.Data[1] != 2 || rec.Data[2] != 3 {
+		t.Fatalf("image does not hold the final page state: %+v", rec)
+	}
+}
+
+// TestRecoverDirRedo writes pages under WAL protection, simulates a
+// crash (buffer pool dropped, nothing flushed), runs the redo pass, and
+// checks the data file matches what was logged — for both page images
+// and logical heap records.
+func TestRecoverDirRedo(t *testing.T) {
+	dataDir := t.TempDir()
+	walDir := dataDir + "/wal"
+	w, err := wal.OpenWriter(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdm, err := OpenFile(dataDir+"/t.tbl", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(fdm, 4)
+	bp.AttachWAL(w, "t.tbl")
+
+	// Page 0: raw page mutated via Unpin(dirty) -> page-image record.
+	p0, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(p0.Data, "meta-contents")
+	bp.Unpin(p0, true)
+
+	// Page 1: slotted page mutated via logical records, like the heap.
+	p1, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SlotInit(p1.Data)
+	slot, ok := SlotInsert(p1.Data, []byte("row-1"))
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	lsn, err := w.AppendHeapInsert("t.tbl", uint32(p1.ID), uint16(slot), []byte("row-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetPageLSN(p1.Data, uint64(lsn))
+	bp.UnpinLSN(p1, lsn)
+
+	if _, err := w.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(w.AppendedLSN()); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: drop every frame; nothing was flushed to t.tbl.
+	if err := bp.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := RecoverDir(dataDir, walDir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PageImages == 0 || st.HeapInserts != 1 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	fdm2, err := OpenFile(dataDir+"/t.tbl", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdm2.Close()
+	buf := make([]byte, 256)
+	if err := fdm2.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:13]) != "meta-contents" {
+		t.Fatalf("page 0 not redone: %q", buf[:13])
+	}
+	if err := fdm2.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := SlotRead(buf, slot); string(got) != "row-1" {
+		t.Fatalf("page 1 logical redo failed: %q", got)
+	}
+	if PageLSN(buf) != uint64(lsn) {
+		t.Fatalf("pageLSN after redo = %d, want %d", PageLSN(buf), lsn)
+	}
+
+	// Recovery must be idempotent.
+	st2, err := RecoverDir(dataDir, walDir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.HeapInserts != 0 || st2.SkippedByLSN != 1 {
+		t.Fatalf("second pass not idempotent: %+v", st2)
+	}
+}
+
+// TestRecoverDirDiscardsUncommittedTail: records after the last commit
+// marker belong to a statement whose remaining records were lost in the
+// crash; replaying them would leave a heap row without its index
+// entries, so recovery must drop them.
+func TestRecoverDirDiscardsUncommittedTail(t *testing.T) {
+	dataDir := t.TempDir()
+	walDir := dataDir + "/wal"
+	w, err := wal.OpenWriter(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendHeapInsert("t.tbl", 1, 0, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second statement whose commit marker never made it to the log.
+	if _, err := w.AppendHeapInsert("t.tbl", 1, 1, []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := RecoverDir(dataDir, walDir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HeapInserts != 1 || st.TailDiscarded != 1 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	fdm, err := OpenFile(dataDir+"/t.tbl", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdm.Close()
+	buf := make([]byte, 256)
+	if err := fdm.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := SlotRead(buf, 0); string(got) != "committed" {
+		t.Fatalf("committed record lost: %q", got)
+	}
+	if got := SlotRead(buf, 1); got != nil {
+		t.Fatalf("uncommitted tail was replayed: %q", got)
+	}
+
+	// The discarded records must also be gone from the log itself —
+	// left in place they would sit below the next run's markers and be
+	// replayed as committed by a second recovery.
+	st2, err := RecoverDir(dataDir, walDir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.TailDiscarded != 0 || st2.LastLSN != st.LastLSN-1 {
+		t.Fatalf("tail survived in the log: %+v", st2)
+	}
+}

@@ -1,23 +1,30 @@
 package storage
 
-import "encoding/binary"
+import (
+	"bytes"
+	"encoding/binary"
+)
 
 // Slotted-page layout. A slotted area is any byte slice (usually a whole
 // page, sometimes a page minus a structure-specific header). Records are
 // addressed by stable slot numbers, so tree nodes can hold (page, slot)
 // child pointers while records move during compaction.
 //
-//	+--------+--------+--------+--------+----------------- - -
-//	| nslots | freeLo | freeHi | nlive  | slot dir (4B each) ...
-//	+--------+--------+--------+--------+----------------- - -
+//	+--------+--------+--------+--------+----------------+--- - -
+//	| nslots | freeLo | freeHi | nlive  | pageLSN (8B)   | slot dir ...
+//	+--------+--------+--------+--------+----------------+--- - -
 //	                 ... free space ...    records (grow down) |
 //
-// All header fields are uint16 little-endian, so the slotted area must be
-// at most 65535 bytes (the default 8 KB page qualifies).
+// The first four header fields are uint16 little-endian, so the slotted
+// area must be at most 65535 bytes (the default 8 KB page qualifies).
+// pageLSN is the uint64 LSN of the last write-ahead-log record applied
+// to this area — the same role as the pd_lsn field of a PostgreSQL page
+// header. It lets redo recovery skip records the page already reflects.
 const (
-	slottedHeaderSize = 8
+	slottedHeaderSize = 16
 	slotSize          = 4
 	deadOffset        = 0xFFFF
+	pageLSNOffset     = 8
 )
 
 func get16(b []byte, off int) uint16    { return binary.LittleEndian.Uint16(b[off:]) }
@@ -32,7 +39,40 @@ func SlotInit(data []byte) {
 	put16(data, 2, slottedHeaderSize) // freeLo: end of slot directory
 	put16(data, 4, uint16(len(data))) // freeHi: start of record heap
 	put16(data, 6, 0)                 // nlive
+	SetPageLSN(data, 0)
 }
+
+// PageLSN returns the LSN of the last WAL record applied to the area.
+func PageLSN(data []byte) uint64 {
+	return binary.LittleEndian.Uint64(data[pageLSNOffset:])
+}
+
+// SetPageLSN stamps the LSN of the last WAL record applied to the area.
+func SetPageLSN(data []byte, lsn uint64) {
+	binary.LittleEndian.PutUint64(data[pageLSNOffset:], lsn)
+}
+
+// SlotAreaBlank reports whether the area has never been initialized by
+// SlotInit (an all-zero header: a freshly allocated page). Recovery uses
+// it to decide whether a redo target needs SlotInit first.
+func SlotAreaBlank(data []byte) bool {
+	return get16(data, 4) == 0 // freeHi is at least the header size once initialized
+}
+
+// SlotCapacity returns the largest record an empty slotted area of
+// areaLen bytes can hold: the area minus the header and one directory
+// entry. Callers sizing records to a page must use this rather than
+// hardcoding the overhead.
+func SlotCapacity(areaLen int) int { return areaLen - slottedHeaderSize - slotSize }
+
+// SlotUsable returns the bytes of an empty slotted area available for
+// records plus their directory entries: the area minus the header. A set
+// of records fits one area iff the sum of each record's length plus
+// SlotEntrySize stays within SlotUsable.
+func SlotUsable(areaLen int) int { return areaLen - slottedHeaderSize }
+
+// SlotEntrySize is the directory cost of one record.
+const SlotEntrySize = slotSize
 
 // SlotCount returns the number of slots ever created (live and dead).
 func SlotCount(data []byte) int { return int(get16(data, 0)) }
@@ -105,18 +145,33 @@ func SlotInsert(data []byte, rec []byte) (slot int, ok bool) {
 		// compaction triggered below does not read stale directory bytes.
 		setSlotEntry(data, slot, deadOffset, 0)
 	}
-	freeLo := int(slottedHeaderSize + SlotCount(data)*slotSize)
+	if !slotPlace(data, slot, rec) {
+		// Unreachable: the SlotFreeSpace check above guarantees fit.
+		return 0, false
+	}
+	return slot, true
+}
+
+// slotPlace copies rec into the record heap and points slot at it,
+// compacting first when the contiguous gap is too small. The slot entry
+// must already exist (dead or about to be overwritten). Returns false
+// if the record does not fit even after compaction.
+func slotPlace(data []byte, slot int, rec []byte) bool {
+	freeLo := slottedHeaderSize + SlotCount(data)*slotSize
 	freeHi := int(get16(data, 4))
 	if freeHi-freeLo < len(rec) {
 		slotCompact(data)
 		freeHi = int(get16(data, 4))
+		if freeHi-freeLo < len(rec) {
+			return false
+		}
 	}
 	off := freeHi - len(rec)
 	copy(data[off:], rec)
 	put16(data, 4, uint16(off))
 	setSlotEntry(data, slot, uint16(off), uint16(len(rec)))
 	put16(data, 6, get16(data, 6)+1)
-	return slot, true
+	return true
 }
 
 // SlotRead returns the record stored in slot, or nil if the slot is dead
@@ -189,6 +244,36 @@ func SlotUpdate(data []byte, slot int, rec []byte) bool {
 	put16(data, 4, off)
 	setSlotEntry(data, slot, off, uint16(len(rec)))
 	return true
+}
+
+// SlotInsertAt places rec into a specific slot, growing the directory
+// with dead entries as needed. It exists for WAL redo, which must
+// reproduce the exact slot assignment recorded at run time. The call is
+// idempotent: if the slot already holds rec it is a no-op, and if it
+// holds different bytes the record is replaced. Returns false only if
+// the area cannot hold the record (impossible when replaying a log of
+// operations that fit originally).
+func SlotInsertAt(data []byte, slot int, rec []byte) bool {
+	if old := SlotRead(data, slot); old != nil {
+		if bytes.Equal(old, rec) {
+			return true
+		}
+		return SlotUpdate(data, slot, rec)
+	}
+	nslots := SlotCount(data)
+	// Grow the directory so the target slot exists, dead until filled.
+	for nslots <= slot {
+		if slottedHeaderSize+(nslots+1)*slotSize > int(get16(data, 4)) {
+			slotCompact(data)
+			if slottedHeaderSize+(nslots+1)*slotSize > int(get16(data, 4)) {
+				return false
+			}
+		}
+		setSlotEntry(data, nslots, deadOffset, 0)
+		nslots++
+		put16(data, 0, uint16(nslots))
+	}
+	return slotPlace(data, slot, rec)
 }
 
 // slotCompact rewrites all live records contiguously at the high end of

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// RecoveryStats summarizes one redo pass over the write-ahead log.
+type RecoveryStats struct {
+	wal.ReplayStats
+	PageImages    int64 // page-image records applied
+	HeapInserts   int64 // logical heap inserts applied
+	HeapDeletes   int64 // logical heap deletes applied
+	SkippedByLSN  int64 // logical records skipped because pageLSN was newer
+	TailDiscarded int64 // records after the last commit marker, not replayed
+	FilesTouched  int   // distinct data files opened by redo
+	PagesWritten  int64 // physical page writes performed by redo
+}
+
+// RecoverDir replays the write-ahead log in walDir into the data files
+// of dataDir, bringing every heap and index file up to the end of the
+// log. It is the redo pass run on reopen after a crash: page-image
+// records overwrite their page (replay is in LSN order, so the last
+// image wins), and logical heap records are re-executed through the
+// slotted-page layer unless the on-disk pageLSN shows the page already
+// reflects them. The pass is idempotent — replaying an already-recovered
+// log is harmless — and a missing or empty log directory is a no-op.
+//
+// Records after the log's last commit or checkpoint marker belong to a
+// statement whose tail was lost in the crash; they are not replayed, so
+// a heap row never reappears without its index entries. A log with no
+// marker at all (raw storage-level use) is replayed in full.
+func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	var st RecoveryStats
+	// Pre-pass: find the last statement boundary.
+	lastMarker, err := wal.LastMarker(walDir)
+	if err != nil {
+		return st, fmt.Errorf("storage: recovery: %w", err)
+	}
+	files := make(map[string]*FileDiskManager)
+	defer func() {
+		for _, dm := range files {
+			dm.Sync()
+			dm.Close()
+		}
+	}()
+	open := func(name string) (*FileDiskManager, error) {
+		if dm, ok := files[name]; ok {
+			return dm, nil
+		}
+		// Record file names are base names chosen by this process; a
+		// separator would mean a damaged or hostile log.
+		if name == "" || name != filepath.Base(name) || strings.ContainsAny(name, `/\`) {
+			return nil, fmt.Errorf("storage: recovery: unsafe file name %q in log", name)
+		}
+		dm, err := OpenFile(filepath.Join(dataDir, name), pageSize)
+		if err != nil {
+			return nil, err
+		}
+		files[name] = dm
+		st.FilesTouched++
+		return dm, nil
+	}
+	ensure := func(dm *FileDiskManager, page uint32) error {
+		for dm.NumPages() <= page {
+			if _, err := dm.AllocatePage(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	buf := make([]byte, pageSize)
+	rs, err := wal.Replay(walDir, func(r *wal.Record) error {
+		if lastMarker != 0 && r.LSN > lastMarker {
+			st.TailDiscarded++
+			return nil
+		}
+		switch r.Type {
+		case wal.RecCheckpoint, wal.RecCommit:
+			return nil
+		case wal.RecFileCreate:
+			_, err := open(r.File)
+			return err
+		case wal.RecPageImage:
+			if int(r.PageSize) != pageSize {
+				return fmt.Errorf("storage: recovery: record page size %d != %d", r.PageSize, pageSize)
+			}
+			dm, err := open(r.File)
+			if err != nil {
+				return err
+			}
+			if err := ensure(dm, r.Page); err != nil {
+				return err
+			}
+			n := copy(buf, r.Data)
+			for i := n; i < len(buf); i++ {
+				buf[i] = 0
+			}
+			if err := dm.WritePage(PageID(r.Page), buf); err != nil {
+				return err
+			}
+			st.PageImages++
+			st.PagesWritten++
+			return nil
+		case wal.RecHeapInsert, wal.RecHeapDelete:
+			dm, err := open(r.File)
+			if err != nil {
+				return err
+			}
+			if err := ensure(dm, r.Page); err != nil {
+				return err
+			}
+			if err := dm.ReadPage(PageID(r.Page), buf); err != nil {
+				return err
+			}
+			if SlotAreaBlank(buf) {
+				SlotInit(buf)
+			}
+			if PageLSN(buf) >= uint64(r.LSN) {
+				st.SkippedByLSN++
+				return nil
+			}
+			if r.Type == wal.RecHeapInsert {
+				if !SlotInsertAt(buf, int(r.Slot), r.Data) {
+					return fmt.Errorf("storage: recovery: redo insert does not fit page %d of %s", r.Page, r.File)
+				}
+				st.HeapInserts++
+			} else {
+				SlotDelete(buf, int(r.Slot))
+				st.HeapDeletes++
+			}
+			SetPageLSN(buf, uint64(r.LSN))
+			if err := dm.WritePage(PageID(r.Page), buf); err != nil {
+				return err
+			}
+			st.PagesWritten++
+			return nil
+		default:
+			return fmt.Errorf("storage: recovery: unexpected record type %v", r.Type)
+		}
+	})
+	st.ReplayStats = rs
+	if err != nil {
+		return st, fmt.Errorf("storage: recovery: %w", err)
+	}
+	for name, dm := range files {
+		if serr := dm.Sync(); serr != nil {
+			return st, fmt.Errorf("storage: recovery: sync %s: %w", name, serr)
+		}
+	}
+	// The discarded tail must not survive in the log: left in place, its
+	// records would sit below the next run's commit markers and be
+	// replayed as committed by a later recovery.
+	if st.TailDiscarded > 0 {
+		if terr := wal.TruncateAfter(walDir, lastMarker); terr != nil {
+			return st, fmt.Errorf("storage: recovery: %w", terr)
+		}
+	}
+	return st, nil
+}

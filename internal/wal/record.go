@@ -1,0 +1,146 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk frame layout, little-endian:
+//
+//	+---------+---------+---------+------+------------- - -
+//	| size:4  | crc:4   | lsn:8   | type | payload ...
+//	+---------+---------+---------+------+------------- - -
+//
+// size counts the body (type byte + payload); crc is CRC-32C over the
+// lsn bytes and the body, so a record cannot be accepted at the wrong
+// position. A size of zero or a checksum mismatch marks the torn tail
+// of the log (or corruption) and stops replay.
+const (
+	frameHeaderSize = 16
+	// maxRecordSize bounds one record body; larger sizes are treated
+	// as corruption during replay.
+	maxRecordSize = 1 << 24
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func frameCRC(lsn LSN, body []byte) uint32 {
+	var l [8]byte
+	binary.LittleEndian.PutUint64(l[:], uint64(lsn))
+	crc := crc32.Update(0, crcTable, l[:])
+	return crc32.Update(crc, crcTable, body)
+}
+
+// encodeFrame serializes a record body under lsn into a wire frame.
+func encodeFrame(lsn LSN, typ RecordType, payload []byte) []byte {
+	body := make([]byte, 1+len(payload))
+	body[0] = byte(typ)
+	copy(body[1:], payload)
+	frame := make([]byte, frameHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], frameCRC(lsn, body))
+	binary.LittleEndian.PutUint64(frame[8:], uint64(lsn))
+	copy(frame[frameHeaderSize:], body)
+	return frame
+}
+
+// Payload layouts (after the type byte):
+//
+//	page image:  nameLen:2 name pageID:4 pageSize:4 image...
+//	heap insert: nameLen:2 name pageID:4 slot:2 rec...
+//	heap delete: nameLen:2 name pageID:4 slot:2
+//	file create: nameLen:2 name
+//	checkpoint:  (empty)
+
+func appendName(b []byte, name string) []byte {
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(name)))
+	b = append(b, n[:]...)
+	return append(b, name...)
+}
+
+func encodePageImage(file string, page uint32, pageSize uint32, image []byte) []byte {
+	b := appendName(make([]byte, 0, 10+len(file)+len(image)), file)
+	b = binary.LittleEndian.AppendUint32(b, page)
+	b = binary.LittleEndian.AppendUint32(b, pageSize)
+	return append(b, image...)
+}
+
+func encodeHeapOp(file string, page uint32, slot uint16, rec []byte) []byte {
+	b := appendName(make([]byte, 0, 8+len(file)+len(rec)), file)
+	b = binary.LittleEndian.AppendUint32(b, page)
+	b = binary.LittleEndian.AppendUint16(b, slot)
+	return append(b, rec...)
+}
+
+func decodeName(b []byte) (name string, rest []byte, err error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("wal: truncated file name length")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("wal: truncated file name")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// decodeRecord parses a frame body (type byte + payload) into a Record.
+// The Data slice is copied, so the caller may reuse the input buffer.
+func decodeRecord(lsn LSN, body []byte) (*Record, error) {
+	if len(body) < 1 {
+		return nil, fmt.Errorf("wal: empty record body")
+	}
+	r := &Record{LSN: lsn, Type: RecordType(body[0])}
+	payload := body[1:]
+	var err error
+	switch r.Type {
+	case RecCheckpoint, RecCommit:
+		return r, nil
+	case RecFileCreate:
+		r.File, _, err = decodeName(payload)
+		return r, err
+	case RecPageImage:
+		r.File, payload, err = decodeName(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("wal: truncated page-image header")
+		}
+		r.Page = binary.LittleEndian.Uint32(payload)
+		r.PageSize = binary.LittleEndian.Uint32(payload[4:])
+		r.Data = append([]byte(nil), payload[8:]...)
+		if int(r.PageSize) < len(r.Data) {
+			return nil, fmt.Errorf("wal: page image larger than its page size")
+		}
+		return r, nil
+	case RecHeapInsert, RecHeapDelete:
+		r.File, payload, err = decodeName(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 6 {
+			return nil, fmt.Errorf("wal: truncated heap-op header")
+		}
+		r.Page = binary.LittleEndian.Uint32(payload)
+		r.Slot = binary.LittleEndian.Uint16(payload[4:])
+		if r.Type == RecHeapInsert {
+			r.Data = append([]byte(nil), payload[6:]...)
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", r.Type)
+	}
+}
+
+// truncateZeros trims trailing zero bytes from a page image. Fresh pages
+// are almost entirely zeros, so this keeps meta-page and small-page
+// records a few dozen bytes instead of a full page.
+func truncateZeros(page []byte) []byte {
+	i := len(page)
+	for i > 0 && page[i-1] == 0 {
+		i--
+	}
+	return page[:i]
+}

@@ -1,0 +1,311 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func replayAll(t *testing.T, dir string) ([]*Record, ReplayStats) {
+	t.Helper()
+	var recs []*Record
+	st, err := Replay(dir, func(r *Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, st
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, 512)
+	copy(page, "page-image-content")
+	l1, err := w.AppendPageImage("t.tbl", 7, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := w.AppendHeapInsert("t.tbl", 3, 12, []byte("tuple-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := w.AppendHeapDelete("t.tbl", 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l4, err := w.AppendFileCreate("idx.idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(l1 == 1 && l2 == 2 && l3 == 3 && l4 == 4) {
+		t.Fatalf("LSNs not sequential: %d %d %d %d", l1, l2, l3, l4)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, st := replayAll(t, dir)
+	if len(recs) != 4 || st.Records != 4 || st.LastLSN != 4 {
+		t.Fatalf("replay saw %d records (stats %+v)", len(recs), st)
+	}
+	img := recs[0]
+	if img.Type != RecPageImage || img.File != "t.tbl" || img.Page != 7 || img.PageSize != 512 {
+		t.Fatalf("bad image record: %+v", img)
+	}
+	want := truncateZeros(page)
+	if !bytes.Equal(img.Data, want) {
+		t.Fatalf("image data mismatch: %q vs %q", img.Data, want)
+	}
+	ins := recs[1]
+	if ins.Type != RecHeapInsert || ins.Page != 3 || ins.Slot != 12 || string(ins.Data) != "tuple-bytes" {
+		t.Fatalf("bad insert record: %+v", ins)
+	}
+	del := recs[2]
+	if del.Type != RecHeapDelete || del.Page != 3 || del.Slot != 12 {
+		t.Fatalf("bad delete record: %+v", del)
+	}
+	if recs[3].Type != RecFileCreate || recs[3].File != "idx.idx" {
+		t.Fatalf("bad file-create record: %+v", recs[3])
+	}
+}
+
+func TestTornTailIsTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.AppendHeapInsert("t.tbl", 1, uint16(i), []byte("rec")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: garbage half-frame at the tail.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[0].path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{42, 0, 0, 0, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, st := replayAll(t, dir)
+	if len(recs) != 5 || !st.TornTail {
+		t.Fatalf("want 5 records and a torn tail, got %d (stats %+v)", len(recs), st)
+	}
+
+	// Reopen: the tail must be truncated and the LSN sequence continue.
+	w, err = OpenWriter(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.AppendFileCreate("x.tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 6 {
+		t.Fatalf("LSN after torn-tail reopen = %d, want 6", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, st = replayAll(t, dir)
+	if len(recs) != 6 || st.TornTail {
+		t.Fatalf("after truncation: %d records, torn=%v", len(recs), st.TornTail)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := w.AppendHeapInsert("t.tbl", uint32(i), 0, bytes.Repeat([]byte{1}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	recs, st := replayAll(t, dir)
+	if len(recs) != n || st.Segments != len(segs) {
+		t.Fatalf("replay across segments: %d records, stats %+v", len(recs), st)
+	}
+	for i, r := range recs {
+		if r.LSN != LSN(i+1) || r.Page != uint32(i) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestCheckpointRecyclesSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := w.AppendHeapInsert("t.tbl", uint32(i), 0, bytes.Repeat([]byte{1}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.Segments()
+	if before < 2 {
+		t.Fatalf("expected multiple segments before checkpoint, got %d", before)
+	}
+	ck, err := w.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Segments(); got != 1 {
+		t.Fatalf("segments after checkpoint = %d, want 1", got)
+	}
+	// Post-checkpoint appends land after the checkpoint record.
+	if _, err := w.AppendFileCreate("y.tbl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, st := replayAll(t, dir)
+	if st.Checkpoints != 1 || len(recs) != 2 {
+		t.Fatalf("post-checkpoint log: %d records, %d checkpoints", len(recs), st.Checkpoints)
+	}
+	if recs[0].Type != RecCheckpoint || recs[0].LSN != ck {
+		t.Fatalf("first surviving record is %+v, want checkpoint at %d", recs[0], ck)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Mode: SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				lsn, err := w.AppendHeapInsert("t.tbl", uint32(g), uint16(i), []byte("r"))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := w.Sync(lsn); err != nil {
+					errs <- err
+					return
+				}
+				if w.DurableLSN() < lsn {
+					errs <- fmt.Errorf("durable %d < synced %d", w.DurableLSN(), lsn)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Appends != workers*perWorker {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	// Group commit: concurrent committers share fsyncs, so there must be
+	// no more syncs than appends (usually far fewer under contention).
+	if st.Syncs > st.Appends {
+		t.Fatalf("more syncs (%d) than appends (%d)?", st.Syncs, st.Appends)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, dir)
+	if len(recs) != workers*perWorker {
+		t.Fatalf("replay saw %d records, want %d", len(recs), workers*perWorker)
+	}
+}
+
+func TestReplayDetectsMiddleSegmentDamage(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := w.AppendHeapInsert("t.tbl", uint32(i), 0, bytes.Repeat([]byte{1}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+	// Corrupt a byte in the middle segment.
+	mid := segs[len(segs)/2].path
+	b, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[20] ^= 0xFF
+	if err := os.WriteFile(mid, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, func(*Record) error { return nil })
+	if err == nil {
+		t.Fatal("replay accepted a damaged middle segment")
+	}
+}
+
+func TestOpenWriterOnEmptyDirStartsAtLSN1(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenWriter(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.AppendFileCreate("a.tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 {
+		t.Fatalf("first LSN = %d, want 1", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The WAL append benchmark (BenchmarkWALAppend) lives in the top-level
+// bench suite (bench_test.go) next to the paper's other per-operation
+// benchmarks.

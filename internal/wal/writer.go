@@ -1,0 +1,409 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultSegmentBytes is the soft size limit of one segment file.
+const DefaultSegmentBytes = 4 << 20
+
+// bufFlushThreshold bounds the in-memory append buffer: past this size
+// the buffer is handed to the operating system (without an fsync).
+const bufFlushThreshold = 1 << 20
+
+// Options configure a Writer.
+type Options struct {
+	// SegmentBytes is the soft size limit of one segment file;
+	// defaults to DefaultSegmentBytes.
+	SegmentBytes int64
+	// Mode controls Commit durability; defaults to SyncCommit.
+	Mode SyncMode
+}
+
+// Stats counts Writer activity.
+type Stats struct {
+	Appends       int64
+	AppendedBytes int64
+	Syncs         int64
+	Rotations     int64
+	Checkpoints   int64
+}
+
+// Writer is the append side of the log. Appends are buffered in memory
+// and assigned LSNs immediately; Sync (and Commit under SyncCommit)
+// forces the buffer to stable storage with group commit: concurrent
+// committers elect one leader whose single write+fsync covers every
+// record appended so far, and the rest wait on its result.
+//
+// All methods are safe for concurrent use.
+type Writer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	dir  string
+	opts Options
+
+	f          *os.File
+	segFirst   LSN   // first LSN of the current segment (its name)
+	segWritten int64 // bytes of the current segment handed to the OS
+
+	buf       []byte // encoded frames not yet written
+	nextLSN   LSN
+	appended  LSN // last LSN appended
+	durable   LSN // last LSN known to be on stable storage
+	committed LSN // last commit/checkpoint marker appended
+	syncing   bool
+	closed    bool
+	err       error // sticky I/O error; the log is unusable once set
+
+	stats Stats
+}
+
+// OpenWriter opens (creating if necessary) the log in dir and positions
+// appends after the last valid record, truncating any torn tail left by
+// a crash.
+func OpenWriter(dir string, opts Options) (*Writer, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	w := &Writer{dir: dir, opts: opts}
+	w.cond = sync.NewCond(&w.mu)
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		w.nextLSN = 1
+		if err := w.openSegment(w.nextLSN); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	validEnd, lastLSN, err := scanSegment(last.path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if lastLSN == 0 {
+		// The segment was created but no record survived.
+		w.nextLSN = last.first
+	} else {
+		w.nextLSN = lastLSN + 1
+	}
+	if err := os.Truncate(last.path, validEnd); err != nil {
+		return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", last.path, err)
+	}
+	f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", last.path, err)
+	}
+	w.f = f
+	w.segFirst = last.first
+	w.segWritten = validEnd
+	w.appended = w.nextLSN - 1
+	w.durable = w.appended
+	// Records surviving from previous runs are settled (recovery has
+	// already judged them); only records appended from here on are
+	// gated by the commit-marker discipline.
+	w.committed = w.appended
+	return w, nil
+}
+
+// openSegment creates (or reopens) the segment whose first record is lsn
+// and makes it current. Caller holds w.mu (or is in OpenWriter).
+func (w *Writer) openSegment(lsn LSN) error {
+	path := filepath.Join(w.dir, segmentName(lsn))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", path, err)
+	}
+	w.f = f
+	w.segFirst = lsn
+	w.segWritten = 0
+	return nil
+}
+
+// Mode returns the configured sync mode.
+func (w *Writer) Mode() SyncMode { return w.opts.Mode }
+
+// Dir returns the log directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// AppendedLSN returns the LSN of the most recently appended record.
+func (w *Writer) AppendedLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// DurableLSN returns the highest LSN known to be on stable storage.
+func (w *Writer) DurableLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// Stats returns a snapshot of the writer counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Segments returns the number of segment files currently on disk.
+func (w *Writer) Segments() int {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// AppendPageImage logs the full after-image of one page (zero-truncated
+// on the wire) and returns its LSN.
+func (w *Writer) AppendPageImage(file string, page uint32, pageData []byte) (LSN, error) {
+	img := truncateZeros(pageData)
+	return w.append(RecPageImage, encodePageImage(file, page, uint32(len(pageData)), img))
+}
+
+// AppendHeapInsert logs a logical heap insert of rec at (page, slot).
+func (w *Writer) AppendHeapInsert(file string, page uint32, slot uint16, rec []byte) (LSN, error) {
+	return w.append(RecHeapInsert, encodeHeapOp(file, page, slot, rec))
+}
+
+// AppendHeapDelete logs a logical heap delete at (page, slot).
+func (w *Writer) AppendHeapDelete(file string, page uint32, slot uint16) (LSN, error) {
+	return w.append(RecHeapDelete, encodeHeapOp(file, page, slot, nil))
+}
+
+// AppendFileCreate logs the creation of a data file.
+func (w *Writer) AppendFileCreate(file string) (LSN, error) {
+	return w.append(RecFileCreate, appendName(nil, file))
+}
+
+// AppendCommit logs a statement-boundary marker. Recovery replays only
+// up to the last marker, so every record of a statement must be
+// appended before its commit marker.
+func (w *Writer) AppendCommit() (LSN, error) {
+	lsn, err := w.append(RecCommit, nil)
+	if err == nil {
+		w.mu.Lock()
+		if lsn > w.committed {
+			w.committed = lsn
+		}
+		w.mu.Unlock()
+	}
+	return lsn, err
+}
+
+// CommittedLSN returns the LSN of the last commit or checkpoint marker
+// appended (0 when no marker has been appended since open). The buffer
+// pool uses it for its no-steal rule: a page whose latest record is
+// past this horizon holds uncommitted state and must not be written in
+// place.
+func (w *Writer) CommittedLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.committed
+}
+
+func (w *Writer) append(typ RecordType, payload []byte) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	frameLen := int64(frameHeaderSize + 1 + len(payload))
+	cur := w.segWritten + int64(len(w.buf))
+	if cur > 0 && cur+frameLen > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.err = err
+			return 0, err
+		}
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.buf = append(w.buf, encodeFrame(lsn, typ, payload)...)
+	w.appended = lsn
+	w.stats.Appends++
+	w.stats.AppendedBytes += frameLen
+	if len(w.buf) >= bufFlushThreshold && !w.syncing {
+		if err := w.writeBufLocked(); err != nil {
+			w.err = err
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// writeBufLocked hands the append buffer to the OS (no fsync). Caller
+// holds w.mu and must have checked !w.syncing.
+func (w *Writer) writeBufLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n, err := w.f.Write(w.buf)
+	w.segWritten += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: write segment: %w", err)
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// rotateLocked syncs and closes the current segment, then starts a new
+// one whose name is the next LSN. Caller holds w.mu.
+func (w *Writer) rotateLocked() error {
+	for w.syncing {
+		w.cond.Wait()
+	}
+	if err := w.writeBufLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync segment: %w", err)
+	}
+	w.durable = w.appended
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	if err := w.openSegment(w.nextLSN); err != nil {
+		return err
+	}
+	w.stats.Rotations++
+	w.cond.Broadcast()
+	return nil
+}
+
+// Sync makes every record up to target durable. It returns once the
+// durable LSN reaches target (clamped to the last appended LSN), either
+// because this call led a write+fsync batch or because a concurrent
+// leader's batch covered it (group commit).
+func (w *Writer) Sync(target LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked(target)
+}
+
+func (w *Writer) syncLocked(target LSN) error {
+	if target > w.appended {
+		target = w.appended
+	}
+	for w.err == nil && w.durable < target {
+		if w.syncing {
+			w.cond.Wait() // a leader's in-flight fsync may cover us
+			continue
+		}
+		w.syncing = true
+		upTo := w.appended
+		buf := w.buf
+		w.buf = nil
+		f := w.f
+		w.mu.Unlock()
+		var err error
+		var n int
+		if len(buf) > 0 {
+			n, err = f.Write(buf)
+		}
+		if err == nil {
+			err = f.Sync()
+		}
+		w.mu.Lock()
+		w.syncing = false
+		w.segWritten += int64(n)
+		if err != nil {
+			w.err = fmt.Errorf("wal: sync: %w", err)
+		} else {
+			if upTo > w.durable {
+				w.durable = upTo
+			}
+			w.stats.Syncs++
+		}
+		w.cond.Broadcast()
+	}
+	return w.err
+}
+
+// Commit makes everything appended so far durable under SyncCommit and
+// is a no-op under SyncLazy (beyond reporting a sticky error).
+func (w *Writer) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.opts.Mode == SyncCommit {
+		return w.syncLocked(w.appended)
+	}
+	return w.err
+}
+
+// Checkpoint marks a recovery point: the caller must already have
+// flushed and synced every data file. The log rotates to a fresh
+// segment whose first record is the checkpoint record, forces it to
+// disk, and deletes the older segments. Returns the checkpoint LSN.
+func (w *Writer) Checkpoint() (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: checkpoint on closed log")
+	}
+	if err := w.syncLocked(w.appended); err != nil {
+		return 0, err
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.err = err
+		return 0, err
+	}
+	// Capture the checkpoint segment's identity now: syncLocked below
+	// releases the lock during its fsync, and a concurrent appender may
+	// rotate to a further segment, advancing w.segFirst past it.
+	ckSegFirst := w.segFirst
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.buf = append(w.buf, encodeFrame(lsn, RecCheckpoint, nil)...)
+	w.appended = lsn
+	w.committed = lsn
+	w.stats.Appends++
+	if err := w.syncLocked(lsn); err != nil {
+		return 0, err
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range segs {
+		if s.first < ckSegFirst {
+			if err := os.Remove(s.path); err != nil {
+				return 0, fmt.Errorf("wal: recycle %s: %w", s.path, err)
+			}
+		}
+	}
+	w.stats.Checkpoints++
+	return lsn, nil
+}
+
+// Close makes the log durable and closes the current segment.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	err := w.syncLocked(w.appended)
+	for w.syncing {
+		w.cond.Wait()
+	}
+	w.closed = true
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	return err
+}
