@@ -9,7 +9,9 @@
 //	spgist> SELECT * FROM word_data WHERE name ?= 'r?nd?m';
 //
 // Meta commands: \dam (access methods), \doc (operator classes),
-// \do (operators), \dt (tables), \wal (log/recovery stats), \q (quit).
+// \do (operators), \dt (tables), \d <table> (describe one table from the
+// persistent system catalog), \wal (log/recovery stats), \q (quit).
+// SHOW TABLES / SHOW INDEXES and DROP TABLE / DROP INDEX are plain SQL.
 package main
 
 import (
@@ -48,7 +50,7 @@ func main() {
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("SP-GiST mini SQL shell (type \\q to quit, \\dam \\doc \\do \\dt for catalogs)")
+	fmt.Println("SP-GiST mini SQL shell (type \\q to quit, \\dam \\doc \\do \\dt \\d <table> for catalogs)")
 	var pending strings.Builder
 	for {
 		if pending.Len() == 0 {
@@ -151,6 +153,13 @@ func meta(db *repro.DB, line string) bool {
 			fmt.Printf("  %-3s  left=%-8v right=%-8v commutator=%q\n",
 				op.Name, op.Left, op.Right, op.Commutator)
 		}
+	case "\\d":
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			fmt.Println("usage: \\d <table>")
+			break
+		}
+		describe(db, fields[1])
 	case "\\dt":
 		for _, t := range db.Engine().Tables() {
 			var cols []string
@@ -180,7 +189,44 @@ func meta(db *repro.DB, line string) bool {
 				rs.Records, rs.PagesWritten, rs.FilesTouched, rs.TornTail)
 		}
 	default:
-		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\wal \\q")
+		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\wal \\q")
 	}
 	return false
+}
+
+// describe prints one table's schema and indexes as recorded in the
+// persistent system catalog — the psql \d analogue.
+func describe(db *repro.DB, name string) {
+	cat := db.Engine().Catalog()
+	te, ok := cat.GetTable(name)
+	if !ok {
+		fmt.Printf("no table %q in the system catalog\n", name)
+		return
+	}
+	rows := int64(0)
+	if t, err := db.Engine().Table(name); err == nil {
+		rows = t.Heap.Count()
+	}
+	fmt.Printf("Table %q  (oid=%d, file=%s, rows=%d)\n", te.Name, te.OID, te.File, rows)
+	fmt.Println("  Column | Type")
+	for _, c := range te.Cols {
+		fmt.Printf("  %-6s | %v\n", c.Name, c.Type)
+	}
+	indexes := cat.IndexesOf(te.OID)
+	if len(indexes) == 0 {
+		return
+	}
+	fmt.Println("Indexes:")
+	for _, ix := range indexes {
+		col := "?"
+		if ix.Column >= 0 && ix.Column < len(te.Cols) {
+			col = te.Cols[ix.Column].Name
+		}
+		validity := ""
+		if !ix.Valid {
+			validity = "  INVALID (crash-interrupted build)"
+		}
+		fmt.Printf("  %s ON %s USING %s (%s %s)  oid=%d file=%s%s\n",
+			ix.Name, te.Name, ix.Method, col, ix.OpClass, ix.OID, ix.File, validity)
+	}
 }

@@ -1,0 +1,85 @@
+// Catalog: the persistent system catalog in action. The program creates
+// an on-disk database with two tables and two SP-GiST indexes, closes
+// it, and reopens it: the catalog (stored in its own heap file,
+// syscat.dat) rediscovers every relation — no schema re-declaration, the
+// property PostgreSQL's pg_class/pg_index give the paper's realization
+// for free. The session then introspects the schema with SHOW TABLES /
+// SHOW INDEXES and drops a relation to show DDL round-tripping.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "spgist-catalog-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Println("database directory:", dir)
+
+	// First session: declare schema, load data, close cleanly.
+	db, err := repro.Open(repro.Options{Dir: dir, WAL: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE word_data (name VARCHAR(50), id INT)`)
+	db.MustExec(`CREATE INDEX words_trie ON word_data USING spgist (name spgist_trie)`)
+	db.MustExec(`CREATE TABLE pts (loc POINT, id INT)`)
+	db.MustExec(`CREATE INDEX pts_kd ON pts USING spgist (loc spgist_kdtree)`)
+	for i := 0; i < 200; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO word_data VALUES ('word%04d', %d)`, i, i))
+		db.MustExec(fmt.Sprintf(`INSERT INTO pts VALUES ('(%d,%d)', %d)`, i%20, (i*7)%20, i))
+	}
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("session 1: declared 2 tables + 2 indexes, loaded 400 rows, closed")
+
+	// Second session: reopen. No CREATE TABLE, no CREATE INDEX — the
+	// system catalog is the single source of the schema.
+	db, err = repro.Open(repro.Options{Dir: dir, WAL: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	show := db.MustExec(`SHOW TABLES`)
+	fmt.Println("\nSHOW TABLES after reopen (zero re-declaration):")
+	for _, row := range show.Rows {
+		fmt.Printf("  %-10s  %-28s  rows=%-4s file=%s\n", row[0].S, row[1].S, row[2].String(), row[3].S)
+	}
+	show = db.MustExec(`SHOW INDEXES`)
+	fmt.Println("SHOW INDEXES:")
+	for _, row := range show.Rows {
+		var cells []string
+		for _, d := range row {
+			cells = append(cells, d.String())
+		}
+		fmt.Println("  " + strings.Join(cells, " | "))
+	}
+
+	// The rediscovered indexes serve queries immediately.
+	res := db.MustExec(`EXPLAIN SELECT * FROM word_data WHERE name #= 'word01'`)
+	fmt.Println("\nEXPLAIN prefix query:", res.Plan)
+	rows := db.MustExec(`SELECT * FROM word_data WHERE name #= 'word01'`)
+	pt := db.MustExec(`SELECT * FROM pts WHERE loc ^ '(0,0,5,5)'`)
+	fmt.Printf("prefix query: %d rows; point range query: %d rows\n", len(rows.Rows), len(pt.Rows))
+	if len(rows.Rows) != 100 { // word0100 .. word0199
+		log.Fatalf("prefix query found %d rows, want 100", len(rows.Rows))
+	}
+
+	// DDL round-trip: drop an index and a table; the catalog (and the
+	// files) follow.
+	db.MustExec(`DROP INDEX pts_kd`)
+	db.MustExec(`DROP TABLE pts`)
+	show = db.MustExec(`SHOW TABLES`)
+	fmt.Printf("\nafter DROP TABLE pts: %d table(s) remain\n", len(show.Rows))
+	fmt.Println("persistent catalog OK: reopen served indexed queries with no schema re-declaration")
+}

@@ -47,6 +47,32 @@ func DefaultOpClass(amName string, t Type) (*OperatorClass, error) {
 	return nil, fmt.Errorf("catalog: no default operator class for %s over %v", amName, t)
 }
 
+// ResolveOpClass resolves the operator class for an index over a column
+// of type t: by name when opclassName is non-empty (validating that the
+// class belongs to the access method and indexes the column type), or
+// the default class of (method, t) otherwise. CREATE INDEX and the
+// persistent system catalog's schema load both resolve through here, so
+// an entry written by one is always readable by the other.
+func ResolveOpClass(method, opclassName string, t Type) (*OperatorClass, error) {
+	if _, ok := LookupAM(method); !ok {
+		return nil, fmt.Errorf("catalog: unknown access method %q", method)
+	}
+	if opclassName == "" {
+		return DefaultOpClass(method, t)
+	}
+	oc, ok := LookupOpClass(opclassName)
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown operator class %q", opclassName)
+	}
+	if oc.AM != method {
+		return nil, fmt.Errorf("catalog: operator class %s belongs to %s, not %s", oc.Name, oc.AM, method)
+	}
+	if oc.Type != t {
+		return nil, fmt.Errorf("catalog: operator class %s indexes %v, not %v", oc.Name, oc.Type, t)
+	}
+	return oc, nil
+}
+
 // OpClasses lists all registered operator classes (for the CLI's \dOC).
 func OpClasses() []*OperatorClass {
 	var out []*OperatorClass

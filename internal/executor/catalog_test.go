@@ -1,0 +1,609 @@
+package executor_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/heap"
+	"repro/internal/wal"
+)
+
+// These tests cover the persistent system catalog: schema rediscovery on
+// reopen with zero re-declaration, and DDL crash-atomicity — a crash
+// anywhere inside CREATE TABLE / CREATE INDEX must leave either nothing
+// or (after recovery) a complete relation, never a silently reattached
+// partial index file.
+
+func openCatalogDB(t *testing.T, dir string, faults executor.FaultInjection) *executor.DB {
+	t.Helper()
+	db, err := executor.Open(executor.Options{
+		Dir:       dir,
+		WAL:       true,
+		PoolPages: 16,
+		WALSync:   wal.SyncCommit,
+		Faults:    faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// fillWords inserts n deterministic rows into table words.
+func fillWords(t *testing.T, tb *executor.Table, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		word := fmt.Sprintf("w%c%c%03d", 'a'+i%5, 'a'+i%9, i)
+		if _, err := tb.Insert(catalog.Tuple{catalog.NewText(word), catalog.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// indexedPrefixRows runs a forced index scan for name #= prefix and
+// returns the sorted result rows.
+func indexedPrefixRows(t *testing.T, tb *executor.Table, prefix string) []string {
+	t.Helper()
+	if len(tb.Indexes) == 0 {
+		t.Fatal("table has no index to scan")
+	}
+	ix := tb.Indexes[0]
+	var rows []string
+	err := tb.SelectIndexed(ix, &executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText(prefix)}, func(r executor.Row) bool {
+		rows = append(rows, r.Tuple[0].String()+"|"+r.Tuple[1].String())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func TestReopenWithoutRedeclare(t *testing.T) {
+	dir := t.TempDir()
+	db := openCatalogDB(t, dir, executor.FaultInjection{})
+	tb, err := db.CreateTable("words", []executor.Column{{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWords(t, tb, 300)
+	if _, err := db.CreateIndex("words_trie", "words", "name", "spgist", "spgist_trie"); err != nil {
+		t.Fatal(err)
+	}
+	want := indexedPrefixRows(t, tb, "wa")
+	if len(want) == 0 {
+		t.Fatal("reference query returned nothing; the test would be vacuous")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = openCatalogDB(t, dir, executor.FaultInjection{})
+	defer db.Close()
+	if len(db.RebuiltIndexes()) != 0 {
+		t.Fatalf("clean shutdown triggered index rebuilds: %v", db.RebuiltIndexes())
+	}
+	tb, err = db.Table("words")
+	if err != nil {
+		t.Fatalf("table not rediscovered: %v", err)
+	}
+	if got := indexedPrefixRows(t, tb, "wa"); strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("indexed query diverged after reopen:\n want %v\n got  %v", want, got)
+	}
+	ie, ok := db.Catalog().GetIndex("words_trie")
+	if !ok || !ie.Valid {
+		t.Fatalf("catalog entry after reopen: %+v ok=%v", ie, ok)
+	}
+}
+
+// crashMidCreateIndex drives a CREATE INDEX that fails at the given
+// build row (or at the pre-commit point when failRow < 0), crashes, and
+// returns the reopened database plus the on-disk size the partial index
+// file had at crash time.
+func crashMidCreateIndex(t *testing.T, failRow int) (*executor.DB, string, int64) {
+	t.Helper()
+	dir := t.TempDir()
+	boom := errors.New("injected crash")
+	faults := executor.FaultInjection{}
+	if failRow >= 0 {
+		faults.DuringIndexBuild = func(rows int) error {
+			if rows >= failRow {
+				return boom
+			}
+			return nil
+		}
+	} else {
+		faults.BeforeDDLCommit = func(stmt string) error {
+			if strings.HasPrefix(stmt, "CREATE INDEX") {
+				return boom
+			}
+			return nil
+		}
+	}
+	db := openCatalogDB(t, dir, faults)
+	tb, err := db.CreateTable("words", []executor.Column{{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 600 rows: the build's 256-row batch commits fire at least twice, so
+	// a committed prefix of the partial index is genuinely on disk / in
+	// the log when the fault hits.
+	fillWords(t, tb, 600)
+	if _, err := db.CreateIndex("words_trie", "words", "name", "spgist", "spgist_trie"); !errors.Is(err, boom) {
+		t.Fatalf("CREATE INDEX did not hit the injected fault: %v", err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The partial index file is present on disk at this point.
+	var partialFile string
+	var partialSize int64
+	matches, _ := filepath.Glob(filepath.Join(dir, "rel*.idx"))
+	if len(matches) == 1 {
+		partialFile = matches[0]
+		if st, err := os.Stat(partialFile); err == nil {
+			partialSize = st.Size()
+		}
+	}
+
+	return openCatalogDB(t, dir, executor.FaultInjection{}), partialFile, partialSize
+}
+
+func verifyRebuiltIndex(t *testing.T, db *executor.DB, wantRebuilt bool) {
+	t.Helper()
+	defer db.Close()
+	tb, err := db.Table("words")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := db.RebuiltIndexes()
+	if wantRebuilt {
+		if len(rebuilt) != 1 || rebuilt[0] != "words_trie" {
+			t.Fatalf("expected words_trie rebuilt, got %v", rebuilt)
+		}
+		if len(tb.Indexes) != 1 {
+			t.Fatalf("index not reattached after rebuild: %d indexes", len(tb.Indexes))
+		}
+		ie, ok := db.Catalog().GetIndex("words_trie")
+		if !ok || !ie.Valid {
+			t.Fatalf("catalog entry after rebuild: %+v ok=%v", ie, ok)
+		}
+		// A reattached partial build would miss rows: the rebuilt index
+		// must cover the whole heap ...
+		if got, want := tb.Indexes[0].Idx.Count(), tb.Heap.Count(); got != want {
+			t.Fatalf("rebuilt index covers %d of %d rows — partial build reattached", got, want)
+		}
+		// ... and a forced index scan must agree with a sequential scan.
+		want := seqPrefixRows(t, tb, "wa")
+		if got := indexedPrefixRows(t, tb, "wa"); strings.Join(got, ";") != strings.Join(want, ";") {
+			t.Fatalf("rebuilt index diverges from heap:\n want %v\n got  %v", want, got)
+		}
+	} else if len(rebuilt) != 0 {
+		t.Fatalf("unexpected rebuilds: %v", rebuilt)
+	}
+}
+
+// seqPrefixRows answers the same prefix query by scanning the heap
+// directly — ground truth independent of any index the planner might
+// otherwise pick.
+func seqPrefixRows(t *testing.T, tb *executor.Table, prefix string) []string {
+	t.Helper()
+	var out []string
+	err := tb.Heap.Scan(func(_ heap.RID, rec []byte) bool {
+		tup, err := catalog.DecodeTuple(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(tup[0].S, prefix) {
+			out = append(out, tup[0].String()+"|"+tup[1].String())
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCrashMidIndexBuildRebuilds(t *testing.T) {
+	db, partialFile, partialSize := crashMidCreateIndex(t, 300)
+	if partialFile == "" || partialSize == 0 {
+		t.Fatal("no partial index file on disk at crash time; the scenario is vacuous")
+	}
+	verifyRebuiltIndex(t, db, true)
+}
+
+func TestCrashBeforeIndexCommitRebuilds(t *testing.T) {
+	// The fault fires after the whole build but before the validity flip
+	// commits — the entry is still invalid, so the (complete-looking)
+	// file must still be discarded and rebuilt, not trusted.
+	db, _, _ := crashMidCreateIndex(t, -1)
+	verifyRebuiltIndex(t, db, true)
+}
+
+func TestCrashMidCreateTableLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("injected crash")
+	db := openCatalogDB(t, dir, executor.FaultInjection{
+		BeforeDDLCommit: func(stmt string) error {
+			if strings.HasPrefix(stmt, "CREATE TABLE orphan") {
+				return boom
+			}
+			return nil
+		},
+	})
+	if _, err := db.CreateTable("keeper", []executor.Column{{Name: "x", Type: catalog.Int}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("orphan", []executor.Column{{Name: "x", Type: catalog.Int}}); !errors.Is(err, boom) {
+		t.Fatalf("CREATE TABLE did not hit the injected fault: %v", err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	// The orphaned heap file exists on disk (its pages were allocated
+	// eagerly) even though its catalog entry never committed.
+	files, _ := filepath.Glob(filepath.Join(dir, "rel*.tbl"))
+	if len(files) != 2 {
+		t.Fatalf("expected keeper + orphan heap files before reopen, found %v", files)
+	}
+
+	db = openCatalogDB(t, dir, executor.FaultInjection{})
+	defer db.Close()
+	if _, err := db.Table("orphan"); err == nil {
+		t.Fatal("uncommitted CREATE TABLE survived the crash")
+	}
+	if _, err := db.Table("keeper"); err != nil {
+		t.Fatalf("committed table lost: %v", err)
+	}
+	// The orphaned file was swept.
+	files, _ = filepath.Glob(filepath.Join(dir, "rel*.tbl"))
+	if len(files) != 1 {
+		t.Fatalf("orphan sweep left %v", files)
+	}
+	// Re-creating the table now must work and get a fresh file.
+	tb, err := db.CreateTable("orphan", []executor.Column{{Name: "x", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(catalog.Tuple{catalog.NewInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropIndexAndTable(t *testing.T) {
+	dir := t.TempDir()
+	db := openCatalogDB(t, dir, executor.FaultInjection{})
+	tb, err := db.CreateTable("words", []executor.Column{{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWords(t, tb, 100)
+	if _, err := db.CreateIndex("words_trie", "words", "name", "spgist", "spgist_trie"); err != nil {
+		t.Fatal(err)
+	}
+	idxFile := filepath.Join(dir, tb.Indexes[0].File())
+	if _, err := os.Stat(idxFile); err != nil {
+		t.Fatalf("index file missing before drop: %v", err)
+	}
+
+	if err := db.DropIndex("words_trie"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(idxFile); !os.IsNotExist(err) {
+		t.Fatalf("index file survived DROP INDEX: %v", err)
+	}
+	if _, ok := db.Catalog().GetIndex("words_trie"); ok {
+		t.Fatal("catalog entry survived DROP INDEX")
+	}
+	if len(tb.Indexes) != 0 {
+		t.Fatal("in-memory index survived DROP INDEX")
+	}
+	// The table still answers queries (seq scan).
+	n := 0
+	if _, err := tb.Select(nil, func(executor.Row) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("rows after DROP INDEX: %d", n)
+	}
+
+	tblFile := filepath.Join(dir, tb.File())
+	if err := db.DropTable("words"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tblFile); !os.IsNotExist(err) {
+		t.Fatalf("heap file survived DROP TABLE: %v", err)
+	}
+	if _, err := db.Table("words"); err == nil {
+		t.Fatal("table survived DROP TABLE")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drops are durable: a reopen rediscovers nothing.
+	db = openCatalogDB(t, dir, executor.FaultInjection{})
+	defer db.Close()
+	if len(db.Catalog().Tables()) != 0 || len(db.Catalog().Indexes()) != 0 {
+		t.Fatalf("dropped relations resurfaced: %+v %+v", db.Catalog().Tables(), db.Catalog().Indexes())
+	}
+	// And the name can be reused with a different file (OIDs advance).
+	tb2, err := db.CreateTable("words", []executor.Column{{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.File() == filepath.Base(tblFile) {
+		t.Fatalf("recreated table reused file name %s", tb2.File())
+	}
+}
+
+func TestDropRequiresExistingRelation(t *testing.T) {
+	db := executor.OpenMemory()
+	defer db.Close()
+	if err := db.DropTable("nope"); err == nil {
+		t.Fatal("DROP TABLE of unknown table accepted")
+	}
+	if err := db.DropIndex("nope"); err == nil {
+		t.Fatal("DROP INDEX of unknown index accepted")
+	}
+}
+
+// A *failed* (as opposed to crashed) CREATE INDEX must compensate its
+// committed invalid entry: the session keeps running, the entry and the
+// partial file are gone, the name is reusable, and a reopen neither
+// rebuilds nor errors.
+func TestFailedIndexBuildHealsInSession(t *testing.T) {
+	dir := t.TempDir()
+	db := openCatalogDB(t, dir, executor.FaultInjection{})
+	tb, err := db.CreateTable("words", []executor.Column{{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWords(t, tb, 300)
+	// Corrupt one key at the access-method level by hand-inserting an
+	// undecodable heap record: the build's DecodeTuple fails mid-way.
+	if _, err := tb.Heap.Insert([]byte{0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("w_trie", "words", "name", "spgist", "spgist_trie"); err == nil {
+		t.Fatal("CREATE INDEX over a corrupt row unexpectedly succeeded")
+	}
+	// The failed statement left nothing: no entry, no file, name free.
+	if _, ok := db.Catalog().GetIndex("w_trie"); ok {
+		t.Fatal("failed CREATE INDEX left its catalog entry")
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "rel*.idx")); len(files) != 0 {
+		t.Fatalf("failed CREATE INDEX left files: %v", files)
+	}
+	// The database stays usable, and later statements' commit markers
+	// must not resurrect the dead entry.
+	if _, err := tb.Insert(catalog.Tuple{catalog.NewText("alive"), catalog.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = openCatalogDB(t, dir, executor.FaultInjection{})
+	defer db.Close()
+	if got := db.RebuiltIndexes(); len(got) != 0 {
+		t.Fatalf("reopen rebuilt a healed index: %v", got)
+	}
+	if len(db.Catalog().Indexes()) != 0 {
+		t.Fatalf("healed entry resurfaced: %+v", db.Catalog().Indexes())
+	}
+}
+
+// DROP TABLE must remove every *cataloged* index of the table, including
+// one whose CREATE INDEX crashed (entry present, nothing attached after
+// the next open rebuilds it — but here we drop before any reopen).
+func TestDropTableRemovesCatalogedIndexes(t *testing.T) {
+	dir := t.TempDir()
+	db := openCatalogDB(t, dir, executor.FaultInjection{})
+	tb, err := db.CreateTable("words", []executor.Column{{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWords(t, tb, 50)
+	if _, err := db.CreateIndex("w_trie", "words", "name", "spgist", "spgist_trie"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("words"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(db.Catalog().Indexes()); n != 0 {
+		t.Fatalf("%d index entries survived DROP TABLE", n)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The catalog must load cleanly — a dangling index record would
+	// fail the open.
+	db = openCatalogDB(t, dir, executor.FaultInjection{})
+	defer db.Close()
+	if n := len(db.Catalog().Tables()) + len(db.Catalog().Indexes()); n != 0 {
+		t.Fatalf("%d relations resurfaced after DROP TABLE", n)
+	}
+}
+
+// Opening a fresh catalog over a directory holding pre-catalog
+// (name-based) relation files must refuse loudly rather than present an
+// empty schema that strands the old data.
+func TestLegacyDirectoryRefused(t *testing.T) {
+	dir := t.TempDir()
+	// Non-zero contents: a real pre-catalog file always has a non-zero
+	// meta page (all-zero files are contentless husks and are healed,
+	// not refused).
+	legacyPage := make([]byte, 8192)
+	legacyPage[0] = 0x50
+	for _, f := range []string{"words.tbl", "words_trie.idx"} {
+		if err := os.WriteFile(filepath.Join(dir, f), legacyPage, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := executor.Open(executor.Options{Dir: dir, WAL: true})
+	if err == nil || !strings.Contains(err.Error(), "pre-catalog") {
+		t.Fatalf("legacy directory not refused: %v", err)
+	}
+
+	// A pre-catalog table the user happened to name "rel5" produces a
+	// file matching the catalog's own rel<oid> scheme; it must still be
+	// refused, never swept as an orphan.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "rel5.tbl"), legacyPage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := executor.Open(executor.Options{Dir: dir2, WAL: true}); err == nil || !strings.Contains(err.Error(), "pre-catalog") {
+		t.Fatalf("rel-named legacy directory not refused: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, "rel5.tbl")); err != nil {
+		t.Fatalf("legacy file was destroyed: %v", err)
+	}
+}
+
+// A valid index whose file vanished is rebuilt at open — and that
+// rebuild must itself be crash-safe: the entry is flipped invalid before
+// building, so an interrupted rebuild can never leave committed partial
+// pages under a still-valid entry.
+func TestVanishedIndexFileRebuildIsCrashSafe(t *testing.T) {
+	dir := t.TempDir()
+	db := openCatalogDB(t, dir, executor.FaultInjection{})
+	tb, err := db.CreateTable("words", []executor.Column{{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillWords(t, tb, 600)
+	if _, err := db.CreateIndex("words_trie", "words", "name", "spgist", "spgist_trie"); err != nil {
+		t.Fatal(err)
+	}
+	idxFile := tb.Indexes[0].File()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, idxFile)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First reopen: the rebuild is interrupted after enough rows for its
+	// intra-build batch commits to have made partial pages durable.
+	boom := errors.New("injected crash")
+	_, err = executor.Open(executor.Options{
+		Dir: dir, WAL: true, PoolPages: 16,
+		Faults: executor.FaultInjection{DuringIndexBuild: func(rows int) error {
+			if rows >= 300 {
+				return boom
+			}
+			return nil
+		}},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("open did not surface the injected rebuild crash: %v", err)
+	}
+
+	// Second reopen: the interrupted rebuild must present as an invalid
+	// entry, not a valid partial index.
+	db = openCatalogDB(t, dir, executor.FaultInjection{})
+	verifyRebuiltIndex(t, db, true)
+}
+
+// Without a write-ahead log, a DROP must make the catalog delete durable
+// before unlinking the relation files: a crash in between must not leave
+// a durable entry pointing at a missing file (an unopenable database).
+func TestUnloggedDropSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *executor.DB {
+		db, err := executor.Open(executor.Options{Dir: dir, PoolPages: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := open()
+	for _, name := range []string{"keep", "victim"} {
+		tb, err := db.CreateTable(name, []executor.Column{{Name: "x", Type: catalog.Int}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tb.Insert(catalog.Tuple{catalog.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = open()
+	if err := db.DropTable("victim"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without Close: nothing buffered may be relied on.
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = open()
+	defer db.Close()
+	if _, err := db.Table("victim"); err == nil {
+		t.Fatal("dropped table resurfaced after unlogged crash")
+	}
+	if _, err := db.Table("keep"); err != nil {
+		t.Fatalf("surviving table lost: %v", err)
+	}
+}
+
+// A fresh unlogged on-disk database killed before its first flush leaves
+// syscat.dat as eagerly-allocated zero pages; reopening must detect the
+// contentless husk and heal, not fail forever on "bad magic".
+func TestUnloggedFreshCatalogHuskHeals(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "syscat.dat"), make([]byte, 16384), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := executor.Open(executor.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("unlogged open over a zeroed catalog husk failed: %v", err)
+	}
+	if _, err := db.CreateTable("t", []executor.Column{{Name: "x", Type: catalog.Int}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A zeroed data-file husk alongside the catalog husk heals too (a
+	// lazily-synced session crashed before its first fsync leaves this).
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "syscat.dat"), make([]byte, 16384), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, "rel1.tbl"), make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := executor.Open(executor.Options{Dir: dir2})
+	if err != nil {
+		t.Fatalf("zeroed husks not healed: %v", err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// But a *non-zero* data file with no catalog is real stranded data:
+	// the loud refusal wins.
+	dir3 := t.TempDir()
+	realPage := make([]byte, 8192)
+	realPage[0] = 0x50
+	if err := os.WriteFile(filepath.Join(dir3, "rel1.tbl"), realPage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := executor.Open(executor.Options{Dir: dir3}); err == nil || !strings.Contains(err.Error(), "no system catalog") {
+		t.Fatalf("stranded data file not refused: %v", err)
+	}
+}

@@ -7,16 +7,20 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/am"
 	"repro/internal/catalog"
 	"repro/internal/heap"
 	"repro/internal/storage"
+	"repro/internal/syscat"
 	"repro/internal/wal"
 )
 
@@ -32,7 +36,13 @@ type IndexInfo struct {
 	Column  int // ordinal in the table schema
 	OpClass *catalog.OperatorClass
 	Idx     am.Index
+
+	pool *storage.BufferPool
+	file string // data file base name, from the system catalog
 }
+
+// File returns the index's data file base name (catalog introspection).
+func (ix *IndexInfo) File() string { return ix.file }
 
 // Table is a heap file plus its schema and indexes.
 type Table struct {
@@ -41,13 +51,45 @@ type Table struct {
 	Heap    *heap.File
 	Indexes []*IndexInfo
 
+	oid  uint64 // catalog OID
+	file string // heap file base name, from the system catalog
+
 	// ndistinct holds per-column distinct-value counts collected by
 	// Analyze (0 = unknown). Like PostgreSQL statistics they go stale as
-	// rows change; the planner treats them as estimates.
+	// rows change; the planner treats them as estimates. statsMu guards
+	// it: the planner reads on the unlocked query path while CREATE
+	// INDEX (under the statement lock) refreshes it.
+	statsMu   sync.Mutex
 	ndistinct []int64
+	// statsOnce gates the lazy Analyze run by ensureStats.
+	statsOnce sync.Once
 
 	db *DB
 }
+
+// ensureStats lazily collects planner statistics the first time a
+// predicate is planned against a reattached table. The catalog does not
+// persist statistics (they are advisory, like PostgreSQL's), and running
+// ANALYZE for every table at Open would make reopening O(total rows);
+// deferring it keeps Open proportional to the catalog instead.
+func (t *Table) ensureStats() {
+	t.statsOnce.Do(func() {
+		t.statsMu.Lock()
+		have := t.ndistinct != nil
+		t.statsMu.Unlock()
+		if !have {
+			// Best effort: a failed scan leaves ndistinct nil, which the
+			// planner reads as "unknown".
+			t.Analyze()
+		}
+	})
+}
+
+// OID returns the table's catalog OID.
+func (t *Table) OID() uint64 { return t.oid }
+
+// File returns the table's heap file base name (catalog introspection).
+func (t *Table) File() string { return t.file }
 
 // Analyze collects per-column statistics (distinct-value counts) for the
 // planner's selectivity estimation — the role of PostgreSQL's ANALYZE.
@@ -70,15 +112,24 @@ func (t *Table) Analyze() error {
 	if err != nil {
 		return err
 	}
-	t.ndistinct = make([]int64, len(t.Columns))
+	nd := make([]int64, len(t.Columns))
 	for i := range seen {
-		t.ndistinct[i] = int64(len(seen[i]))
+		nd[i] = int64(len(seen[i]))
 	}
+	t.statsMu.Lock()
+	t.ndistinct = nd
+	t.statsMu.Unlock()
 	return nil
 }
 
+// catalogFile is the base name of the system catalog's own heap file. It
+// deliberately shares no extension with relation files (rel<oid>.tbl,
+// rel<oid>.idx) so the orphan sweep can never touch it.
+const catalogFile = "syscat.dat"
+
 // DB is a database: a set of tables and indexes over one directory (or
-// over memory when dir is empty).
+// over memory when dir is empty), described by a persistent system
+// catalog stored alongside the data files.
 type DB struct {
 	mu        sync.Mutex
 	dir       string
@@ -90,6 +141,16 @@ type DB struct {
 	recovered storage.RecoveryStats
 	crashed   bool
 
+	cat     *syscat.Catalog
+	catPool *storage.BufferPool // the catalog heap's own pool
+	rebuilt []string            // indexes rebuilt during Open (recorded invalid)
+	faults  FaultInjection
+
+	// broken poisons the database when a DDL compensation fails: the
+	// in-memory catalog and its uncommitted heap records have diverged
+	// in a way no later action may commit. Guarded by stmtMu.
+	broken error
+
 	// stmtMu serializes mutating statements against each other and
 	// against Checkpoint/Close/Crash (single-writer, like SQLite).
 	// Interleaved writers would let one statement's commit marker cover
@@ -99,6 +160,33 @@ type DB struct {
 	// in memory. Reads are unaffected. stmtMu is always acquired before
 	// db.mu.
 	stmtMu sync.Mutex
+}
+
+// faultErr marks an error raised through FaultInjection: a simulated
+// crash point. DDL error paths skip their catalog compensation for it —
+// the test is about to Crash() the database, and healing would destroy
+// exactly the state the crash is meant to leave behind.
+type faultErr struct{ error }
+
+func (e faultErr) Unwrap() error { return e.error }
+
+func isFault(err error) bool {
+	var f faultErr
+	return errors.As(err, &f)
+}
+
+// FaultInjection provides test-only crash points inside DDL statements.
+// When a hook returns an error the statement aborts with its catalog
+// records appended but uncommitted — the state an OS crash at that
+// instant would leave in the log. The database must then be discarded
+// with Crash(); continuing to use it is undefined.
+type FaultInjection struct {
+	// DuringIndexBuild runs after each row back-filled by CREATE INDEX.
+	DuringIndexBuild func(rowsDone int) error
+	// BeforeDDLCommit runs immediately before a DDL statement's commit
+	// marker would be appended. stmt names the statement, e.g.
+	// "CREATE TABLE t".
+	BeforeDDLCommit func(stmt string) error
 }
 
 // Options configure a database.
@@ -118,11 +206,16 @@ type Options struct {
 	WALSegmentBytes int64
 	// WALSync controls commit durability; defaults to wal.SyncCommit.
 	WALSync wal.SyncMode
+	// Faults injects test-only crash points into DDL statements.
+	Faults FaultInjection
 }
 
-// Open creates or opens a database. Existing on-disk tables are not
-// rediscovered automatically (no persistent catalog file): callers
-// re-declare their schema, and table/index files are reattached by name.
+// Open creates or opens a database. The persistent system catalog is
+// bootstrapped first (replaying any write-ahead log into it and the data
+// files), then every cataloged table and index is reattached — callers
+// never re-declare their schema. An index recorded invalid (its CREATE
+// INDEX never committed before a crash) has its partial file removed and
+// is rebuilt from the heap before Open returns; see RebuiltIndexes.
 func Open(opts Options) (*DB, error) {
 	if opts.PageSize <= 0 {
 		opts.PageSize = storage.DefaultPageSize
@@ -140,6 +233,7 @@ func Open(opts Options) (*DB, error) {
 		pageSize:  opts.PageSize,
 		poolPages: opts.PoolPages,
 		tables:    make(map[string]*Table),
+		faults:    opts.Faults,
 	}
 	if !opts.WAL && opts.Dir != "" && wal.HasLog(filepath.Join(opts.Dir, "wal")) {
 		// Ignoring a leftover log would skip its recovery now and then
@@ -166,12 +260,384 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 		db.wal = w
+		if w.CommittedLSN() == 0 {
+			// A fresh log (new database, or a previously-unlogged one
+			// now opened with WAL) has no commit marker yet, which turns
+			// off the buffer pool's no-steal rule and recovery's
+			// uncommitted-tail discard for the whole first statement.
+			// Plant an initial marker so statement atomicity holds from
+			// the very first record.
+			if err := db.commitWAL(nil); err != nil {
+				db.abandon()
+				return nil, err
+			}
+		}
+	}
+	if err := db.bootstrapCatalog(); err != nil {
+		db.abandon()
+		return nil, err
+	}
+	if err := db.loadSchema(); err != nil {
+		db.abandon()
+		return nil, err
 	}
 	return db, nil
 }
 
+// discardAll tears the database down without flushing anything: the log
+// closes first (its appended records become durable for the next open's
+// recovery to judge), every pool drops its frames, and the in-memory
+// references clear. Discard, never flush: the callers — a failed Open,
+// a poisoned Close, Crash — may hold uncommitted dirty frames, and
+// writing them in place would break the no-steal discipline; the next
+// open must see exactly the last committed state.
+func (db *DB) discardAll() error {
+	var firstErr error
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		db.wal = nil
+	}
+	for _, bp := range db.pools {
+		if err := bp.Crash(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	db.pools = nil
+	db.tables = make(map[string]*Table)
+	db.cat = nil
+	db.catPool = nil
+	return firstErr
+}
+
+// abandon releases every resource of a half-opened database (best
+// effort; the open error is what the caller reports).
+func (db *DB) abandon() {
+	db.discardAll()
+}
+
+// bootstrapCatalog opens (creating if necessary) the system catalog's
+// own heap file and loads its records.
+func (db *DB) bootstrapCatalog() error {
+	if db.dir != "" {
+		// A crash between the catalog file's creation and its first
+		// commit (or, unlogged, its first flush) leaves a file of zeroed
+		// pages: the pages were allocated eagerly, but their contents
+		// lived only in frames the crash discarded — and under WAL, in
+		// log records the recovery pass rejected as an uncommitted tail.
+		// An entirely-zero catalog file is always such a contentless
+		// husk (any committed or flushed catalog has a non-zero meta
+		// page), but it is indistinguishable from corruption to
+		// heap.Open, so detect and remove it here. The legacy-files
+		// check below still refuses the directory if data files exist
+		// alongside it.
+		path := filepath.Join(db.dir, catalogFile)
+		if zeroed, err := fileIsAllZeros(path); err != nil {
+			return fmt.Errorf("executor: probe system catalog: %w", err)
+		} else if zeroed {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("executor: remove zeroed system catalog: %w", err)
+			}
+		}
+	}
+	if db.dir != "" {
+		// Bootstrapping a *fresh* catalog over a directory that already
+		// holds name-based relation files means the directory predates
+		// the persistent catalog (relations used to be named
+		// <table>.tbl / <index>.idx and reattached by re-declaration).
+		// Silently presenting an empty schema would strand that data, so
+		// refuse loudly instead.
+		if st, err := os.Stat(filepath.Join(db.dir, catalogFile)); os.IsNotExist(err) || (err == nil && st.Size() == 0) {
+			if legacy, err := db.legacyRelationFiles(); err != nil {
+				return err
+			} else if len(legacy) > 0 {
+				return fmt.Errorf("executor: %s holds relation files %v but no system catalog — either it predates the persistent catalog, or an unlogged (Options.WAL off) session crashed before the catalog reached disk; the schema cannot be reconstructed, recreate the database (or load pre-catalog files with the release that wrote them)", db.dir, legacy)
+			}
+		}
+	}
+	bp, existed, err := db.newPool(catalogFile)
+	if err != nil {
+		return err
+	}
+	var hf *heap.File
+	if existed {
+		if hf, err = heap.Open(bp); err != nil {
+			return fmt.Errorf("executor: system catalog %s is unreadable (%v); was the database crashed without write-ahead logging?", catalogFile, err)
+		}
+	} else if hf, err = heap.Create(bp); err != nil {
+		return err
+	}
+	cat, err := syscat.New(hf, !existed)
+	if err != nil {
+		return err
+	}
+	db.cat = cat
+	db.catPool = bp
+	if !existed {
+		// Commit the catalog's creation so the first DDL statement's
+		// marker does not retroactively cover it; unlogged, flush it so
+		// a kill before the first DDL leaves a readable (empty) catalog
+		// rather than a zeroed husk.
+		if err := db.commitWAL(nil); err != nil {
+			return err
+		}
+		return db.flushCatalogIfUnlogged()
+	}
+	return nil
+}
+
+// legacyRelationFiles lists every data file in a directory that has no
+// system catalog. Any .tbl/.idx file qualifies — including rel<oid>-
+// shaped names, because a pre-catalog table could have been *named*
+// "rel5". Under WAL a genuinely catalog-era rel file cannot exist here
+// (the catalog's creation commits before the first CREATE TABLE runs);
+// without WAL an unlogged crash can leave this state too — in every
+// case the schema is unreconstructable and refusing loudly beats
+// sweeping or stranding the files.
+func (db *DB) legacyRelationFiles() ([]string, error) {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return nil, err
+	}
+	var legacy []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if !strings.HasSuffix(name, ".tbl") && !strings.HasSuffix(name, ".idx") {
+			continue
+		}
+		// An entirely-zero data file is a contentless husk whatever era
+		// wrote it (any real heap or index file has a non-zero meta
+		// page) — e.g. a lazily-synced session crashed before its first
+		// fsync. Remove it rather than refuse forever over it.
+		path := filepath.Join(db.dir, name)
+		if zeroed, err := fileIsAllZeros(path); err != nil {
+			return nil, err
+		} else if zeroed {
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("executor: remove zeroed relation file %s: %w", name, err)
+			}
+			continue
+		}
+		legacy = append(legacy, name)
+	}
+	return legacy, nil
+}
+
+// fileIsAllZeros reports whether path exists and contains only zero
+// bytes. A missing file reports false with no error.
+func fileIsAllZeros(path string) (bool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(buf)
+		for _, b := range buf[:n] {
+			if b != 0 {
+				return false, nil
+			}
+		}
+		if err == io.EOF {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+}
+
+// loadSchema reattaches every cataloged relation: orphaned data files
+// from DDL that never committed are swept, tables are opened, valid
+// indexes are reattached, and invalid indexes (a crash interrupted their
+// CREATE INDEX) are rebuilt from their heap.
+func (db *DB) loadSchema() error {
+	if db.wal != nil {
+		if err := db.sweepOrphans(); err != nil {
+			return err
+		}
+	}
+	for _, te := range db.cat.Tables() {
+		bp, existed, err := db.newPool(te.File)
+		if err != nil {
+			return err
+		}
+		if !existed {
+			return fmt.Errorf("executor: catalog lists table %q but its file %s is missing", te.Name, te.File)
+		}
+		hf, err := heap.Open(bp)
+		if err != nil {
+			return fmt.Errorf("executor: table %q (%s): %w", te.Name, te.File, err)
+		}
+		cols := make([]Column, len(te.Cols))
+		for i, c := range te.Cols {
+			cols[i] = Column{Name: c.Name, Type: c.Type}
+		}
+		db.tables[te.Name] = &Table{
+			Name:    te.Name,
+			Columns: cols,
+			Heap:    hf,
+			oid:     te.OID,
+			file:    te.File,
+			db:      db,
+		}
+	}
+	byOID := make(map[uint64]*Table, len(db.tables))
+	for _, t := range db.tables {
+		byOID[t.oid] = t
+	}
+	for _, ie := range db.cat.Indexes() {
+		t := byOID[ie.TableOID]
+		if t == nil {
+			return fmt.Errorf("executor: catalog index %q references unknown table OID %d", ie.Name, ie.TableOID)
+		}
+		oc, err := catalog.ResolveOpClass(ie.Method, ie.OpClass, t.Columns[ie.Column].Type)
+		if err != nil {
+			return fmt.Errorf("executor: catalog index %q: %w", ie.Name, err)
+		}
+		if ie.Valid {
+			bp, existed, err := db.newPool(ie.File)
+			if err != nil {
+				return err
+			}
+			if existed {
+				idx, err := am.New(oc.Name, bp, false)
+				if err != nil {
+					return fmt.Errorf("executor: index %q (%s): %w", ie.Name, ie.File, err)
+				}
+				db.attachIndex(t, ie.Name, ie.Column, oc, idx, bp, ie.File)
+				continue
+			}
+			// The file vanished under a valid entry (e.g. deleted by
+			// hand): the fresh pool newPool just opened serves as the
+			// rebuild target. Flip the entry invalid and commit first —
+			// the rebuild emits intra-build commit markers, so a crash
+			// mid-rebuild would otherwise leave committed partial pages
+			// under a still-valid entry, silently reattached next open.
+			if err := db.cat.SetIndexValid(ie.Name, false); err != nil {
+				return err
+			}
+			if err := db.commitWAL(nil); err != nil {
+				return err
+			}
+			if err := db.rebuildIndex(t, ie, oc, bp); err != nil {
+				return err
+			}
+			continue
+		}
+		// Recorded invalid: a crash interrupted its CREATE INDEX after
+		// the entry committed but before the build did. The file holds a
+		// partial build (whatever prefix the build's batch commits made
+		// durable) and must never be reattached as-is.
+		if db.dir != "" {
+			if err := os.Remove(filepath.Join(db.dir, ie.File)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("executor: remove partial index file %s: %w", ie.File, err)
+			}
+		}
+		bp, _, err := db.newPool(ie.File)
+		if err != nil {
+			return err
+		}
+		if err := db.rebuildIndex(t, ie, oc, bp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildIndex builds the index of catalog entry ie from its table's
+// heap into the fresh pool bp, marks the entry valid, and commits — the
+// recovery path of a crash-interrupted CREATE INDEX.
+func (db *DB) rebuildIndex(t *Table, ie syscat.Index, oc *catalog.OperatorClass, bp *storage.BufferPool) error {
+	idx, err := am.New(oc.Name, bp, true)
+	if err != nil {
+		return err
+	}
+	if _, err := db.buildIndex(t, idx, ie.Column, bp); err != nil {
+		return fmt.Errorf("executor: rebuild index %q: %w", ie.Name, err)
+	}
+	db.attachIndex(t, ie.Name, ie.Column, oc, idx, bp, ie.File)
+	if err := db.cat.SetIndexValid(ie.Name, true); err != nil {
+		return err
+	}
+	db.rebuilt = append(db.rebuilt, ie.Name)
+	return db.commitWAL(t)
+}
+
+// sweepOrphans removes relation files (rel<oid>.tbl / rel<oid>.idx) that
+// no catalog entry references. Such files are leftovers of DDL whose
+// commit never made it into the log — the file was created eagerly, the
+// catalog entry was discarded with the uncommitted log tail — or of a
+// DROP that crashed between its commit and its unlink. Only run when
+// write-ahead logging is on: without it there is no commit marker making
+// "file exists but entry does not" a reliable orphan signal.
+func (db *DB) sweepOrphans() error {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return err
+	}
+	known := map[string]bool{catalogFile: true}
+	for _, te := range db.cat.Tables() {
+		known[te.File] = true
+	}
+	for _, ie := range db.cat.Indexes() {
+		known[ie.File] = true
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || known[name] || !isRelationFile(name) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(db.dir, name)); err != nil {
+			return fmt.Errorf("executor: sweep orphan %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// isRelationFile reports whether name matches the catalog's relation
+// file naming scheme rel<digits>.tbl / rel<digits>.idx. Anything else in
+// the directory is not ours to touch.
+func isRelationFile(name string) bool {
+	rest, ok := strings.CutPrefix(name, "rel")
+	if !ok {
+		return false
+	}
+	digits, ok := strings.CutSuffix(rest, ".tbl")
+	if !ok {
+		if digits, ok = strings.CutSuffix(rest, ".idx"); !ok {
+			return false
+		}
+	}
+	if digits == "" {
+		return false
+	}
+	for _, r := range digits {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
 // WAL returns the attached log writer (nil when logging is off).
 func (db *DB) WAL() *wal.Writer { return db.wal }
+
+// Catalog exposes the persistent system catalog (SQL introspection, the
+// CLI's describe commands, tests).
+func (db *DB) Catalog() *syscat.Catalog { return db.cat }
+
+// RebuiltIndexes lists the indexes Open rebuilt because the catalog
+// recorded them invalid — each one a CREATE INDEX a crash interrupted.
+func (db *DB) RebuiltIndexes() []string { return append([]string(nil), db.rebuilt...) }
 
 // RecoveryStats reports the redo pass performed when the database was
 // opened (all zeros when logging is off or the log was empty).
@@ -193,6 +659,13 @@ func (db *DB) Close() error {
 	if db.crashed {
 		return nil
 	}
+	if db.broken != nil {
+		// Flushing or checkpointing would persist the diverged state a
+		// failed compensation left behind; discard it instead — the
+		// durable state is the last commit, which the next open serves.
+		db.discardAll()
+		return fmt.Errorf("executor: close discarded in-memory state poisoned by a failed DDL compensation: %w", db.broken)
+	}
 	for _, t := range db.tables {
 		for _, ix := range t.Indexes {
 			if err := ix.Idx.Flush(); err != nil {
@@ -210,6 +683,8 @@ func (db *DB) Close() error {
 	}
 	db.pools = nil
 	db.tables = make(map[string]*Table)
+	db.cat = nil
+	db.catPool = nil
 	if db.wal != nil {
 		if err := db.wal.Close(); err != nil {
 			return err
@@ -231,6 +706,9 @@ func (db *DB) Checkpoint() error {
 }
 
 func (db *DB) checkpointLocked() error {
+	if err := db.poisoned(); err != nil {
+		return err
+	}
 	for _, t := range db.tables {
 		for _, ix := range t.Indexes {
 			if err := ix.Idx.SaveMeta(); err != nil {
@@ -265,28 +743,31 @@ func (db *DB) Crash() error {
 	defer db.stmtMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.wal != nil {
-		if err := db.wal.Close(); err != nil {
-			return err
-		}
-		db.wal = nil
-	}
-	for _, bp := range db.pools {
-		if err := bp.Crash(); err != nil {
-			return err
-		}
-	}
-	db.pools = nil
-	db.tables = make(map[string]*Table)
 	db.crashed = true
-	return nil
+	return db.discardAll()
+}
+
+// poisoned reports the sticky error of a failed DDL compensation.
+// commitWAL refuses under it (a commit marker would retroactively
+// commit the ghost records left in the log), and the DDL entry points
+// check it up front so a poisoned session stops mutating the catalog
+// heap at all rather than failing late and relying on yet another
+// compensation.
+func (db *DB) poisoned() error {
+	if db.broken == nil {
+		return nil
+	}
+	return fmt.Errorf("executor: database poisoned by a failed DDL compensation, reopen it: %w", db.broken)
 }
 
 // commitWAL is the per-statement commit point: index metadata is saved
-// into (logged) meta pages, a commit marker closes the statement in the
-// log, and the log is forced according to the sync mode. A no-op when
-// logging is off.
+// into (logged) meta pages, deferred page images are materialized, a
+// commit marker closes the statement in the log, and the log is forced
+// according to the sync mode. A no-op when logging is off.
 func (db *DB) commitWAL(t *Table) error {
+	if err := db.poisoned(); err != nil {
+		return err
+	}
 	if db.wal == nil {
 		return nil
 	}
@@ -332,6 +813,12 @@ func (db *DB) newPool(fileName string) (*storage.BufferPool, bool, error) {
 	if db.wal != nil {
 		if !existed {
 			if _, err := db.wal.AppendFileCreate(fileName); err != nil {
+				// The pool never joins db.pools, so nothing else will
+				// release the descriptor or the just-created empty file.
+				dm.Close()
+				if db.dir != "" {
+					os.Remove(filepath.Join(db.dir, fileName))
+				}
 				return nil, false, err
 			}
 		}
@@ -341,37 +828,144 @@ func (db *DB) newPool(fileName string) (*storage.BufferPool, bool, error) {
 	return bp, existed, nil
 }
 
-// CreateTable creates a table (reattaching its heap file if one exists on
-// disk from a previous session).
+// flushUnlogged makes one pool durable on databases with no write-ahead
+// log (a no-op otherwise). Unlogged DDL uses it to order durability by
+// hand: a new relation's pages before its catalog entry, the catalog's
+// deletes before a DROP's unlink. Either ordering violated across a
+// crash yields a catalog entry over a missing or all-zero file — a
+// database that can never open again.
+func (db *DB) flushUnlogged(bp *storage.BufferPool) error {
+	if db.wal != nil || db.dir == "" {
+		return nil
+	}
+	if err := bp.FlushAll(); err != nil {
+		return err
+	}
+	return bp.DM().Sync()
+}
+
+// flushCatalogIfUnlogged is flushUnlogged of the catalog's own pool.
+func (db *DB) flushCatalogIfUnlogged() error {
+	if db.catPool == nil {
+		return nil
+	}
+	return db.flushUnlogged(db.catPool)
+}
+
+// discardPool forgets bp and drops its frames without writing anything
+// back — for pools of a doomed relation (a committed DROP, or a failed
+// DDL statement's compensation), whose dirty pages must reach neither
+// the log nor the file about to be unlinked.
+func (db *DB) discardPool(bp *storage.BufferPool) {
+	db.forgetPool(bp)
+	bp.Crash()
+}
+
+func (db *DB) forgetPool(bp *storage.BufferPool) {
+	for i, p := range db.pools {
+		if p == bp {
+			db.pools = append(db.pools[:i], db.pools[i+1:]...)
+			break
+		}
+	}
+}
+
+// CreateTable creates a table: its catalog entry and fresh heap file are
+// committed together, so a crash mid-statement leaves neither (the
+// orphaned file, if any, is swept at the next open).
 func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
+	if err := db.poisoned(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("executor: table %q already exists", name)
+	}
+	db.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("executor: table needs a name")
 	}
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("executor: table %q needs at least one column", name)
 	}
-	bp, existed, err := db.newPool(name + ".tbl")
+	scols := make([]syscat.Column, len(cols))
+	for i, c := range cols {
+		scols[i] = syscat.Column{Name: c.Name, Type: c.Type}
+	}
+	te, err := db.cat.AddTable(name, scols)
 	if err != nil {
 		return nil, err
 	}
-	var hf *heap.File
+	// Compensate the catalog records on any later failure: they are
+	// uncommitted, but left in place the next statement's commit marker
+	// would retroactively commit a half-executed CREATE TABLE.
+	undo := func(bp *storage.BufferPool, unlink bool) {
+		if rerr := db.cat.RemoveTable(name); rerr != nil {
+			// The ghost record cannot be taken back; poison the session
+			// so no later commit marker can commit it.
+			db.broken = rerr
+		}
+		if bp != nil {
+			db.discardPool(bp)
+		}
+		// Unlinking is only provably safe under WAL, where the no-steal
+		// rule keeps the uncommitted catalog entry off disk and the file
+		// is therefore an orphan. Unlogged, eviction may already have
+		// made the entry durable, and a durable table entry over a
+		// missing file bricks every later open — keep the file (at
+		// worst it lingers as junk).
+		if unlink && db.wal != nil && db.dir != "" {
+			os.Remove(filepath.Join(db.dir, te.File))
+		}
+	}
+	bp, existed, err := db.newPool(te.File)
+	if err != nil {
+		undo(nil, false)
+		return nil, err
+	}
 	if existed {
-		hf, err = heap.Open(bp)
-	} else {
-		hf, err = heap.Create(bp)
+		// OIDs are never reused, so a pre-existing file under a fresh
+		// OID means outside interference.
+		undo(bp, false)
+		return nil, fmt.Errorf("executor: fresh relation file %s already exists", te.File)
 	}
+	hf, err := heap.Create(bp)
 	if err != nil {
+		undo(bp, true)
 		return nil, err
 	}
-	t := &Table{Name: name, Columns: cols, Heap: hf, db: db}
-	db.tables[name] = t
+	t := &Table{Name: name, Columns: cols, Heap: hf, oid: te.OID, file: te.File, db: db}
+	if f := db.faults.BeforeDDLCommit; f != nil {
+		if err := f("CREATE TABLE " + name); err != nil {
+			return nil, faultErr{err}
+		}
+	}
 	if err := db.commitWAL(t); err != nil {
+		// Keep the file: a failed fsync leaves the commit marker's
+		// durability indeterminate, and if it did survive, the entry is
+		// committed and unlinking would strand it. If the commit truly
+		// failed, the next open sweeps the file as an orphan.
+		undo(bp, false)
 		return nil, err
 	}
+	// Unlogged databases have no commit marker ordering durability; do
+	// it by hand — the relation's pages first (a durable entry over an
+	// all-zero file would brick every later open), then the catalog
+	// entry (a relation file with no catalog at all is unreconstructable).
+	if err := db.flushUnlogged(bp); err != nil {
+		undo(bp, true)
+		return nil, err
+	}
+	if err := db.flushCatalogIfUnlogged(); err != nil {
+		undo(bp, true)
+		return nil, err
+	}
+	db.mu.Lock()
+	db.tables[name] = t
+	db.mu.Unlock()
 	return t, nil
 }
 
@@ -407,17 +1001,77 @@ func (t *Table) colIndex(name string) (int, error) {
 	return 0, fmt.Errorf("executor: table %s has no column %q", t.Name, name)
 }
 
+// attachIndex constructs the IndexInfo for an opened or built index and
+// appends it to the table (the single construction site for all three
+// paths: fresh CREATE INDEX, reattach at open, rebuild at open).
+func (db *DB) attachIndex(t *Table, name string, column int, oc *catalog.OperatorClass, idx am.Index, bp *storage.BufferPool, file string) *IndexInfo {
+	info := &IndexInfo{Name: name, Column: column, OpClass: oc, Idx: idx, pool: bp, file: file}
+	db.mu.Lock()
+	t.Indexes = append(t.Indexes, info)
+	db.mu.Unlock()
+	return info
+}
+
+// buildIndex back-fills idx from every live heap row of t (ambuild).
+// Under the buffer pool's no-steal rule a build's dirty pages are
+// unevictable until a commit marker covers them; marking in batches
+// keeps a large backfill from exhausting the pool. Those intra-build
+// markers are safe precisely because the index is still recorded invalid
+// in the catalog: a crash replays the committed prefix into the file,
+// and the invalid flag makes the next open discard and rebuild it.
+func (db *DB) buildIndex(t *Table, idx am.Index, ci int, bp *storage.BufferPool) (int, error) {
+	rows := 0
+	var err error
+	serr := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		tup, derr := catalog.DecodeTuple(rec)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		if ierr := idx.Insert(tup[ci], rid); ierr != nil {
+			err = ierr
+			return false
+		}
+		rows++
+		if f := db.faults.DuringIndexBuild; f != nil {
+			if ferr := f(rows); ferr != nil {
+				err = faultErr{ferr}
+				return false
+			}
+		}
+		if db.wal != nil && rows%256 == 0 {
+			if werr := bp.LogPendingImages(); werr != nil {
+				err = werr
+				return false
+			}
+			if _, werr := db.wal.AppendCommit(); werr != nil {
+				err = werr
+				return false
+			}
+		}
+		return true
+	})
+	if serr != nil {
+		return rows, serr
+	}
+	return rows, err
+}
+
 // CreateIndex creates an index on a column, via CREATE INDEX ... USING
 // method (col opclass). When opclassName is empty the default class of
 // (method, column type) is used. Existing rows are back-filled (ambuild).
 //
-// CREATE INDEX is not crash-atomic: a crash mid-build leaves a partial
-// index file that a later CreateIndex reattaches as-is (there is no
-// persistent catalog recording build completion yet). After a crash
-// during a build, remove the .idx file so the index is rebuilt.
+// CREATE INDEX is crash-atomic through the system catalog: the index's
+// entry is committed *invalid* before the build starts and flipped valid
+// only when the build commits. A crash anywhere in between is detected
+// at the next Open, which removes the partial index file and rebuilds
+// the index from the heap — a partial build is never reattached.
 func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName string) (*IndexInfo, error) {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
+	if err := db.poisoned(); err != nil {
+		return nil, err
+	}
 	t, err := db.Table(tableName)
 	if err != nil {
 		return nil, err
@@ -426,99 +1080,315 @@ func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName strin
 	if err != nil {
 		return nil, err
 	}
-	if _, ok := catalog.LookupAM(method); !ok {
-		return nil, fmt.Errorf("executor: unknown access method %q", method)
+	oc, err := catalog.ResolveOpClass(method, opclassName, t.Columns[ci].Type)
+	if err != nil {
+		return nil, err
 	}
-	var oc *catalog.OperatorClass
-	if opclassName == "" {
-		oc, err = catalog.DefaultOpClass(method, t.Columns[ci].Type)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		var ok bool
-		oc, ok = catalog.LookupOpClass(opclassName)
-		if !ok {
-			return nil, fmt.Errorf("executor: unknown operator class %q", opclassName)
-		}
-		if oc.AM != method {
-			return nil, fmt.Errorf("executor: operator class %s belongs to %s, not %s", oc.Name, oc.AM, method)
-		}
-		if oc.Type != t.Columns[ci].Type {
-			return nil, fmt.Errorf("executor: operator class %s indexes %v, column %s is %v",
-				oc.Name, oc.Type, colName, t.Columns[ci].Type)
-		}
+	if idxName == "" {
+		return nil, fmt.Errorf("executor: index needs a name")
 	}
-	db.mu.Lock()
-	for _, ix := range t.Indexes {
-		if ix.Name == idxName {
-			db.mu.Unlock()
-			return nil, fmt.Errorf("executor: index %q already exists", idxName)
-		}
+	if _, dup := db.cat.GetIndex(idxName); dup {
+		return nil, fmt.Errorf("executor: index %q already exists", idxName)
 	}
-	db.mu.Unlock()
 
-	bp, existed, err := db.newPool(idxName + ".idx")
+	// Phase 1: commit the entry as invalid, together with the fresh
+	// file's creation, before any build work. From here on a crash
+	// leaves a durable "this index is incomplete" record.
+	ie, err := db.cat.AddIndex(idxName, t.oid, ci, method, oc.Name, false)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := am.New(oc.Name, bp, !existed)
-	if err != nil {
-		return nil, err
-	}
-	info := &IndexInfo{Name: idxName, Column: ci, OpClass: oc, Idx: idx}
-	// ambuild: back-fill from the heap unless the file already held a
-	// built index.
-	if !existed {
-		rows := 0
-		err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
-			tup, derr := catalog.DecodeTuple(rec)
-			if derr != nil {
-				err = derr
-				return false
+	// undo compensates the catalog entry on failure. Before the phase-1
+	// commit the records are simply uncommitted leftovers that must not
+	// ride along under the next statement's marker; after it, the
+	// compensation itself is committed (commit=true) so a *failed* (not
+	// crashed) CREATE INDEX durably leaves nothing — no invalid entry,
+	// no rebuild at the next open.
+	undo := func(bp *storage.BufferPool, unlink, commit bool) {
+		if rerr := db.cat.RemoveIndex(idxName); rerr != nil {
+			// The ghost record cannot be taken back; poison the session
+			// so no later commit marker can commit it. (After the
+			// phase-1 commit the entry is durable anyway and the next
+			// open rebuilds or drops it.)
+			db.broken = rerr
+		} else if commit {
+			// Discard the doomed build's frames first, so the
+			// compensation commit does not log page images of a file
+			// about to be unlinked.
+			if bp != nil {
+				db.discardPool(bp)
+				bp = nil
 			}
-			if ierr := idx.Insert(tup[ci], rid); ierr != nil {
-				err = ierr
-				return false
+			if cerr := db.commitWAL(nil); cerr != nil {
+				// The compensation never committed; the durable invalid
+				// entry survives for the next open. Poison the session
+				// so the operator learns the statement's full outcome.
+				db.broken = cerr
 			}
-			rows++
-			// Under the buffer pool's no-steal rule a build's dirty
-			// pages are unevictable until a commit marker covers them;
-			// marking in batches keeps a large backfill from exhausting
-			// the pool. (CREATE INDEX is not crash-atomic: a crash mid
-			// build can leave a partial index file — remove it to
-			// rebuild.)
-			if db.wal != nil && rows%256 == 0 {
-				if werr := bp.LogPendingImages(); werr != nil {
-					err = werr
-					return false
-				}
-				if _, werr := db.wal.AppendCommit(); werr != nil {
-					err = werr
-					return false
-				}
-			}
-			return true
-		})
-		if err != nil {
-			return nil, err
+		}
+		if bp != nil {
+			db.discardPool(bp)
+		}
+		if unlink && db.dir != "" {
+			os.Remove(filepath.Join(db.dir, ie.File))
 		}
 	}
-	db.mu.Lock()
-	t.Indexes = append(t.Indexes, info)
-	db.mu.Unlock()
+	bp, existed, err := db.newPool(ie.File)
+	if err != nil {
+		undo(nil, false, false)
+		return nil, err
+	}
+	if existed {
+		undo(bp, false, false)
+		return nil, fmt.Errorf("executor: fresh relation file %s already exists", ie.File)
+	}
+	idx, err := am.New(oc.Name, bp, true)
+	if err != nil {
+		undo(bp, true, false)
+		return nil, err
+	}
+	if err := db.commitWAL(nil); err != nil {
+		undo(bp, true, false)
+		return nil, err
+	}
+
+	// Phase 2: ambuild.
+	if _, err := db.buildIndex(t, idx, ci, bp); err != nil {
+		if isFault(err) {
+			return nil, err // simulated crash: leave the state for Crash()
+		}
+		undo(bp, true, true)
+		return nil, err
+	}
+
+	// Phase 3: flip the entry valid and commit it with the build's final
+	// page images and metadata — the statement's real commit point. The
+	// index joins t.Indexes only after the commit succeeds, so a failed
+	// statement never leaves a live index behind.
+	if err := db.cat.SetIndexValid(idxName, true); err != nil {
+		undo(bp, true, true)
+		return nil, err
+	}
 	// Fresh statistics make the planner's selectivity realistic (like
 	// the auto-ANALYZE PostgreSQL runs after bulk operations).
 	if err := t.Analyze(); err != nil {
+		undo(bp, true, true)
 		return nil, err
 	}
-	// The build dirtied many index pages (all logged as page images);
-	// persist the index metadata and force the log once for the whole
-	// ambuild rather than per row.
+	if f := db.faults.BeforeDDLCommit; f != nil {
+		if err := f("CREATE INDEX " + idxName); err != nil {
+			return nil, faultErr{err}
+		}
+	}
+	if err := idx.SaveMeta(); err != nil {
+		undo(bp, true, true)
+		return nil, err
+	}
 	if err := db.commitWAL(t); err != nil {
+		// Keep the file: the failed fsync leaves the marker's durability
+		// indeterminate. If it survived, the entry is committed valid
+		// and replay reconstructs the file; if not, the entry is still
+		// invalid and the next open removes and rebuilds it.
+		undo(bp, false, true)
 		return nil, err
 	}
-	return info, nil
+	// See CreateTable: unlogged durability by hand, index pages before
+	// the (now valid) catalog entry.
+	if err := db.flushUnlogged(bp); err != nil {
+		undo(bp, true, true)
+		return nil, err
+	}
+	if err := db.flushCatalogIfUnlogged(); err != nil {
+		undo(bp, true, true)
+		return nil, err
+	}
+	return db.attachIndex(t, idxName, ci, oc, idx, bp, ie.File), nil
+}
+
+// DropIndex removes an index: its catalog entry is deleted and committed
+// first, then the file is closed and unlinked. Under WAL a crash between
+// the two leaves an orphaned file that the next open sweeps; unlogged
+// databases have no sweep, so such a file lingers as junk.
+//
+// Like every DDL statement, DropIndex serializes against other writers
+// under the statement lock, but the engine does not lock readers:
+// dropping a relation while another goroutine is still scanning it
+// closes that scan's buffer pool underneath it (PostgreSQL would block
+// on a relation lock here). Callers must not drop a relation with reads
+// of it in flight.
+func (db *DB) DropIndex(name string) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	if err := db.poisoned(); err != nil {
+		return err
+	}
+	ie, ok := db.cat.GetIndex(name)
+	if !ok {
+		return fmt.Errorf("executor: unknown index %q", name)
+	}
+	// An entry may be cataloged without an attached IndexInfo (a failed
+	// CREATE INDEX left its invalid entry behind); like PostgreSQL's
+	// droppable INVALID indexes, DROP INDEX must remove those too.
+	db.mu.Lock()
+	var t *Table
+	var info *IndexInfo
+	var pos int
+	for _, cand := range db.tables {
+		if cand.oid != ie.TableOID {
+			continue
+		}
+		t = cand
+		for i, ix := range cand.Indexes {
+			if ix.Name == name {
+				info, pos = ix, i
+				break
+			}
+		}
+	}
+	db.mu.Unlock()
+	if err := db.cat.RemoveIndex(name); err != nil {
+		return err
+	}
+	if f := db.faults.BeforeDDLCommit; f != nil {
+		if err := f("DROP INDEX " + name); err != nil {
+			return faultErr{err}
+		}
+	}
+	if err := db.commitWAL(nil); err != nil {
+		// Best-effort compensation: re-insert the entry so the
+		// uncommitted delete cannot ride along under a later statement's
+		// marker. (WAL append/sync errors are sticky, so this mostly
+		// matters for keeping the in-memory catalog consistent with the
+		// still-attached index.)
+		if rerr := db.cat.RestoreIndex(ie); rerr != nil {
+			db.broken = rerr
+		}
+		return err
+	}
+	if err := db.flushCatalogIfUnlogged(); err != nil {
+		// The delete may not be durable; re-insert the entry so the
+		// catalog keeps matching the still-attached index.
+		if rerr := db.cat.RestoreIndex(ie); rerr != nil {
+			db.broken = rerr
+		}
+		return err
+	}
+	// The drop is committed; detach and unlink unconditionally from here
+	// on, reporting the first failure only afterwards — aborting early
+	// would leave files no later open can reclaim (the orphan sweep only
+	// runs under WAL).
+	var firstErr error
+	if t != nil && info != nil {
+		// Copy-on-write removal: an in-place splice would mutate the
+		// backing array under any reader still iterating the old slice
+		// header.
+		db.mu.Lock()
+		fresh := make([]*IndexInfo, 0, len(t.Indexes)-1)
+		fresh = append(fresh, t.Indexes[:pos]...)
+		fresh = append(fresh, t.Indexes[pos+1:]...)
+		t.Indexes = fresh
+		db.mu.Unlock()
+		db.discardPool(info.pool)
+	}
+	if db.dir != "" {
+		if err := os.Remove(filepath.Join(db.dir, ie.File)); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DropTable removes a table and all its indexes: every catalog entry is
+// deleted and committed in one statement, then the files are closed and
+// unlinked. Under WAL a crash between the two leaves orphaned files that
+// the next open sweeps (unlogged databases have no sweep; such files
+// linger as junk). As with DropIndex, callers must not drop a table with
+// reads of it in flight — readers are not locked out.
+func (db *DB) DropTable(name string) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	if err := db.poisoned(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	t, ok := db.tables[name]
+	db.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("executor: unknown table %q", name)
+	}
+	// Remove every *cataloged* index of the table, not just the attached
+	// ones: a failed CREATE INDEX can leave a cataloged entry with no
+	// IndexInfo, and a dangling index record would make the catalog
+	// unloadable at the next open. On any failure before the commit,
+	// re-insert whatever was already removed so the uncommitted deletes
+	// cannot ride along under a later statement's marker.
+	te, _ := db.cat.GetTable(name)
+	catIndexes := db.cat.IndexesOf(t.oid)
+	restore := func(upTo int, table bool) {
+		for i := 0; i < upTo; i++ {
+			if rerr := db.cat.RestoreIndex(catIndexes[i]); rerr != nil {
+				db.broken = rerr
+			}
+		}
+		if table {
+			if rerr := db.cat.RestoreTable(te); rerr != nil {
+				db.broken = rerr
+			}
+		}
+	}
+	for i, ie := range catIndexes {
+		if err := db.cat.RemoveIndex(ie.Name); err != nil {
+			restore(i, false)
+			return err
+		}
+	}
+	if err := db.cat.RemoveTable(name); err != nil {
+		restore(len(catIndexes), false)
+		return err
+	}
+	if f := db.faults.BeforeDDLCommit; f != nil {
+		if err := f("DROP TABLE " + name); err != nil {
+			return faultErr{err}
+		}
+	}
+	if err := db.commitWAL(nil); err != nil {
+		restore(len(catIndexes), true)
+		return err
+	}
+	if err := db.flushCatalogIfUnlogged(); err != nil {
+		// The deletes may not be durable; re-insert the entries so the
+		// catalog keeps matching the still-attached table.
+		restore(len(catIndexes), true)
+		return err
+	}
+	db.mu.Lock()
+	delete(db.tables, name)
+	db.mu.Unlock()
+	// The drop is committed; detach and unlink everything, reporting the
+	// first failure only afterwards — aborting early would leave files
+	// no later open can reclaim (the orphan sweep only runs under WAL).
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, ix := range t.Indexes {
+		db.discardPool(ix.pool)
+	}
+	db.discardPool(t.Heap.Pool())
+	if db.dir != "" {
+		unlink := func(file string) {
+			if err := os.Remove(filepath.Join(db.dir, file)); err != nil && !os.IsNotExist(err) {
+				keep(err)
+			}
+		}
+		for _, ie := range catIndexes {
+			unlink(ie.File)
+		}
+		unlink(t.file)
+	}
+	return firstErr
 }
 
 // Insert adds a row, maintaining all indexes, and returns its RID.

@@ -328,20 +328,22 @@ func TestOnDiskPersistenceOfTableAndIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The persistent catalog rediscovers the table and its index; no
+	// re-declaration.
 	db2, err := Open(Options{Dir: dir, PageSize: 1024, PoolPages: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	tb2, err := db2.CreateTable("w", []Column{{"name", catalog.Text}})
+	tb2, err := db2.Table("w")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tb2.Heap.Count() != 300 {
 		t.Fatalf("rows after reopen: %d", tb2.Heap.Count())
 	}
-	if _, err := db2.CreateIndex("w_idx", "w", "name", "spgist", "spgist_trie"); err != nil {
-		t.Fatal(err)
+	if len(tb2.Indexes) != 1 || tb2.Indexes[0].Name != "w_idx" || tb2.Indexes[0].OpClass.Name != "spgist_trie" {
+		t.Fatalf("index not rediscovered: %+v", tb2.Indexes)
 	}
 	n, plan := countSelect(t, tb2, &Pred{Column: 0, Op: "=", Arg: catalog.NewText("word042")})
 	if plan.Kind != IndexScan {

@@ -77,9 +77,11 @@ func (p *Plan) String() string {
 
 func (t *Table) stats(column int) catalog.TableStats {
 	st := catalog.TableStats{Rows: t.Heap.Count()}
+	t.statsMu.Lock()
 	if t.ndistinct != nil && column < len(t.ndistinct) {
 		st.NDistinct = t.ndistinct[column]
 	}
+	t.statsMu.Unlock()
 	return st
 }
 
@@ -126,6 +128,7 @@ func (t *Table) PlanSelect(pred *Pred) (*Plan, error) {
 	if pred == nil {
 		return best, nil
 	}
+	t.ensureStats()
 	op, ok := catalog.LookupOperator(pred.Op, t.Columns[pred.Column].Type)
 	if !ok {
 		return nil, fmt.Errorf("executor: no operator %q for type %v",

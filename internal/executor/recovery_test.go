@@ -149,8 +149,9 @@ func TestCrashRecoveryMatchesCleanShutdown(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
+	// Reopen: the persistent catalog rediscovers the schema; nothing is
+	// re-declared.
 	db = openRecoveryDB(t, cleanDir)
-	declareRecoverySchema(t, db)
 	cleanRows := queryAll(t, db)
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
@@ -174,7 +175,6 @@ func TestCrashRecoveryMatchesCleanShutdown(t *testing.T) {
 	if rs.HeapInserts == 0 || rs.PageImages == 0 {
 		t.Fatalf("recovery exercised only one record family: %+v", rs)
 	}
-	declareRecoverySchema(t, db)
 	crashRows := queryAll(t, db)
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
@@ -216,7 +216,7 @@ func TestCheckpointBoundsLogAndSurvivesCrash(t *testing.T) {
 	if db.RecoveryStats().Checkpoints != 1 {
 		t.Fatalf("recovery did not see the checkpoint: %+v", db.RecoveryStats())
 	}
-	s = declareRecoverySchema(t, db)
+	s = sqlmini.NewSession(db)
 	res, err := s.Exec(`SELECT * FROM words WHERE name = 'postcheckpoint'`)
 	if err != nil {
 		t.Fatal(err)
@@ -277,16 +277,15 @@ func TestCrashWithoutRecoveryLosesData(t *testing.T) {
 	}
 	db, err = executor.Open(executor.Options{Dir: dir, PoolPages: 8})
 	if err != nil {
-		t.Fatal(err)
-	}
-	s = sqlmini.NewSession(db)
-	if _, err := s.Exec(`CREATE TABLE w (name VARCHAR, id INT)`); err != nil {
-		// The heap meta page may be entirely lost; that is fine — the
-		// point is only that state is missing without a WAL.
+		// The system catalog (or a heap meta page) was entirely lost;
+		// that is fine — the point is only that state is missing without
+		// a WAL.
 		return
 	}
+	s = sqlmini.NewSession(db)
 	res, err := s.Exec(`SELECT * FROM w`)
 	if err != nil {
+		// The table did not survive the crash — also data loss.
 		return
 	}
 	if len(res.Rows) == 50 {

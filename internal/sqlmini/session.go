@@ -107,6 +107,24 @@ func (p *parser) statement(s *Session) (*Result, error) {
 			return p.createIndex(s)
 		}
 		return nil, fmt.Errorf("sql: CREATE must be followed by TABLE or INDEX")
+	case p.at(tokIdent, "DROP"):
+		p.i++
+		if p.accept(tokIdent, "TABLE") {
+			return p.dropTable(s)
+		}
+		if p.accept(tokIdent, "INDEX") {
+			return p.dropIndex(s)
+		}
+		return nil, fmt.Errorf("sql: DROP must be followed by TABLE or INDEX")
+	case p.at(tokIdent, "SHOW"):
+		p.i++
+		if p.accept(tokIdent, "TABLES") {
+			return showTables(s)
+		}
+		if p.accept(tokIdent, "INDEXES") {
+			return showIndexes(s)
+		}
+		return nil, fmt.Errorf("sql: SHOW must be followed by TABLES or INDEXES")
 	case p.at(tokIdent, "INSERT"):
 		p.i++
 		return p.insert(s)
@@ -215,6 +233,108 @@ func (p *parser) createIndex(s *Session) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Msg: fmt.Sprintf("CREATE INDEX %s", name.text)}, nil
+}
+
+// atStatementEnd reports whether the parser sits on a statement
+// terminator. Statements with irreversible side effects check it before
+// executing, so `DROP TABLE t garbage` fails as a parse error without
+// having dropped anything (most statements parse-while-executing and
+// rely on Exec's trailing-input check alone). Exec is a single-statement
+// API, so a semicolon only terminates when nothing but EOF follows —
+// `DROP TABLE t; DROP TABLE u` must not drop t and then parse-fail.
+func (p *parser) atStatementEnd() bool {
+	if p.at(tokEOF, "") {
+		return true
+	}
+	return p.at(tokPunct, ";") && p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokEOF
+}
+
+// DROP TABLE name
+func (p *parser) dropTable(s *Session) (*Result, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if !p.atStatementEnd() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	if err := s.DB.DropTable(name.text); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("DROP TABLE %s", name.text)}, nil
+}
+
+// DROP INDEX name
+func (p *parser) dropIndex(s *Session) (*Result, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if !p.atStatementEnd() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	if err := s.DB.DropIndex(name.text); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("DROP INDEX %s", name.text)}, nil
+}
+
+// SHOW TABLES: one row per table record of the persistent system
+// catalog — name, column list, live row count, and heap file.
+func showTables(s *Session) (*Result, error) {
+	res := &Result{Columns: []string{"table", "columns", "rows", "file"}}
+	for _, te := range s.DB.Catalog().Tables() {
+		var cols []string
+		for _, c := range te.Cols {
+			cols = append(cols, fmt.Sprintf("%s %v", c.Name, c.Type))
+		}
+		rows := int64(0)
+		if t, err := s.DB.Table(te.Name); err == nil {
+			rows = t.Heap.Count()
+		}
+		res.Rows = append(res.Rows, catalog.Tuple{
+			catalog.NewText(te.Name),
+			catalog.NewText(strings.Join(cols, ", ")),
+			catalog.NewInt(rows),
+			catalog.NewText(te.File),
+		})
+	}
+	return res, nil
+}
+
+// SHOW INDEXES: one row per index record of the persistent system
+// catalog — name, table, indexed column, access method, operator class,
+// validity, and index file.
+func showIndexes(s *Session) (*Result, error) {
+	cat := s.DB.Catalog()
+	res := &Result{Columns: []string{"index", "table", "column", "method", "opclass", "valid", "file"}}
+	byOID := make(map[uint64]string)
+	colName := func(tableOID uint64, ord int) string {
+		tn, ok := byOID[tableOID]
+		if !ok {
+			return "?"
+		}
+		te, _ := cat.GetTable(tn)
+		if ord < 0 || ord >= len(te.Cols) {
+			return "?"
+		}
+		return te.Cols[ord].Name
+	}
+	for _, te := range cat.Tables() {
+		byOID[te.OID] = te.Name
+	}
+	for _, ie := range cat.Indexes() {
+		res.Rows = append(res.Rows, catalog.Tuple{
+			catalog.NewText(ie.Name),
+			catalog.NewText(byOID[ie.TableOID]),
+			catalog.NewText(colName(ie.TableOID, ie.Column)),
+			catalog.NewText(ie.Method),
+			catalog.NewText(ie.OpClass),
+			catalog.NewText(fmt.Sprintf("%v", ie.Valid)),
+			catalog.NewText(ie.File),
+		})
+	}
+	return res, nil
 }
 
 // INSERT INTO table VALUES (lit, ...), (...)

@@ -211,3 +211,101 @@ func TestCheckpointStatement(t *testing.T) {
 		t.Fatalf("rows after checkpoint: %d", len(res2.Rows))
 	}
 }
+
+// SHOW TABLES / SHOW INDEXES answer from the persistent system catalog,
+// and DROP TABLE / DROP INDEX remove the entries they report.
+func TestShowAndDropStatements(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE word_data (name VARCHAR, id INT)`)
+	mustExec(t, s, `CREATE INDEX wd_trie ON word_data USING spgist (name spgist_trie)`)
+	mustExec(t, s, `INSERT INTO word_data VALUES ('random', 1), ('spade', 2)`)
+	mustExec(t, s, `CREATE TABLE pts (p POINT)`)
+
+	res := mustExec(t, s, `SHOW TABLES`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("SHOW TABLES: %d rows", len(res.Rows))
+	}
+	// Catalog order is creation (OID) order.
+	if res.Rows[0][0].S != "word_data" || res.Rows[1][0].S != "pts" {
+		t.Fatalf("SHOW TABLES names: %v / %v", res.Rows[0][0].S, res.Rows[1][0].S)
+	}
+	if res.Rows[0][1].S != "name VARCHAR, id INT" {
+		t.Fatalf("SHOW TABLES columns: %q", res.Rows[0][1].S)
+	}
+	if res.Rows[0][2].I != 2 {
+		t.Fatalf("SHOW TABLES row count: %d", res.Rows[0][2].I)
+	}
+
+	res = mustExec(t, s, `SHOW INDEXES`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("SHOW INDEXES: %d rows", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[0].S != "wd_trie" || row[1].S != "word_data" || row[2].S != "name" ||
+		row[3].S != "spgist" || row[4].S != "spgist_trie" || row[5].S != "true" {
+		t.Fatalf("SHOW INDEXES row: %v", row)
+	}
+
+	if res := mustExec(t, s, `DROP INDEX wd_trie`); res.Msg != "DROP INDEX wd_trie" {
+		t.Fatalf("DROP INDEX replied %q", res.Msg)
+	}
+	if res := mustExec(t, s, `SHOW INDEXES`); len(res.Rows) != 0 {
+		t.Fatalf("index survived DROP INDEX: %v", res.Rows)
+	}
+	if res := mustExec(t, s, `DROP TABLE word_data`); res.Msg != "DROP TABLE word_data" {
+		t.Fatalf("DROP TABLE replied %q", res.Msg)
+	}
+	if res := mustExec(t, s, `SHOW TABLES`); len(res.Rows) != 1 || res.Rows[0][0].S != "pts" {
+		t.Fatalf("SHOW TABLES after drop: %v", res.Rows)
+	}
+	if _, err := s.Exec(`SELECT * FROM word_data`); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	for _, bad := range []string{
+		`DROP TABLE missing`,
+		`DROP INDEX missing`,
+		`DROP VIEW v`,
+		`SHOW COLUMNS`,
+	} {
+		if _, err := s.Exec(bad); err == nil {
+			t.Errorf("statement %q should fail", bad)
+		}
+	}
+}
+
+// A malformed DROP must fail as a parse error BEFORE the drop executes —
+// the destructive side effect must not precede the syntax check.
+func TestMalformedDropDoesNotDrop(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE t (name VARCHAR)`)
+	mustExec(t, s, `CREATE INDEX ti ON t USING spgist (name spgist_trie)`)
+	if _, err := s.Exec(`DROP INDEX ti garbage`); err == nil {
+		t.Fatal("malformed DROP INDEX accepted")
+	}
+	if res := mustExec(t, s, `SHOW INDEXES`); len(res.Rows) != 1 {
+		t.Fatal("malformed DROP INDEX still dropped the index")
+	}
+	if _, err := s.Exec(`DROP TABLE t garbage`); err == nil {
+		t.Fatal("malformed DROP TABLE accepted")
+	}
+	if res := mustExec(t, s, `SELECT * FROM t`); res == nil {
+		t.Fatal("table unexpectedly gone")
+	}
+	// Well-formed drops (with and without semicolon) still work.
+	mustExec(t, s, `DROP INDEX ti;`)
+	mustExec(t, s, `DROP TABLE t`)
+}
+
+// Exec is a single-statement API: `DROP TABLE t; DROP TABLE u` must
+// parse-fail without having dropped t.
+func TestMultiStatementDropDoesNotHalfExecute(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE t (name VARCHAR)`)
+	mustExec(t, s, `CREATE TABLE u (name VARCHAR)`)
+	if _, err := s.Exec(`DROP TABLE t; DROP TABLE u`); err == nil {
+		t.Fatal("multi-statement DROP accepted")
+	}
+	if res := mustExec(t, s, `SHOW TABLES`); len(res.Rows) != 2 {
+		t.Fatalf("multi-statement DROP half-executed: %d tables left", len(res.Rows))
+	}
+}

@@ -1,0 +1,618 @@
+// Package syscat is the persistent system catalog of this reproduction —
+// the on-disk analogue of the PostgreSQL catalogs (pg_class, pg_attribute,
+// pg_index) that make every relation self-describing. The paper's SP-GiST
+// realization leans on those catalogs to register access methods and
+// operator classes and to let the server rediscover every relation after a
+// restart; this package supplies the same property for our engine.
+//
+// The catalog is itself stored in a heap file (conventionally named by
+// executor's catalogFile), so its mutations flow through the same
+// write-ahead-logged heap path as user data: a DDL statement writes its
+// catalog records, and the executor's per-statement commit marker makes
+// the records and the relation's pages atomic together. Three record
+// kinds live in the heap:
+//
+//   - a relation record per table: OID, name, heap file name, and the
+//     column list (each column's name and SQL type name, resolved back
+//     through catalog.TypeByName on load — the file is self-describing);
+//   - an index record per index: OID, name, owning table OID, column
+//     ordinal, access-method and operator-class names, index file name,
+//     and a validity flag. An index is recorded invalid when its CREATE
+//     INDEX begins and flipped valid only when the build commits, so a
+//     crash mid-build is detectable at the next open;
+//   - a single OID counter record. OIDs are never reused — a dropped
+//     relation's file name must stay dead while write-ahead log records
+//     mentioning it can still replay, or redo could alias an old
+//     relation's pages into a new one's file.
+//
+// Updates are delete+insert pairs within one statement (the heap has no
+// in-place update), so they inherit the statement's crash atomicity.
+//
+// The catalog performs no locking discipline of its own beyond an
+// internal mutex: the executor serializes DDL under its statement lock.
+package syscat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/heap"
+)
+
+// Column is one column of a cataloged table.
+type Column struct {
+	Name string
+	Type catalog.Type
+}
+
+// Table is one relation record: a table and its heap file.
+type Table struct {
+	OID  uint64
+	Name string
+	File string // heap file base name, rel<OID>.tbl
+	Cols []Column
+}
+
+// Index is one index record.
+type Index struct {
+	OID      uint64
+	Name     string
+	TableOID uint64
+	Column   int    // ordinal in the owning table's schema
+	Method   string // access method name (pg_am reference)
+	OpClass  string // operator class name (pg_opclass reference)
+	File     string // index file base name, rel<OID>.idx
+	Valid    bool   // false from CREATE INDEX start until its build commits
+}
+
+// Record kinds, stored as the first byte of each catalog heap record.
+const (
+	recCounter byte = 'O'
+	recTable   byte = 'T'
+	recIndex   byte = 'I'
+)
+
+// Catalog is an open system catalog over a heap file.
+type Catalog struct {
+	mu   sync.RWMutex
+	heap *heap.File
+
+	tables  map[string]*tableSlot
+	indexes map[string]*indexSlot
+
+	nextOID    uint64
+	counterRID heap.RID
+}
+
+type tableSlot struct {
+	t   Table
+	rid heap.RID
+}
+
+type indexSlot struct {
+	i   Index
+	rid heap.RID
+}
+
+// New attaches a catalog to its heap file. fresh distinguishes a newly
+// created heap (the OID counter is initialized) from an existing one
+// (every record is loaded and validated).
+func New(hf *heap.File, fresh bool) (*Catalog, error) {
+	c := &Catalog{
+		heap:       hf,
+		tables:     make(map[string]*tableSlot),
+		indexes:    make(map[string]*indexSlot),
+		counterRID: heap.InvalidRID,
+	}
+	if fresh {
+		c.nextOID = 1
+		rid, err := hf.Insert(encodeCounter(c.nextOID))
+		if err != nil {
+			return nil, fmt.Errorf("syscat: init counter: %w", err)
+		}
+		c.counterRID = rid
+		return c, nil
+	}
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// load scans every catalog record. Heap scan order is physical, not
+// logical (an updated record moves to a freed slot), so records are
+// collected first and cross-checked after.
+func (c *Catalog) load() error {
+	var maxOID uint64
+	var derr error
+	err := c.heap.Scan(func(rid heap.RID, rec []byte) bool {
+		if len(rec) == 0 {
+			derr = fmt.Errorf("syscat: empty catalog record at %v", rid)
+			return false
+		}
+		switch rec[0] {
+		case recCounter:
+			v, err := decodeCounter(rec)
+			if err != nil {
+				derr = err
+				return false
+			}
+			// Keep the highest counter seen; duplicates cannot normally
+			// exist, but taking the max is the safe reading.
+			if v > c.nextOID {
+				c.nextOID = v
+				c.counterRID = rid
+			}
+		case recTable:
+			t, err := decodeTable(rec)
+			if err != nil {
+				derr = err
+				return false
+			}
+			if _, dup := c.tables[t.Name]; dup {
+				derr = fmt.Errorf("syscat: duplicate table record %q", t.Name)
+				return false
+			}
+			c.tables[t.Name] = &tableSlot{t: t, rid: rid}
+			if t.OID > maxOID {
+				maxOID = t.OID
+			}
+		case recIndex:
+			ix, err := decodeIndex(rec)
+			if err != nil {
+				derr = err
+				return false
+			}
+			if _, dup := c.indexes[ix.Name]; dup {
+				derr = fmt.Errorf("syscat: duplicate index record %q", ix.Name)
+				return false
+			}
+			c.indexes[ix.Name] = &indexSlot{i: ix, rid: rid}
+			if ix.OID > maxOID {
+				maxOID = ix.OID
+			}
+		default:
+			derr = fmt.Errorf("syscat: unknown catalog record kind %q at %v", rec[0], rid)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if derr != nil {
+		return derr
+	}
+	if c.nextOID <= maxOID {
+		// A damaged or missing counter must still never hand out a live
+		// OID; advancing past the maximum is the conservative repair.
+		c.nextOID = maxOID + 1
+	}
+	// Every index must reference a cataloged table.
+	byOID := make(map[uint64]string, len(c.tables))
+	for _, s := range c.tables {
+		byOID[s.t.OID] = s.t.Name
+	}
+	for _, s := range c.indexes {
+		tn, ok := byOID[s.i.TableOID]
+		if !ok {
+			return fmt.Errorf("syscat: index %q references unknown table OID %d", s.i.Name, s.i.TableOID)
+		}
+		ncols := len(c.tables[tn].t.Cols)
+		if s.i.Column < 0 || s.i.Column >= ncols {
+			return fmt.Errorf("syscat: index %q column ordinal %d out of range for table %q", s.i.Name, s.i.Column, tn)
+		}
+	}
+	return nil
+}
+
+// alloc hands out the next OID and persists the advanced counter, so a
+// dropped relation's OID (and therefore its file name) is never reissued
+// even across crashes.
+func (c *Catalog) alloc() (uint64, error) {
+	oid := c.nextOID
+	c.nextOID++
+	// Insert the advanced counter *before* deleting the old record: if
+	// both survive a failure here, load() takes the maximum, which is
+	// harmless — whereas a delete whose replacement insert failed would
+	// leave an uncommitted counter deletion that a later statement's
+	// commit marker could make durable, re-opening the OID-reuse hazard
+	// this record exists to prevent.
+	rid, err := c.heap.Insert(encodeCounter(c.nextOID))
+	if err != nil {
+		c.nextOID-- // nothing persisted; hand the OID back
+		return 0, fmt.Errorf("syscat: rewrite counter: %w", err)
+	}
+	old := c.counterRID
+	c.counterRID = rid
+	if old.Valid() {
+		// A failed delete leaves a stale (lower) counter record behind;
+		// benign — load() takes the max — and not worth failing the DDL
+		// over.
+		c.heap.Delete(old)
+	}
+	return oid, nil
+}
+
+// AddTable records a new table and returns its catalog entry (OID and
+// heap file name assigned here). The caller commits the statement.
+func (c *Catalog) AddTable(name string, cols []Column) (Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[name]; dup {
+		return Table{}, fmt.Errorf("syscat: table %q already cataloged", name)
+	}
+	oid, err := c.alloc()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		OID:  oid,
+		Name: name,
+		File: fmt.Sprintf("rel%d.tbl", oid),
+		Cols: append([]Column(nil), cols...),
+	}
+	rid, err := c.heap.Insert(encodeTable(t))
+	if err != nil {
+		return Table{}, fmt.Errorf("syscat: add table %q: %w", name, err)
+	}
+	c.tables[name] = &tableSlot{t: t, rid: rid}
+	return t, nil
+}
+
+// AddIndex records a new index (normally with valid=false: the entry
+// commits before the build starts, and SetIndexValid flips it once the
+// build commits). The caller commits the statement.
+func (c *Catalog) AddIndex(name string, tableOID uint64, column int, method, opclass string, valid bool) (Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.indexes[name]; dup {
+		return Index{}, fmt.Errorf("syscat: index %q already cataloged", name)
+	}
+	oid, err := c.alloc()
+	if err != nil {
+		return Index{}, err
+	}
+	ix := Index{
+		OID:      oid,
+		Name:     name,
+		TableOID: tableOID,
+		Column:   column,
+		Method:   method,
+		OpClass:  opclass,
+		File:     fmt.Sprintf("rel%d.idx", oid),
+		Valid:    valid,
+	}
+	rid, err := c.heap.Insert(encodeIndex(ix))
+	if err != nil {
+		return Index{}, fmt.Errorf("syscat: add index %q: %w", name, err)
+	}
+	c.indexes[name] = &indexSlot{i: ix, rid: rid}
+	return ix, nil
+}
+
+// RestoreTable re-inserts a table record previously handed out by
+// AddTable/Tables — the compensation a failed DROP TABLE uses to undo
+// its uncommitted catalog delete. No OID is allocated.
+func (c *Catalog) RestoreTable(t Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("syscat: table %q already cataloged", t.Name)
+	}
+	rid, err := c.heap.Insert(encodeTable(t))
+	if err != nil {
+		return fmt.Errorf("syscat: restore table %q: %w", t.Name, err)
+	}
+	c.tables[t.Name] = &tableSlot{t: t, rid: rid}
+	return nil
+}
+
+// RestoreIndex re-inserts an index record previously handed out by
+// AddIndex/Indexes — the compensation a failed DROP uses to undo its
+// uncommitted catalog delete. No OID is allocated.
+func (c *Catalog) RestoreIndex(ix Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.indexes[ix.Name]; dup {
+		return fmt.Errorf("syscat: index %q already cataloged", ix.Name)
+	}
+	rid, err := c.heap.Insert(encodeIndex(ix))
+	if err != nil {
+		return fmt.Errorf("syscat: restore index %q: %w", ix.Name, err)
+	}
+	c.indexes[ix.Name] = &indexSlot{i: ix, rid: rid}
+	return nil
+}
+
+// SetIndexValid rewrites an index record's validity flag (delete+insert;
+// the heap has no in-place update). The caller commits the statement.
+func (c *Catalog) SetIndexValid(name string, valid bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.indexes[name]
+	if !ok {
+		return fmt.Errorf("syscat: unknown index %q", name)
+	}
+	updated := s.i
+	updated.Valid = valid
+	if err := c.heap.Delete(s.rid); err != nil {
+		return fmt.Errorf("syscat: update index %q: %w", name, err)
+	}
+	rid, err := c.heap.Insert(encodeIndex(updated))
+	if err != nil {
+		// The old record is already deleted. Re-insert it so the map
+		// stays truthful; if even that fails, drop the entry — the map
+		// must never claim a record the heap does not hold.
+		if oldRID, rerr := c.heap.Insert(encodeIndex(s.i)); rerr == nil {
+			s.rid = oldRID
+		} else {
+			delete(c.indexes, name)
+		}
+		return fmt.Errorf("syscat: update index %q: %w", name, err)
+	}
+	s.i = updated
+	s.rid = rid
+	return nil
+}
+
+// RemoveTable deletes a table record (the executor removes the table's
+// index records first). The caller commits the statement.
+func (c *Catalog) RemoveTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("syscat: unknown table %q", name)
+	}
+	if err := c.heap.Delete(s.rid); err != nil {
+		return fmt.Errorf("syscat: remove table %q: %w", name, err)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// RemoveIndex deletes an index record. The caller commits the statement.
+func (c *Catalog) RemoveIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.indexes[name]
+	if !ok {
+		return fmt.Errorf("syscat: unknown index %q", name)
+	}
+	if err := c.heap.Delete(s.rid); err != nil {
+		return fmt.Errorf("syscat: remove index %q: %w", name, err)
+	}
+	delete(c.indexes, name)
+	return nil
+}
+
+// GetTable looks up a table record by name.
+func (c *Catalog) GetTable(name string) (Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.tables[name]
+	if !ok {
+		return Table{}, false
+	}
+	return s.t, true
+}
+
+// GetIndex looks up an index record by name.
+func (c *Catalog) GetIndex(name string) (Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.indexes[name]
+	if !ok {
+		return Index{}, false
+	}
+	return s.i, true
+}
+
+// Tables lists all table records in OID (creation) order.
+func (c *Catalog) Tables() []Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Table, 0, len(c.tables))
+	for _, s := range c.tables {
+		out = append(out, s.t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	return out
+}
+
+// Indexes lists all index records in OID (creation) order.
+func (c *Catalog) Indexes() []Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Index, 0, len(c.indexes))
+	for _, s := range c.indexes {
+		out = append(out, s.i)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	return out
+}
+
+// IndexesOf lists the index records of one table in OID order.
+func (c *Catalog) IndexesOf(tableOID uint64) []Index {
+	var out []Index
+	for _, ix := range c.Indexes() {
+		if ix.TableOID == tableOID {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// NextOID exposes the counter (introspection and tests).
+func (c *Catalog) NextOID() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nextOID
+}
+
+// --- record encoding -------------------------------------------------
+//
+// All records are little-endian, kind byte first:
+//
+//	'O': nextOID:8
+//	'T': oid:8 name:str16 file:str16 ncols:2 { colName:str16 typeName:str8 }*
+//	'I': oid:8 name:str16 tableOID:8 column:2 method:str8 opclass:str8 file:str16 valid:1
+//
+// Column types are stored by SQL type name and resolved back through
+// catalog.TypeByName, keeping the file self-describing (readable without
+// this package's Go enum values).
+
+func appendStr16(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendStr8(b []byte, s string) []byte {
+	b = append(b, byte(len(s)))
+	return append(b, s...)
+}
+
+func readStr16(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("syscat: truncated string length")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("syscat: truncated string")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+func readStr8(b []byte) (string, []byte, error) {
+	if len(b) < 1 {
+		return "", nil, fmt.Errorf("syscat: truncated string length")
+	}
+	n := int(b[0])
+	if len(b) < 1+n {
+		return "", nil, fmt.Errorf("syscat: truncated string")
+	}
+	return string(b[1 : 1+n]), b[1+n:], nil
+}
+
+func encodeCounter(next uint64) []byte {
+	b := make([]byte, 0, 9)
+	b = append(b, recCounter)
+	return binary.LittleEndian.AppendUint64(b, next)
+}
+
+func decodeCounter(rec []byte) (uint64, error) {
+	if len(rec) != 9 {
+		return 0, fmt.Errorf("syscat: malformed counter record (%d bytes)", len(rec))
+	}
+	return binary.LittleEndian.Uint64(rec[1:]), nil
+}
+
+func encodeTable(t Table) []byte {
+	b := []byte{recTable}
+	b = binary.LittleEndian.AppendUint64(b, t.OID)
+	b = appendStr16(b, t.Name)
+	b = appendStr16(b, t.File)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(t.Cols)))
+	for _, c := range t.Cols {
+		b = appendStr16(b, c.Name)
+		b = appendStr8(b, c.Type.String())
+	}
+	return b
+}
+
+func decodeTable(rec []byte) (Table, error) {
+	var t Table
+	b := rec[1:]
+	if len(b) < 8 {
+		return t, fmt.Errorf("syscat: truncated table record")
+	}
+	t.OID = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	var err error
+	if t.Name, b, err = readStr16(b); err != nil {
+		return t, err
+	}
+	if t.File, b, err = readStr16(b); err != nil {
+		return t, err
+	}
+	if len(b) < 2 {
+		return t, fmt.Errorf("syscat: truncated column count in table %q", t.Name)
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	for i := 0; i < n; i++ {
+		var cn, tn string
+		if cn, b, err = readStr16(b); err != nil {
+			return t, err
+		}
+		if tn, b, err = readStr8(b); err != nil {
+			return t, err
+		}
+		typ, err := catalog.TypeByName(tn)
+		if err != nil {
+			return t, fmt.Errorf("syscat: table %q column %q: %w", t.Name, cn, err)
+		}
+		t.Cols = append(t.Cols, Column{Name: cn, Type: typ})
+	}
+	if len(b) != 0 {
+		return t, fmt.Errorf("syscat: %d trailing bytes in table record %q", len(b), t.Name)
+	}
+	if len(t.Cols) == 0 {
+		return t, fmt.Errorf("syscat: table record %q has no columns", t.Name)
+	}
+	return t, nil
+}
+
+func encodeIndex(ix Index) []byte {
+	b := []byte{recIndex}
+	b = binary.LittleEndian.AppendUint64(b, ix.OID)
+	b = appendStr16(b, ix.Name)
+	b = binary.LittleEndian.AppendUint64(b, ix.TableOID)
+	b = binary.LittleEndian.AppendUint16(b, uint16(ix.Column))
+	b = appendStr8(b, ix.Method)
+	b = appendStr8(b, ix.OpClass)
+	b = appendStr16(b, ix.File)
+	v := byte(0)
+	if ix.Valid {
+		v = 1
+	}
+	return append(b, v)
+}
+
+func decodeIndex(rec []byte) (Index, error) {
+	var ix Index
+	b := rec[1:]
+	if len(b) < 8 {
+		return ix, fmt.Errorf("syscat: truncated index record")
+	}
+	ix.OID = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	var err error
+	if ix.Name, b, err = readStr16(b); err != nil {
+		return ix, err
+	}
+	if len(b) < 10 {
+		return ix, fmt.Errorf("syscat: truncated index record %q", ix.Name)
+	}
+	ix.TableOID = binary.LittleEndian.Uint64(b)
+	ix.Column = int(binary.LittleEndian.Uint16(b[8:]))
+	b = b[10:]
+	if ix.Method, b, err = readStr8(b); err != nil {
+		return ix, err
+	}
+	if ix.OpClass, b, err = readStr8(b); err != nil {
+		return ix, err
+	}
+	if ix.File, b, err = readStr16(b); err != nil {
+		return ix, err
+	}
+	if len(b) != 1 {
+		return ix, fmt.Errorf("syscat: malformed validity flag in index record %q", ix.Name)
+	}
+	ix.Valid = b[0] == 1
+	return ix, nil
+}

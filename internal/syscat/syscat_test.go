@@ -1,0 +1,172 @@
+package syscat
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/storage"
+)
+
+func newCatalog(t *testing.T) (*Catalog, *storage.BufferPool) {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMem(storage.DefaultPageSize), 64)
+	hf, err := heap.Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(hf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, bp
+}
+
+// reload reopens the catalog over the same pool, as executor.Open does.
+func reload(t *testing.T, bp *storage.BufferPool) *Catalog {
+	t.Helper()
+	hf, err := heap.Open(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(hf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	c, bp := newCatalog(t)
+	tb, err := c.AddTable("words", []Column{
+		{Name: "name", Type: catalog.Text},
+		{Name: "id", Type: catalog.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.File != "rel1.tbl" {
+		t.Fatalf("table file: %q", tb.File)
+	}
+	ix, err := c.AddIndex("words_trie", tb.OID, 0, "spgist", "spgist_trie", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Valid {
+		t.Fatal("index born valid")
+	}
+	if err := c.SetIndexValid("words_trie", true); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := reload(t, bp)
+	tb2, ok := c2.GetTable("words")
+	if !ok {
+		t.Fatal("table lost on reload")
+	}
+	if tb2.OID != tb.OID || tb2.File != tb.File || len(tb2.Cols) != 2 {
+		t.Fatalf("table diverged: %+v vs %+v", tb2, tb)
+	}
+	if tb2.Cols[0].Type != catalog.Text || tb2.Cols[1].Type != catalog.Int {
+		t.Fatalf("column types diverged: %+v", tb2.Cols)
+	}
+	ix2, ok := c2.GetIndex("words_trie")
+	if !ok {
+		t.Fatal("index lost on reload")
+	}
+	if !ix2.Valid {
+		t.Fatal("validity flip lost on reload")
+	}
+	if ix2.TableOID != tb.OID || ix2.Column != 0 || ix2.Method != "spgist" || ix2.OpClass != "spgist_trie" {
+		t.Fatalf("index diverged: %+v", ix2)
+	}
+	if got := c2.IndexesOf(tb.OID); len(got) != 1 || got[0].Name != "words_trie" {
+		t.Fatalf("IndexesOf: %+v", got)
+	}
+}
+
+func TestCatalogOIDNeverReused(t *testing.T) {
+	c, bp := newCatalog(t)
+	tb, err := c.AddTable("t", []Column{{Name: "x", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	// Even though the highest-OID relation is gone, a reload must hand
+	// out a fresh OID: reusing the dropped one would reuse its file name
+	// while log records mentioning it can still replay.
+	c2 := reload(t, bp)
+	tb2, err := c2.AddTable("t", []Column{{Name: "x", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.OID <= tb.OID {
+		t.Fatalf("OID reused: %d after dropping %d", tb2.OID, tb.OID)
+	}
+	if tb2.File == tb.File {
+		t.Fatalf("file name reused: %q", tb2.File)
+	}
+}
+
+func TestCatalogInvalidIndexSurvivesReload(t *testing.T) {
+	c, bp := newCatalog(t)
+	tb, err := c.AddTable("t", []Column{{Name: "x", Type: catalog.Point}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddIndex("kd", tb.OID, 0, "spgist", "spgist_kdtree", false); err != nil {
+		t.Fatal(err)
+	}
+	// The crash-mid-build state: the invalid entry is on disk, the flip
+	// to valid never happened.
+	c2 := reload(t, bp)
+	ix, ok := c2.GetIndex("kd")
+	if !ok {
+		t.Fatal("invalid index entry lost")
+	}
+	if ix.Valid {
+		t.Fatal("index entry became valid without SetIndexValid")
+	}
+}
+
+func TestCatalogRejectsDuplicatesAndUnknowns(t *testing.T) {
+	c, _ := newCatalog(t)
+	tb, err := c.AddTable("t", []Column{{Name: "x", Type: catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddTable("t", []Column{{Name: "x", Type: catalog.Int}}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := c.AddIndex("i", tb.OID, 0, "spgist", "spgist_trie", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddIndex("i", tb.OID, 0, "spgist", "spgist_trie", false); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if err := c.RemoveTable("nope"); err == nil {
+		t.Fatal("remove of unknown table accepted")
+	}
+	if err := c.RemoveIndex("nope"); err == nil {
+		t.Fatal("remove of unknown index accepted")
+	}
+	if err := c.SetIndexValid("nope", true); err == nil {
+		t.Fatal("validity flip of unknown index accepted")
+	}
+}
+
+func TestCatalogLoadRejectsDanglingIndex(t *testing.T) {
+	c, bp := newCatalog(t)
+	if _, err := c.AddIndex("i", 999, 0, "spgist", "spgist_trie", true); err != nil {
+		t.Fatal(err)
+	}
+	hf, err := heap.Open(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(hf, false); err == nil {
+		t.Fatal("load accepted an index referencing a missing table")
+	}
+}

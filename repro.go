@@ -24,6 +24,14 @@
 //	db.MustExec(`INSERT INTO word_data VALUES ('random', 1), ('spade', 2)`)
 //	res, _ := db.Exec(`SELECT * FROM word_data WHERE name ?= 'r?nd?m'`)
 //
+// On-disk databases (Options.Dir) carry a persistent system catalog:
+// reopening one rediscovers every table and index with no schema
+// re-declaration, DROP TABLE / DROP INDEX remove relations, and SHOW
+// TABLES / SHOW INDEXES introspect the catalog in SQL. With Options.WAL
+// all DDL is crash-atomic — in particular, a crash during CREATE INDEX
+// is detected at the next open and the index is rebuilt, never left
+// partial.
+//
 // The deeper layers are available for direct use: repro/internal/core is
 // the SP-GiST framework itself (OpClass external methods, generic
 // internal methods, node-to-page clustering, incremental NN search), and

@@ -59,7 +59,7 @@ func TestFacadeOnDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	db2.MustExec(`CREATE TABLE t (name VARCHAR)`) // reattach
+	// The persistent catalog rediscovers the table; no re-declaration.
 	res := db2.MustExec(`SELECT * FROM t`)
 	if len(res.Rows) != 1 || res.Rows[0][0].S != "persisted" {
 		t.Fatalf("reopen: %v", res.Rows)
