@@ -213,20 +213,36 @@ func describe(db *repro.DB, name string) {
 		fmt.Printf("  %-6s | %v\n", c.Name, c.Type)
 	}
 	indexes := cat.IndexesOf(te.OID)
-	if len(indexes) == 0 {
+	if len(indexes) > 0 {
+		fmt.Println("Indexes:")
+		for _, ix := range indexes {
+			col := "?"
+			if ix.Column >= 0 && ix.Column < len(te.Cols) {
+				col = te.Cols[ix.Column].Name
+			}
+			validity := ""
+			if !ix.Valid {
+				validity = "  INVALID (crash-interrupted build)"
+			}
+			fmt.Printf("  %s ON %s USING %s (%s %s)  oid=%d file=%s%s\n",
+				ix.Name, te.Name, ix.Method, col, ix.OpClass, ix.OID, ix.File, validity)
+		}
+	}
+	st, ok := cat.GetStats(te.OID)
+	if !ok {
+		fmt.Println("Statistics: none persisted (run ANALYZE)")
 		return
 	}
-	fmt.Println("Indexes:")
-	for _, ix := range indexes {
-		col := "?"
-		if ix.Column >= 0 && ix.Column < len(te.Cols) {
-			col = te.Cols[ix.Column].Name
+	fmt.Printf("Statistics (persisted): rows=%d sampled=%d\n", st.Rows, st.SampleRows)
+	for i, cs := range st.Cols {
+		if i >= len(te.Cols) {
+			break
 		}
-		validity := ""
-		if !ix.Valid {
-			validity = "  INVALID (crash-interrupted build)"
+		line := fmt.Sprintf("  %-6s ndistinct=%d nullfrac=%.3f mcvs=%d histogram=%d",
+			te.Cols[i].Name, cs.NDistinct, cs.NullFrac, len(cs.MCVals), len(cs.Histogram))
+		if cs.HasRange {
+			line += fmt.Sprintf(" min=%s max=%s", cs.Min, cs.Max)
 		}
-		fmt.Printf("  %s ON %s USING %s (%s %s)  oid=%d file=%s%s\n",
-			ix.Name, te.Name, ix.Method, col, ix.OpClass, ix.OID, ix.File, validity)
+		fmt.Println(line)
 	}
 }

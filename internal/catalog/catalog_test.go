@@ -128,7 +128,7 @@ func TestOperatorLookupAndProcs(t *testing.T) {
 }
 
 func TestSelectivityProcs(t *testing.T) {
-	st := TableStats{Rows: 10000, NDistinct: 500}
+	st := TableStats{Rows: 10000, ColumnStats: ColumnStats{NDistinct: 500}}
 	if got := EqSel(st, NewText("x")); got != 1.0/500 {
 		t.Errorf("EqSel with stats = %g", got)
 	}

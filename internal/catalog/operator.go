@@ -16,67 +16,192 @@ const (
 	DefaultIneqSel  = 0.3333 // scalarltsel/scalargtsel: inequalities
 )
 
-// TableStats is what a restrict procedure may consult.
-type TableStats struct {
-	Rows      int64
-	NDistinct int64 // 0 = unknown
-}
-
 // RestrictProc estimates the fraction of rows an operator selects — the
 // procedures named in the paper's Table 4 restrict clauses.
 type RestrictProc func(st TableStats, arg Datum) float64
 
-// EqSel is PostgreSQL's eqsel: 1/ndistinct when known, else the default.
-func EqSel(st TableStats, _ Datum) float64 {
-	if st.NDistinct > 0 {
-		return 1 / float64(st.NDistinct)
+// EqSel is PostgreSQL's eqsel. With statistics it consults the MCV list
+// first (an equality against a common value has a known frequency) and
+// spreads the remaining mass over the remaining distinct values; without
+// statistics it falls back to the default.
+func EqSel(st TableStats, arg Datum) float64 {
+	if st.NDistinct <= 0 {
+		return DefaultEqSel
 	}
-	return DefaultEqSel
+	mcvTot := st.mcvTotal()
+	for i, v := range st.MCVals {
+		if v.Equal(arg) {
+			return clampSel(blend(st.MCFreqs[i], DefaultEqSel, st.StaleFrac))
+		}
+	}
+	est := 0.0
+	if rest := st.NDistinct - int64(len(st.MCVals)); rest > 0 {
+		est = (1 - st.NullFrac - mcvTot) / float64(rest)
+	}
+	return clampSel(blend(est, DefaultEqSel, st.StaleFrac))
 }
 
-// LikeSel is PostgreSQL's likesel/matchsel for pattern operators. Longer
-// literal prefixes select fewer rows.
-func LikeSel(_ TableStats, arg Datum) float64 {
-	if arg.Typ == Text {
-		lit := 0
-		for lit < len(arg.S) && arg.S[lit] != '?' {
-			lit++
-		}
-		sel := DefaultMatchSel
-		for i := 0; i < lit && i < 4; i++ {
-			sel *= 0.5
-		}
-		if sel < 1e-7 {
-			sel = 1e-7
-		}
-		return sel
+// LikeSel is PostgreSQL's likesel for the anchored prefix operator '#='.
+// With statistics it treats the prefix as the range [p, successor(p)) —
+// MCV matches contribute their exact frequencies, the histogram bounds
+// the non-MCV mass. Without statistics longer literal prefixes select
+// fewer rows, as before.
+func LikeSel(st TableStats, arg Datum) float64 {
+	if arg.Typ != Text {
+		return DefaultMatchSel
 	}
-	return DefaultMatchSel
+	def := prefixDefaultSel(arg.S)
+	if st.NDistinct <= 0 {
+		return def
+	}
+	est := 0.0
+	for i, v := range st.MCVals {
+		if strings.HasPrefix(v.S, arg.S) {
+			est += st.MCFreqs[i]
+		}
+	}
+	rangeOK := false
+	if upper, ok := successor(arg.S); ok {
+		loFrac, okLo := histogramFraction(st.Histogram, NewText(arg.S), false)
+		hiFrac, okHi := histogramFraction(st.Histogram, NewText(upper), false)
+		if okLo && okHi {
+			rangeOK = true
+			if hiFrac > loFrac {
+				est += (hiFrac - loFrac) * (1 - st.NullFrac - st.mcvTotal())
+			}
+		}
+	}
+	if !rangeOK {
+		// No histogram covers the non-MCV mass; without MCVs either the
+		// statistics say nothing about this prefix — use the heuristic —
+		// and with them, price the remaining mass heuristically.
+		if len(st.MCVals) == 0 {
+			return def
+		}
+		est += def * (1 - st.NullFrac - st.mcvTotal())
+	}
+	return clampSel(blend(est, def, st.StaleFrac))
+}
+
+// prefixDefaultSel is the statistics-free LikeSel heuristic: every
+// literal prefix character halves the estimate.
+func prefixDefaultSel(pattern string) float64 {
+	lit := 0
+	for lit < len(pattern) && pattern[lit] != '?' {
+		lit++
+	}
+	sel := DefaultMatchSel
+	for i := 0; i < lit && i < 4; i++ {
+		sel *= 0.5
+	}
+	return clampSel(sel)
+}
+
+// ContainsSel estimates the substring operator '@='. Substring matches
+// have no range form, so only the MCV list is consulted; the remaining
+// mass uses the pattern-length heuristic.
+func ContainsSel(st TableStats, arg Datum) float64 {
+	if arg.Typ != Text {
+		return DefaultMatchSel
+	}
+	def := prefixDefaultSel(arg.S)
+	if st.NDistinct <= 0 || len(st.MCVals) == 0 {
+		return def
+	}
+	est := 0.0
+	for i, v := range st.MCVals {
+		if strings.Contains(v.S, arg.S) {
+			est += st.MCFreqs[i]
+		}
+	}
+	est += def * (1 - st.NullFrac - st.mcvTotal())
+	return clampSel(blend(est, def, st.StaleFrac))
 }
 
 // MatchSel estimates '?=' wildcard patterns: the match is anchored to the
-// full key length, so every literal character prunes the candidates.
-func MatchSel(_ TableStats, arg Datum) float64 {
-	sel := 1.0
+// full key length, so every literal character prunes the candidates. With
+// statistics, MCVs matching the pattern contribute exact frequencies.
+func MatchSel(st TableStats, arg Datum) float64 {
+	def := 1.0
 	for i := 0; i < len(arg.S); i++ {
 		if arg.S[i] != '?' {
-			sel /= 8
+			def /= 8
 		}
 	}
-	if sel < 1e-7 {
-		sel = 1e-7
+	if def > DefaultMatchSel {
+		def = DefaultMatchSel
 	}
-	if sel > DefaultMatchSel {
-		sel = DefaultMatchSel
+	def = clampSel(def)
+	if st.NDistinct <= 0 || len(st.MCVals) == 0 {
+		return def
 	}
-	return sel
+	est := 0.0
+	for i, v := range st.MCVals {
+		if trie.MatchPattern(v.S, arg.S) {
+			est += st.MCFreqs[i]
+		}
+	}
+	est += def * (1 - st.NullFrac - st.mcvTotal())
+	return clampSel(blend(est, def, st.StaleFrac))
 }
 
 // ContSel is PostgreSQL's contsel for containment/overlap operators.
 func ContSel(_ TableStats, _ Datum) float64 { return DefaultContSel }
 
-// IneqSel is PostgreSQL's scalar inequality default.
+// IneqSel is PostgreSQL's scalar inequality default (kept for operators
+// registered without a direction; the built-in <, <=, >, >= use
+// ScalarIneqSel closures instead).
 func IneqSel(_ TableStats, _ Datum) float64 { return DefaultIneqSel }
+
+// ScalarIneqSel is PostgreSQL's scalarltsel/scalargtsel: P(col < arg)
+// (or <=, >, >= per the flags) estimated from the MCV list plus
+// histogram interpolation, with a min/max linear fallback for numeric
+// columns without a histogram.
+func ScalarIneqSel(st TableStats, arg Datum, wantLt, orEq bool) float64 {
+	if st.NDistinct <= 0 {
+		return DefaultIneqSel
+	}
+	mcvTot := st.mcvTotal()
+	mcvBelow := 0.0
+	for i, v := range st.MCVals {
+		c, ok := Compare(v, arg)
+		if !ok {
+			return DefaultIneqSel
+		}
+		if c < 0 || (c == 0 && orEq == wantLt) {
+			// For <= count equality below; for > the complement (1-selLE)
+			// must exclude equality, handled by flipping orEq here.
+			mcvBelow += st.MCFreqs[i]
+		}
+	}
+	frac, ok := histogramFraction(st.Histogram, arg, orEq == wantLt)
+	if !ok {
+		frac, ok = rangeFraction(st, arg)
+	}
+	if !ok {
+		if len(st.MCVals) == 0 {
+			return DefaultIneqSel
+		}
+		// Neither histogram nor min/max covers the non-MCV mass (e.g.
+		// shrunk statistics for a wide text column): price that mass at
+		// the inequality default rather than zero — MCV evidence
+		// refines the remainder, it must not erase it.
+		frac = DefaultIneqSel
+	}
+	selBelow := mcvBelow + frac*(1-st.NullFrac-mcvTot)
+	est := selBelow
+	if !wantLt {
+		est = 1 - st.NullFrac - selBelow
+	}
+	return clampSel(blend(est, DefaultIneqSel, st.StaleFrac))
+}
+
+// ltSel / leSel / gtSel / geSel are the registered restrict procedures
+// of the four scalar comparison operators.
+func ltSel(st TableStats, arg Datum) float64 { return ScalarIneqSel(st, arg, true, false) }
+func leSel(st TableStats, arg Datum) float64 { return ScalarIneqSel(st, arg, true, true) }
+func gtSel(st TableStats, arg Datum) float64 { return ScalarIneqSel(st, arg, false, false) }
+func geSel(st TableStats, arg Datum) float64 { return ScalarIneqSel(st, arg, false, true) }
 
 // Operator is one row of the mini pg_operator (paper Table 4): a named
 // binary predicate over a left (column) and right (constant) type, with
@@ -145,27 +270,27 @@ func init() {
 	RegisterOperator(&Operator{
 		Name: "@=", Left: Text, Right: Text,
 		Proc:     func(l, r Datum) bool { return strings.Contains(l.S, r.S) },
-		Restrict: LikeSel,
+		Restrict: ContainsSel,
 	})
 	RegisterOperator(&Operator{
 		Name: "<", Left: Text, Right: Text,
 		Proc:     func(l, r Datum) bool { return l.S < r.S },
-		Restrict: IneqSel,
+		Restrict: ltSel,
 	})
 	RegisterOperator(&Operator{
 		Name: "<=", Left: Text, Right: Text,
 		Proc:     func(l, r Datum) bool { return l.S <= r.S },
-		Restrict: IneqSel,
+		Restrict: leSel,
 	})
 	RegisterOperator(&Operator{
 		Name: ">", Left: Text, Right: Text,
 		Proc:     func(l, r Datum) bool { return l.S > r.S },
-		Restrict: IneqSel,
+		Restrict: gtSel,
 	})
 	RegisterOperator(&Operator{
 		Name: ">=", Left: Text, Right: Text,
 		Proc:     func(l, r Datum) bool { return l.S >= r.S },
-		Restrict: IneqSel,
+		Restrict: geSel,
 	})
 
 	// Point operators (kd-tree / point quadtree / R-tree; Table 4 right).
@@ -201,11 +326,11 @@ func init() {
 	RegisterOperator(&Operator{
 		Name: "<", Left: Int, Right: Int,
 		Proc:     func(l, r Datum) bool { return l.I < r.I },
-		Restrict: IneqSel,
+		Restrict: ltSel,
 	})
 	RegisterOperator(&Operator{
 		Name: ">", Left: Int, Right: Int,
 		Proc:     func(l, r Datum) bool { return l.I > r.I },
-		Restrict: IneqSel,
+		Restrict: gtSel,
 	})
 }

@@ -54,33 +54,42 @@ type Table struct {
 	oid  uint64 // catalog OID
 	file string // heap file base name, from the system catalog
 
-	// ndistinct holds per-column distinct-value counts collected by
-	// Analyze (0 = unknown). Like PostgreSQL statistics they go stale as
-	// rows change; the planner treats them as estimates. statsMu guards
-	// it: the planner reads on the unlocked query path while CREATE
-	// INDEX (under the statement lock) refreshes it.
-	statsMu   sync.Mutex
-	ndistinct []int64
-	// statsOnce gates the lazy Analyze run by ensureStats.
+	// Planner statistics (the shapes live in catalog.ColumnStats; the
+	// executor's ANALYZE in analyze.go fills them from a block sample).
+	// Persisted statistics are loaded from the system catalog at Open;
+	// otherwise ensureStats samples lazily on the first predicate plan.
+	// Like PostgreSQL statistics they go stale as rows change — churn
+	// counts the inserts+deletes since they were collected so the
+	// planner can discount them. statsMu guards all of it: the planner
+	// reads on the unlocked query path while ANALYZE / CREATE INDEX
+	// (under the statement lock) refresh it.
+	statsMu    sync.Mutex
+	colStats   []catalog.ColumnStats
+	statsRows  int64 // heap row count when colStats was collected
+	sampleRows int64 // rows the collecting sample examined
+	haveStats  bool
+	churn      int64
+	// statsOnce gates the lazy sampling run by ensureStats.
 	statsOnce sync.Once
 
 	db *DB
 }
 
-// ensureStats lazily collects planner statistics the first time a
-// predicate is planned against a reattached table. The catalog does not
-// persist statistics (they are advisory, like PostgreSQL's), and running
-// ANALYZE for every table at Open would make reopening O(total rows);
-// deferring it keeps Open proportional to the catalog instead.
+// ensureStats lazily samples planner statistics the first time a
+// predicate is planned against a reattached table that has no persisted
+// statistics (running ANALYZE for every table at Open would make
+// reopening O(total rows)). The in-memory result is not persisted —
+// only the explicit ANALYZE statement writes the catalog — so databases
+// that never ANALYZE behave exactly as before statistics persistence.
 func (t *Table) ensureStats() {
 	t.statsOnce.Do(func() {
 		t.statsMu.Lock()
-		have := t.ndistinct != nil
+		have := t.haveStats
 		t.statsMu.Unlock()
 		if !have {
-			// Best effort: a failed scan leaves ndistinct nil, which the
-			// planner reads as "unknown".
-			t.Analyze()
+			// Best effort: a failed sample leaves haveStats false, which
+			// the planner reads as "unknown".
+			t.analyzeInMemory()
 		}
 	})
 }
@@ -91,35 +100,11 @@ func (t *Table) OID() uint64 { return t.oid }
 // File returns the table's heap file base name (catalog introspection).
 func (t *Table) File() string { return t.file }
 
-// Analyze collects per-column statistics (distinct-value counts) for the
-// planner's selectivity estimation — the role of PostgreSQL's ANALYZE.
-// CreateIndex runs it automatically.
-func (t *Table) Analyze() error {
-	seen := make([]map[string]struct{}, len(t.Columns))
-	for i := range seen {
-		seen[i] = make(map[string]struct{})
-	}
-	err := t.Heap.Scan(func(_ heap.RID, rec []byte) bool {
-		tup, err := catalog.DecodeTuple(rec)
-		if err != nil {
-			return false
-		}
-		for i, d := range tup {
-			seen[i][d.String()] = struct{}{}
-		}
-		return true
-	})
-	if err != nil {
-		return err
-	}
-	nd := make([]int64, len(t.Columns))
-	for i := range seen {
-		nd[i] = int64(len(seen[i]))
-	}
+// bumpChurn counts one row inserted or deleted since the last ANALYZE.
+func (t *Table) bumpChurn() {
 	t.statsMu.Lock()
-	t.ndistinct = nd
+	t.churn++
 	t.statsMu.Unlock()
-	return nil
 }
 
 // catalogFile is the base name of the system catalog's own heap file. It
@@ -481,7 +466,7 @@ func (db *DB) loadSchema() error {
 		for i, c := range te.Cols {
 			cols[i] = Column{Name: c.Name, Type: c.Type}
 		}
-		db.tables[te.Name] = &Table{
+		t := &Table{
 			Name:    te.Name,
 			Columns: cols,
 			Heap:    hf,
@@ -489,6 +474,20 @@ func (db *DB) loadSchema() error {
 			file:    te.File,
 			db:      db,
 		}
+		// Persisted planner statistics load with the schema — O(catalog),
+		// not O(rows) — so the first plan after a reopen never scans the
+		// heap. Tables never ANALYZEd keep the lazy sampling path.
+		if s, ok := db.cat.GetStats(te.OID); ok && len(s.Cols) == len(cols) {
+			t.colStats = s.Cols
+			t.statsRows = s.Rows
+			t.sampleRows = s.SampleRows
+			// Seed the churn counter with the persisted value (folded in
+			// by the last clean Close), so staleness discounting keeps
+			// counting from where the previous session left off.
+			t.churn = s.Churn
+			t.haveStats = true
+		}
+		db.tables[te.Name] = t
 	}
 	byOID := make(map[uint64]*Table, len(db.tables))
 	for _, t := range db.tables {
@@ -673,6 +672,9 @@ func (db *DB) Close() error {
 			}
 		}
 	}
+	if err := db.persistChurnLocked(); err != nil {
+		return err
+	}
 	if err := db.checkpointLocked(); err != nil {
 		return err
 	}
@@ -692,6 +694,34 @@ func (db *DB) Close() error {
 		db.wal = nil
 	}
 	return nil
+}
+
+// persistChurnLocked folds each table's in-session churn counter into
+// its persisted statistics record — the clean-shutdown half of
+// staleness accounting (a crash loses the counter; the row-count drift
+// proxy still bounds net change, like PostgreSQL's stats collector).
+// All rewrites commit under one marker; a crash mid-way discards them,
+// leaving the previous records whole.
+func (db *DB) persistChurnLocked() error {
+	dirty := false
+	for _, t := range db.tables {
+		t.statsMu.Lock()
+		churn := t.churn
+		t.statsMu.Unlock()
+		s, ok := db.cat.GetStats(t.oid)
+		if !ok || churn == s.Churn {
+			continue
+		}
+		s.Churn = churn
+		if err := db.cat.SetStats(s); err != nil {
+			return err
+		}
+		dirty = true
+	}
+	if !dirty {
+		return nil
+	}
+	return db.commitWAL(nil)
 }
 
 // Checkpoint flushes every buffer pool, syncs the data files, and (with
@@ -1170,8 +1200,10 @@ func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName strin
 		return nil, err
 	}
 	// Fresh statistics make the planner's selectivity realistic (like
-	// the auto-ANALYZE PostgreSQL runs after bulk operations).
-	if err := t.Analyze(); err != nil {
+	// the auto-ANALYZE PostgreSQL runs after bulk operations). In-memory
+	// only: persisting them here would entangle the index build's commit
+	// with a statistics replacement; explicit ANALYZE persists.
+	if err := t.analyzeInMemory(); err != nil {
 		undo(bp, true, true)
 		return nil, err
 	}
@@ -1324,9 +1356,16 @@ func (db *DB) DropTable(name string) error {
 	// cannot ride along under a later statement's marker.
 	te, _ := db.cat.GetTable(name)
 	catIndexes := db.cat.IndexesOf(t.oid)
+	var prevStats syscat.Stats
+	hadStats := false
 	restore := func(upTo int, table bool) {
 		for i := 0; i < upTo; i++ {
 			if rerr := db.cat.RestoreIndex(catIndexes[i]); rerr != nil {
+				db.broken = rerr
+			}
+		}
+		if hadStats {
+			if rerr := db.cat.RestoreStats(prevStats); rerr != nil {
 				db.broken = rerr
 			}
 		}
@@ -1341,6 +1380,13 @@ func (db *DB) DropTable(name string) error {
 			restore(i, false)
 			return err
 		}
+	}
+	// The table's statistics record goes in the same statement, so the
+	// drop commits catalog-clean — no ghost statistics for a dead OID.
+	var serr error
+	if prevStats, hadStats, serr = db.cat.RemoveStats(t.oid); serr != nil {
+		restore(len(catIndexes), false)
+		return serr
 	}
 	if err := db.cat.RemoveTable(name); err != nil {
 		restore(len(catIndexes), false)
@@ -1416,6 +1462,7 @@ func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
 	if err := t.db.commitWAL(t); err != nil {
 		return heap.InvalidRID, err
 	}
+	t.bumpChurn()
 	return rid, nil
 }
 
@@ -1447,5 +1494,9 @@ func (t *Table) DeleteRow(rid heap.RID) error {
 	if err := t.Heap.Delete(rid); err != nil {
 		return err
 	}
-	return t.db.commitWAL(t)
+	if err := t.db.commitWAL(t); err != nil {
+		return err
+	}
+	t.bumpChurn()
+	return nil
 }

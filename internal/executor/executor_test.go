@@ -69,9 +69,20 @@ func TestIndexScanChosenAndCorrect(t *testing.T) {
 	if _, err := db.CreateIndex("trie_idx", "words", "name", "spgist", "spgist_trie"); err != nil {
 		t.Fatal(err)
 	}
+	// A 2-character prefix selects ~1/26² of the rows. (A 1-character
+	// prefix selects ~4% — with the histogram-backed LikeSel estimate
+	// that is correctly priced at the seqscan break-even, so it is no
+	// longer a reliable index-scan probe.)
+	prefix := ""
+	for _, w := range words {
+		if len(w) >= 2 {
+			prefix = w[:2]
+			break
+		}
+	}
 	for _, probe := range []struct{ op, arg string }{
 		{"=", words[0]},
-		{"#=", words[1][:1]},
+		{"#=", prefix},
 		{"?=", "?" + words[2][1:]},
 	} {
 		pred := &Pred{Column: 0, Op: probe.op, Arg: catalog.NewText(probe.arg)}

@@ -2,6 +2,7 @@ package executor
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/catalog"
 )
@@ -78,8 +79,26 @@ func (p *Plan) String() string {
 func (t *Table) stats(column int) catalog.TableStats {
 	st := catalog.TableStats{Rows: t.Heap.Count()}
 	t.statsMu.Lock()
-	if t.ndistinct != nil && column < len(t.ndistinct) {
-		st.NDistinct = t.ndistinct[column]
+	if t.haveStats && column < len(t.colStats) {
+		st.ColumnStats = t.colStats[column]
+		// Staleness: rows churned since the statistics were collected.
+		// The in-memory counter covers this session; the drift between
+		// the recorded and live row counts covers churn from before a
+		// reopen (the counter itself is not persisted).
+		eff := t.churn
+		if drift := st.Rows - t.statsRows; drift > eff {
+			eff = drift
+		} else if -drift > eff {
+			eff = -drift
+		}
+		if t.statsRows > 0 {
+			st.StaleFrac = float64(eff) / float64(t.statsRows)
+		} else if eff > 0 {
+			st.StaleFrac = 1
+		}
+		if st.StaleFrac > 1 {
+			st.StaleFrac = 1
+		}
 	}
 	t.statsMu.Unlock()
 	return st
@@ -192,7 +211,18 @@ func (t *Table) PlanNN(column int, arg catalog.Datum, k int) (*Plan, error) {
 	return &Plan{
 		Kind:      SeqScan,
 		Table:     t,
-		TotalCost: t.seqScanCost() + rows*cpuOperCost, // + sort work
+		TotalCost: t.seqScanCost() + nnSortCost(rows),
 		Rows:      int64(k),
 	}, nil
+}
+
+// nnSortCost prices the fallback's full sort by distance: n·log₂(n)
+// comparisons at cpuOperCost each. A linear estimate here made
+// large-table NN fallbacks absurdly cheap — the sort is the dominant
+// term once the table outgrows a few pages.
+func nnSortCost(rows float64) float64 {
+	if rows < 2 {
+		return rows * cpuOperCost
+	}
+	return rows * math.Log2(rows) * cpuOperCost
 }

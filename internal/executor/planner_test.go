@@ -1,0 +1,133 @@
+package executor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+// TestNNFallbackSortCost pins the PlanNN fallback cost model: the full
+// sort by distance is priced at n·log₂(n) comparisons, not the linear
+// n the model used to charge (which made large-table NN fallbacks
+// absurdly cheap).
+func TestNNFallbackSortCost(t *testing.T) {
+	// Formula pins: the superlinear factor is exactly log₂(n), so the
+	// new/old cost ratio crosses 10× at n=1024 — the crossover where a
+	// large table's sort work becomes an order of magnitude dearer than
+	// the old estimate admitted.
+	if got := nnSortCost(1024) / (1024 * cpuOperCost); got != 10 {
+		t.Fatalf("sort-cost ratio at n=1024 = %g, want exactly 10 (log2)", got)
+	}
+	if got := nnSortCost(512) / (512 * cpuOperCost); got >= 10 {
+		t.Fatalf("sort-cost ratio at n=512 = %g, want < 10", got)
+	}
+	// Degenerate sizes stay linear (log2 of <2 rows would go negative).
+	if got := nnSortCost(1); got != cpuOperCost {
+		t.Fatalf("nnSortCost(1) = %g", got)
+	}
+
+	// Integration pin: a real fallback plan's total is the seqscan plus
+	// exactly the n·log n sort term.
+	db := memDB(t)
+	tb, err := db.CreateTable("pts", []Column{{"p", catalog.Point}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range datagen.Points(4096, 11, geom.MakeBox(0, 0, 100, 100)) {
+		if _, err := tb.Insert(catalog.Tuple{catalog.NewPoint(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := tb.PlanNN(0, catalog.NewPoint(geom.Point{X: 50, Y: 50}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != SeqScan {
+		t.Fatalf("fallback plan kind = %v", plan.Kind)
+	}
+	want := tb.seqScanCost() + 4096*math.Log2(4096)*cpuOperCost
+	if math.Abs(plan.TotalCost-want) > 1e-9 {
+		t.Fatalf("fallback cost = %g, want %g", plan.TotalCost, want)
+	}
+	// And the sort term dominates the old linear estimate twelvefold.
+	if old := tb.seqScanCost() + 4096*cpuOperCost; plan.TotalCost <= old {
+		t.Fatalf("n·log n cost %g not above old linear estimate %g", plan.TotalCost, old)
+	}
+}
+
+// TestPlanFlipAtExpectedSelectivity pins where the seqscan↔indexscan
+// flip lands with persisted-quality statistics: an equality against the
+// 70%-frequency MCV must seqscan, an equality against a rare value must
+// use the index, and the estimated selectivities are the exact sample
+// frequencies (the sample covers the whole table here).
+func TestPlanFlipAtExpectedSelectivity(t *testing.T) {
+	db := memDB(t)
+	tb, err := db.CreateTable("words", []Column{{"name", catalog.Text}, {"id", catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1400; i++ {
+		tb.Insert(catalog.Tuple{catalog.NewText("common"), catalog.NewInt(int64(i))})
+	}
+	for i := 0; i < 600; i++ {
+		tb.Insert(catalog.Tuple{catalog.NewText("w" + string(rune('a'+i%26)) + string(rune('a'+i/26))), catalog.NewInt(int64(i))})
+	}
+	if _, err := db.CreateIndex("w_trie", "words", "name", "spgist", "spgist_trie"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+
+	common, err := tb.PlanSelect(&Pred{Column: 0, Op: "=", Arg: catalog.NewText("common")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if common.Kind != SeqScan || common.Selectivity != 0.7 {
+		t.Fatalf("common plan = %v sel=%g, want SeqScan at exactly 0.7", common.Kind, common.Selectivity)
+	}
+	rare, err := tb.PlanSelect(&Pred{Column: 0, Op: "=", Arg: catalog.NewText("waa")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rare.Kind != IndexScan {
+		t.Fatalf("rare plan = %v, want IndexScan", rare.Kind)
+	}
+	if rare.Selectivity >= common.Selectivity/10 {
+		t.Fatalf("rare selectivity %g not well below common %g", rare.Selectivity, common.Selectivity)
+	}
+}
+
+// TestIneqSelUsesHistogram pins the histogram interpolation: with a
+// uniform integer column 0..999, `id < 250` must estimate near 25%, not
+// the 33% inequality default.
+func TestIneqSelUsesHistogram(t *testing.T) {
+	db := memDB(t)
+	tb, err := db.CreateTable("nums", []Column{{"id", catalog.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tb.Insert(catalog.Tuple{catalog.NewInt(int64(i))})
+	}
+	if err := tb.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tb.PlanSelect(&Pred{Column: 0, Op: "<", Arg: catalog.NewInt(250)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Selectivity < 0.2 || plan.Selectivity > 0.3 {
+		t.Fatalf("id < 250 selectivity = %g, want ≈0.25 from the histogram", plan.Selectivity)
+	}
+	gt, err := tb.PlanSelect(&Pred{Column: 0, Op: ">", Arg: catalog.NewInt(250)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Selectivity < 0.7 || gt.Selectivity > 0.8 {
+		t.Fatalf("id > 250 selectivity = %g, want ≈0.75", gt.Selectivity)
+	}
+}

@@ -227,6 +227,24 @@ func (f *File) Delete(rid RID) error {
 	return f.saveMeta()
 }
 
+// ScanPage calls fn for every live record of one data page — the unit
+// of ANALYZE's block sampling. The rec slice is only valid during the
+// call. Scanning a page outside the file is a no-op.
+func (f *File) ScanPage(pid storage.PageID, fn func(rid RID, rec []byte) bool) error {
+	if uint32(pid) == 0 || uint32(pid) >= f.NumPages() {
+		return nil
+	}
+	p, err := f.bp.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	storage.SlotForEach(p.Data, func(slot int, rec []byte) bool {
+		return fn(RID{Page: pid, Slot: uint16(slot)}, rec)
+	})
+	f.bp.Unpin(p, false)
+	return nil
+}
+
 // Scan calls fn for every live record in file order. The rec slice is
 // only valid during the call. Scanning stops early if fn returns false.
 func (f *File) Scan(fn func(rid RID, rec []byte) bool) error {

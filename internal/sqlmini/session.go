@@ -136,6 +136,9 @@ func (p *parser) statement(s *Session) (*Result, error) {
 	case p.at(tokIdent, "DELETE"):
 		p.i++
 		return p.deleteStmt(s)
+	case p.at(tokIdent, "ANALYZE"):
+		p.i++
+		return p.analyze(s)
 	case p.at(tokIdent, "CHECKPOINT"):
 		p.i++
 		if err := s.DB.Checkpoint(); err != nil {
@@ -233,6 +236,35 @@ func (p *parser) createIndex(s *Session) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Msg: fmt.Sprintf("CREATE INDEX %s", name.text)}, nil
+}
+
+// ANALYZE [table]: collect planner statistics from a block sample of
+// the heap and persist them in the system catalog (bare ANALYZE covers
+// every table). Persisted statistics survive reopens, so the first plan
+// of the next session needs no heap scan.
+func (p *parser) analyze(s *Session) (*Result, error) {
+	name := ""
+	if p.at(tokIdent, "") {
+		tok, _ := p.expect(tokIdent, "")
+		name = tok.text
+	}
+	if !p.atStatementEnd() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	if name == "" {
+		if err := s.DB.AnalyzeAll(); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "ANALYZE"}, nil
+	}
+	t, err := s.DB.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Analyze(); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("ANALYZE %s", name)}, nil
 }
 
 // atStatementEnd reports whether the parser sits on a statement

@@ -35,6 +35,7 @@ package syscat
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -68,11 +69,35 @@ type Index struct {
 	Valid    bool   // false from CREATE INDEX start until its build commits
 }
 
+// Stats is one planner-statistics record: the sampled per-column
+// statistics ANALYZE computed for a table, keyed by table OID — the
+// mini pg_statistic. Statistics are advisory: a missing or stale record
+// never prevents a database from opening, it only degrades plan choice.
+type Stats struct {
+	TableOID uint64
+	// Rows is the heap's live row count when the statistics were
+	// collected; the planner compares it against the current count to
+	// discount stale statistics.
+	Rows int64
+	// SampleRows is how many rows the reservoir sample examined.
+	SampleRows int64
+	// Churn counts rows inserted+deleted since the statistics were
+	// collected. ANALYZE writes it as 0; a clean shutdown folds the
+	// session's counter back in, so a reopened planner keeps
+	// discounting statistics whose table churned in ways the row-count
+	// drift cannot see (balanced insert/delete mixes). A crash loses
+	// the counter — the drift proxy still bounds net change.
+	Churn int64
+	// Cols holds one statistics entry per table column, in schema order.
+	Cols []catalog.ColumnStats
+}
+
 // Record kinds, stored as the first byte of each catalog heap record.
 const (
 	recCounter byte = 'O'
 	recTable   byte = 'T'
 	recIndex   byte = 'I'
+	recStats   byte = 'S'
 )
 
 // Catalog is an open system catalog over a heap file.
@@ -82,6 +107,7 @@ type Catalog struct {
 
 	tables  map[string]*tableSlot
 	indexes map[string]*indexSlot
+	stats   map[uint64]*statsSlot
 
 	nextOID    uint64
 	counterRID heap.RID
@@ -97,6 +123,11 @@ type indexSlot struct {
 	rid heap.RID
 }
 
+type statsSlot struct {
+	s   Stats
+	rid heap.RID
+}
+
 // New attaches a catalog to its heap file. fresh distinguishes a newly
 // created heap (the OID counter is initialized) from an existing one
 // (every record is loaded and validated).
@@ -105,6 +136,7 @@ func New(hf *heap.File, fresh bool) (*Catalog, error) {
 		heap:       hf,
 		tables:     make(map[string]*tableSlot),
 		indexes:    make(map[string]*indexSlot),
+		stats:      make(map[uint64]*statsSlot),
 		counterRID: heap.InvalidRID,
 	}
 	if fresh {
@@ -174,6 +206,16 @@ func (c *Catalog) load() error {
 			if ix.OID > maxOID {
 				maxOID = ix.OID
 			}
+		case recStats:
+			// Statistics are advisory: a record this version cannot
+			// decode (or one referencing a vanished table, pruned below)
+			// must never brick the database — skip it and plan from
+			// defaults instead.
+			s, err := decodeStats(rec)
+			if err != nil {
+				break
+			}
+			c.stats[s.TableOID] = &statsSlot{s: s, rid: rid}
 		default:
 			derr = fmt.Errorf("syscat: unknown catalog record kind %q at %v", rec[0], rid)
 			return false
@@ -204,6 +246,16 @@ func (c *Catalog) load() error {
 		ncols := len(c.tables[tn].t.Cols)
 		if s.i.Column < 0 || s.i.Column >= ncols {
 			return fmt.Errorf("syscat: index %q column ordinal %d out of range for table %q", s.i.Name, s.i.Column, tn)
+		}
+	}
+	// Statistics records are advisory; prune (from memory only) any that
+	// reference an uncataloged table or disagree with its column count.
+	// OIDs are never reused, so a stale record can never alias a new
+	// table; its heap record lingers as harmless dead weight.
+	for oid, s := range c.stats {
+		tn, ok := byOID[oid]
+		if !ok || len(s.s.Cols) != len(c.tables[tn].t.Cols) {
+			delete(c.stats, oid)
 		}
 	}
 	return nil
@@ -390,6 +442,96 @@ func (c *Catalog) RemoveIndex(name string) error {
 	return nil
 }
 
+// SetStats replaces a table's statistics record (delete+insert; the heap
+// has no in-place update). Like every catalog mutation the records stay
+// uncommitted until the caller's statement commits, so a crash leaves
+// either the old statistics or the new ones — never a torn mix.
+func (c *Catalog) SetStats(s Stats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, had := c.stats[s.TableOID]
+	if had {
+		if err := c.heap.Delete(old.rid); err != nil {
+			return fmt.Errorf("syscat: replace stats for OID %d: %w", s.TableOID, err)
+		}
+	}
+	rid, err := c.heap.Insert(encodeStats(s))
+	if err != nil {
+		if had {
+			// The old record is already deleted; re-insert it so the map
+			// stays truthful, dropping the entry if even that fails.
+			if oldRID, rerr := c.heap.Insert(encodeStats(old.s)); rerr == nil {
+				old.rid = oldRID
+			} else {
+				delete(c.stats, s.TableOID)
+			}
+		}
+		return fmt.Errorf("syscat: set stats for OID %d: %w", s.TableOID, err)
+	}
+	c.stats[s.TableOID] = &statsSlot{s: s, rid: rid}
+	return nil
+}
+
+// RemoveStats deletes a table's statistics record, returning the prior
+// record so a failed statement can RestoreStats it. Removing statistics
+// that do not exist is a no-op.
+func (c *Catalog) RemoveStats(tableOID uint64) (Stats, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.stats[tableOID]
+	if !ok {
+		return Stats{}, false, nil
+	}
+	if err := c.heap.Delete(s.rid); err != nil {
+		return Stats{}, false, fmt.Errorf("syscat: remove stats for OID %d: %w", tableOID, err)
+	}
+	delete(c.stats, tableOID)
+	return s.s, true, nil
+}
+
+// RestoreStats re-inserts a statistics record previously returned by
+// GetStats/RemoveStats — the compensation a failed statement uses to
+// undo its uncommitted catalog mutation.
+func (c *Catalog) RestoreStats(s Stats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, had := c.stats[s.TableOID]; had {
+		if err := c.heap.Delete(old.rid); err != nil {
+			return fmt.Errorf("syscat: restore stats for OID %d: %w", s.TableOID, err)
+		}
+	}
+	rid, err := c.heap.Insert(encodeStats(s))
+	if err != nil {
+		delete(c.stats, s.TableOID)
+		return fmt.Errorf("syscat: restore stats for OID %d: %w", s.TableOID, err)
+	}
+	c.stats[s.TableOID] = &statsSlot{s: s, rid: rid}
+	return nil
+}
+
+// GetStats looks up a table's statistics record by table OID.
+func (c *Catalog) GetStats(tableOID uint64) (Stats, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.stats[tableOID]
+	if !ok {
+		return Stats{}, false
+	}
+	return s.s, true
+}
+
+// AllStats lists every statistics record in table-OID order.
+func (c *Catalog) AllStats() []Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Stats, 0, len(c.stats))
+	for _, s := range c.stats {
+		out = append(out, s.s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TableOID < out[j].TableOID })
+	return out
+}
+
 // GetTable looks up a table record by name.
 func (c *Catalog) GetTable(name string) (Table, bool) {
 	c.mu.RLock()
@@ -461,6 +603,12 @@ func (c *Catalog) NextOID() uint64 {
 //	'O': nextOID:8
 //	'T': oid:8 name:str16 file:str16 ncols:2 { colName:str16 typeName:str8 }*
 //	'I': oid:8 name:str16 tableOID:8 column:2 method:str8 opclass:str8 file:str16 valid:1
+//	'S': tableOID:8 rows:8 sampleRows:8 churn:8 ncols:2 { ndistinct:8
+//	     nullFrac:8 flags:1 [range:tup16] nmcv:2 { freq:8 }* mcvs:tup16
+//	     hist:tup16 }*
+//
+// where tup16 is a 16-bit length-prefixed catalog.EncodeTuple byte
+// string (datum lists reuse the heap tuple encoding).
 //
 // Column types are stored by SQL type name and resolved back through
 // catalog.TypeByName, keeping the file self-describing (readable without
@@ -581,6 +729,125 @@ func encodeIndex(ix Index) []byte {
 		v = 1
 	}
 	return append(b, v)
+}
+
+// EncodedSize reports the heap-record size of a statistics record —
+// ANALYZE checks it against the catalog page capacity and shrinks the
+// statistics when a record would not fit.
+func EncodedSize(s Stats) int { return len(encodeStats(s)) }
+
+// appendTuple16 appends a 16-bit length-prefixed tuple encoding of a
+// datum list.
+func appendTuple16(b []byte, vals []catalog.Datum) []byte {
+	enc := catalog.EncodeTuple(catalog.Tuple(vals))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(enc)))
+	return append(b, enc...)
+}
+
+// readTuple16 reads a datum list written by appendTuple16.
+func readTuple16(b []byte) ([]catalog.Datum, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("syscat: truncated tuple length")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return nil, nil, fmt.Errorf("syscat: truncated tuple")
+	}
+	tup, err := catalog.DecodeTuple(b[2 : 2+n])
+	if err != nil {
+		return nil, nil, err
+	}
+	return []catalog.Datum(tup), b[2+n:], nil
+}
+
+func encodeStats(s Stats) []byte {
+	b := []byte{recStats}
+	b = binary.LittleEndian.AppendUint64(b, s.TableOID)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Rows))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.SampleRows))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Churn))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Cols)))
+	for _, cs := range s.Cols {
+		b = binary.LittleEndian.AppendUint64(b, uint64(cs.NDistinct))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cs.NullFrac))
+		flags := byte(0)
+		if cs.HasRange {
+			flags |= 1
+		}
+		b = append(b, flags)
+		if cs.HasRange {
+			b = appendTuple16(b, []catalog.Datum{cs.Min, cs.Max})
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(cs.MCFreqs)))
+		for _, f := range cs.MCFreqs {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+		b = appendTuple16(b, cs.MCVals)
+		b = appendTuple16(b, cs.Histogram)
+	}
+	return b
+}
+
+func decodeStats(rec []byte) (Stats, error) {
+	var s Stats
+	b := rec[1:]
+	if len(b) < 34 {
+		return s, fmt.Errorf("syscat: truncated stats record")
+	}
+	s.TableOID = binary.LittleEndian.Uint64(b)
+	s.Rows = int64(binary.LittleEndian.Uint64(b[8:]))
+	s.SampleRows = int64(binary.LittleEndian.Uint64(b[16:]))
+	s.Churn = int64(binary.LittleEndian.Uint64(b[24:]))
+	ncols := int(binary.LittleEndian.Uint16(b[32:]))
+	b = b[34:]
+	var err error
+	for i := 0; i < ncols; i++ {
+		var cs catalog.ColumnStats
+		if len(b) < 17 {
+			return s, fmt.Errorf("syscat: truncated stats column %d", i)
+		}
+		cs.NDistinct = int64(binary.LittleEndian.Uint64(b))
+		cs.NullFrac = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+		flags := b[16]
+		b = b[17:]
+		if flags&1 != 0 {
+			var rng []catalog.Datum
+			if rng, b, err = readTuple16(b); err != nil {
+				return s, err
+			}
+			if len(rng) != 2 {
+				return s, fmt.Errorf("syscat: stats range of %d datums", len(rng))
+			}
+			cs.HasRange = true
+			cs.Min, cs.Max = rng[0], rng[1]
+		}
+		if len(b) < 2 {
+			return s, fmt.Errorf("syscat: truncated MCV count")
+		}
+		nmcv := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < 8*nmcv {
+			return s, fmt.Errorf("syscat: truncated MCV frequencies")
+		}
+		for j := 0; j < nmcv; j++ {
+			cs.MCFreqs = append(cs.MCFreqs, math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:])))
+		}
+		b = b[8*nmcv:]
+		if cs.MCVals, b, err = readTuple16(b); err != nil {
+			return s, err
+		}
+		if len(cs.MCVals) != nmcv {
+			return s, fmt.Errorf("syscat: %d MCV values for %d frequencies", len(cs.MCVals), nmcv)
+		}
+		if cs.Histogram, b, err = readTuple16(b); err != nil {
+			return s, err
+		}
+		s.Cols = append(s.Cols, cs)
+	}
+	if len(b) != 0 {
+		return s, fmt.Errorf("syscat: %d trailing bytes in stats record for OID %d", len(b), s.TableOID)
+	}
+	return s, nil
 }
 
 func decodeIndex(rec []byte) (Index, error) {

@@ -170,3 +170,133 @@ func TestCatalogLoadRejectsDanglingIndex(t *testing.T) {
 		t.Fatal("load accepted an index referencing a missing table")
 	}
 }
+
+func sampleStats(oid uint64) Stats {
+	return Stats{
+		TableOID:   oid,
+		Rows:       2000,
+		SampleRows: 2000,
+		Churn:      17,
+		Cols: []catalog.ColumnStats{
+			{
+				NDistinct: 601,
+				HasRange:  true,
+				Min:       catalog.NewText("aaa"),
+				Max:       catalog.NewText("zzz"),
+				MCVals:    []catalog.Datum{catalog.NewText("common")},
+				MCFreqs:   []float64{0.7},
+				Histogram: []catalog.Datum{catalog.NewText("a"), catalog.NewText("m"), catalog.NewText("z")},
+			},
+			{NDistinct: 2000},
+		},
+	}
+}
+
+// Statistics records round-trip through the heap encoding and reload
+// with the catalog.
+func TestCatalogStatsRoundTrip(t *testing.T) {
+	c, bp := newCatalog(t)
+	tb, err := c.AddTable("words", []Column{
+		{Name: "name", Type: catalog.Text},
+		{Name: "id", Type: catalog.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleStats(tb.OID)
+	if err := c.SetStats(want); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(c *Catalog) {
+		t.Helper()
+		got, ok := c.GetStats(tb.OID)
+		if !ok {
+			t.Fatal("stats missing")
+		}
+		if got.Rows != want.Rows || got.SampleRows != want.SampleRows || got.Churn != 17 || len(got.Cols) != 2 {
+			t.Fatalf("stats header: %+v", got)
+		}
+		cs := got.Cols[0]
+		if cs.NDistinct != 601 || !cs.HasRange || cs.Min.S != "aaa" || cs.Max.S != "zzz" {
+			t.Fatalf("column stats: %+v", cs)
+		}
+		if len(cs.MCVals) != 1 || cs.MCVals[0].S != "common" || cs.MCFreqs[0] != 0.7 {
+			t.Fatalf("MCVs: %+v", cs)
+		}
+		if len(cs.Histogram) != 3 || cs.Histogram[1].S != "m" {
+			t.Fatalf("histogram: %+v", cs)
+		}
+		if got.Cols[1].HasRange || len(got.Cols[1].MCVals) != 0 {
+			t.Fatalf("second column gained phantom stats: %+v", got.Cols[1])
+		}
+	}
+	check(c)
+	check(reload(t, bp))
+
+	// Replacement keeps exactly one record.
+	want.Rows = 5000
+	if err := c.SetStats(want); err != nil {
+		t.Fatal(err)
+	}
+	c2 := reload(t, bp)
+	if got, _ := c2.GetStats(tb.OID); got.Rows != 5000 {
+		t.Fatalf("replaced stats rows = %d", got.Rows)
+	}
+	if n := len(c2.AllStats()); n != 1 {
+		t.Fatalf("%d stats records after replace", n)
+	}
+
+	// Removal round-trips too.
+	prev, had, err := c.RemoveStats(tb.OID)
+	if err != nil || !had || prev.Rows != 5000 {
+		t.Fatalf("remove: %v %v %+v", err, had, prev)
+	}
+	if _, ok := reload(t, bp).GetStats(tb.OID); ok {
+		t.Fatal("stats survived removal")
+	}
+}
+
+// A statistics record referencing a table that no longer exists (or
+// whose column count diverged) must be ignored on load, never brick the
+// catalog: statistics are advisory.
+func TestCatalogIgnoresOrphanStats(t *testing.T) {
+	c, bp := newCatalog(t)
+	tb, err := c.AddTable("words", []Column{{Name: "name", Type: catalog.Text}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An orphan stats record for a never-cataloged OID, written straight
+	// into the heap behind the catalog's back.
+	hf := c.heap
+	if _, err := hf.Insert(encodeStats(Stats{TableOID: 9999, Rows: 1, Cols: []catalog.ColumnStats{{NDistinct: 1}}})); err != nil {
+		t.Fatal(err)
+	}
+	// A column-count mismatch for a real table.
+	if _, err := hf.Insert(encodeStats(Stats{TableOID: tb.OID, Rows: 1, Cols: []catalog.ColumnStats{{NDistinct: 1}, {NDistinct: 2}}})); err != nil {
+		t.Fatal(err)
+	}
+	c2 := reload(t, bp)
+	if n := len(c2.AllStats()); n != 0 {
+		t.Fatalf("orphan/mismatched stats loaded: %d records", n)
+	}
+	if _, ok := c2.GetTable("words"); !ok {
+		t.Fatal("table lost while pruning orphan stats")
+	}
+}
+
+// A truncated statistics record is skipped on load — advisory data must
+// not brick an otherwise healthy catalog.
+func TestCatalogSkipsUndecodableStats(t *testing.T) {
+	c, bp := newCatalog(t)
+	if _, err := c.AddTable("words", []Column{{Name: "name", Type: catalog.Text}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.heap.Insert([]byte{recStats, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := reload(t, bp)
+	if n := len(c2.AllStats()); n != 0 {
+		t.Fatalf("undecodable stats record loaded: %d records", n)
+	}
+}
