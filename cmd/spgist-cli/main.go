@@ -167,7 +167,7 @@ func meta(db *repro.DB, line string) bool {
 				cols = append(cols, fmt.Sprintf("%s %v", c.Name, c.Type))
 			}
 			fmt.Printf("  %s (%s)  rows=%d indexes=%d\n",
-				t.Name, strings.Join(cols, ", "), t.Heap.Count(), len(t.Indexes))
+				t.Name, strings.Join(cols, ", "), t.RowCount(), len(t.Indexes))
 			for _, ix := range t.Indexes {
 				fmt.Printf("    index %s on %s using %s (%s), %d pages\n",
 					ix.Name, t.Columns[ix.Column].Name, ix.OpClass.AM, ix.OpClass.Name, ix.Idx.NumPages())
@@ -205,7 +205,7 @@ func describe(db *repro.DB, name string) {
 	}
 	rows := int64(0)
 	if t, err := db.Engine().Table(name); err == nil {
-		rows = t.Heap.Count()
+		rows = t.RowCount()
 	}
 	fmt.Printf("Table %q  (oid=%d, file=%s, rows=%d)\n", te.Name, te.OID, te.File, rows)
 	fmt.Println("  Column | Type")

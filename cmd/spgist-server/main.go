@@ -1,0 +1,81 @@
+// Command spgist-server serves one database to many concurrent SQL
+// sessions over TCP — the multi-backend shape the paper's SP-GiST
+// realization lives in inside PostgreSQL. Each connection gets its own
+// sqlmini session over one shared engine; SELECT-class statements run
+// concurrently under the engine's shared statement lock while DML and
+// DDL serialize as single writers.
+//
+//	$ spgist-server -addr :5433 -dir /path/to/db -wal
+//	$ printf 'SHOW TABLES\n' | nc localhost 5433
+//
+// Protocol (newline-framed text; see internal/server):
+//
+//	client: one SQL statement per line
+//	server: "#cols ...", "row ...", "plan ..." lines, then "OK ..." or "ERR ..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/executor"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:5433", "TCP listen address")
+	dir := flag.String("dir", "", "database directory (default: in-memory)")
+	useWAL := flag.Bool("wal", false, "enable write-ahead logging and crash recovery (requires -dir)")
+	walLazy := flag.Bool("wal-lazy", false, "sync the log lazily instead of on every commit")
+	poolPages := flag.Int("pool", 0, "buffer-pool pages per file (default 1024)")
+	flag.Parse()
+
+	mode := wal.SyncCommit
+	if *walLazy {
+		mode = wal.SyncLazy
+	}
+	db, err := executor.Open(executor.Options{Dir: *dir, WAL: *useWAL, WALSync: mode, PoolPages: *poolPages})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	if rs := db.RecoveryStats(); rs.PagesWritten > 0 || rs.TornTail {
+		fmt.Printf("recovered from WAL: %d records, %d pages written across %d files\n",
+			rs.Records, rs.PagesWritten, rs.FilesTouched)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := server.New(db)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down")
+		srv.Shutdown()
+		l.Close()
+	}()
+
+	fmt.Printf("spgist-server listening on %s (db: %s)\n", l.Addr(), dbLabel(*dir))
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func dbLabel(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/heap"
 	"repro/internal/storage"
@@ -58,7 +59,9 @@ type node struct {
 }
 
 // Tree is one disk-based B+-tree index. Writers must be externally
-// serialized.
+// serialized and excluded from readers; readers may run concurrently
+// with each other (the executor's shared/exclusive statement lock
+// provides this discipline).
 type Tree struct {
 	bp     *storage.BufferPool
 	root   storage.PageID
@@ -66,12 +69,14 @@ type Tree struct {
 	count  int64
 
 	// trace, when non-nil, records distinct pages touched by read paths.
-	trace map[storage.PageID]struct{}
+	trace atomic.Pointer[storage.PageTrace]
 
 	// cache holds decoded nodes for read-only paths, invalidated on
 	// writes — the analogue of PostgreSQL binary-searching directly in
-	// buffer pages instead of materializing tuples per visit.
-	cache map[storage.PageID]*node
+	// buffer pages instead of materializing tuples per visit. Cached
+	// nodes are immutable once published, so concurrent readers share
+	// them freely.
+	cache *storage.NodeCache[storage.PageID, *node]
 }
 
 // Create initializes a new empty B+-tree in an empty page file.
@@ -85,7 +90,7 @@ func Create(bp *storage.BufferPool) (*Tree, error) {
 	}
 	binary.LittleEndian.PutUint32(meta.Data[mMagicOf:], magic)
 	bp.Unpin(meta, true)
-	t := &Tree{bp: bp, root: storage.InvalidPageID, cache: make(map[storage.PageID]*node)}
+	t := &Tree{bp: bp, root: storage.InvalidPageID, cache: storage.NewNodeCache[storage.PageID, *node](maxCachedNodes)}
 	return t, t.saveMeta()
 }
 
@@ -104,7 +109,7 @@ func Open(bp *storage.BufferPool) (*Tree, error) {
 		root:   storage.PageID(binary.LittleEndian.Uint32(meta.Data[mRootOf:])),
 		height: int(binary.LittleEndian.Uint32(meta.Data[mHeightOf:])),
 		count:  int64(binary.LittleEndian.Uint64(meta.Data[mCountOf:])),
-		cache:  make(map[storage.PageID]*node),
+		cache:  storage.NewNodeCache[storage.PageID, *node](maxCachedNodes),
 	}, nil
 }
 
@@ -235,42 +240,46 @@ func (t *Tree) readNode(pid storage.PageID) (*node, error) {
 // StartPageTrace begins counting the distinct pages touched by read-only
 // operations (the page reads a cold execution would issue).
 func (t *Tree) StartPageTrace() {
-	t.trace = make(map[storage.PageID]struct{})
+	t.trace.Store(storage.NewPageTrace())
 }
 
 // PageTraceCount reports the distinct pages touched since StartPageTrace
 // and stops tracing.
 func (t *Tree) PageTraceCount() int {
-	n := len(t.trace)
-	t.trace = nil
-	return n
+	tr := t.trace.Swap(nil)
+	if tr == nil {
+		return 0
+	}
+	return tr.Count()
 }
 
 // maxCachedNodes bounds the decoded-node cache.
 const maxCachedNodes = 1 << 16
 
+// invalidate drops a node from the decoded-node cache.
+func (t *Tree) invalidate(pid storage.PageID) {
+	t.cache.Drop(pid)
+}
+
 // readNodeRO serves read-only visits from the decoded-node cache. The
-// result must not be mutated.
+// result must not be mutated: it may be shared with concurrent readers.
 func (t *Tree) readNodeRO(pid storage.PageID) (*node, error) {
-	if t.trace != nil {
-		t.trace[pid] = struct{}{}
+	if tr := t.trace.Load(); tr != nil {
+		tr.Visit(pid)
 	}
-	if n, ok := t.cache[pid]; ok {
+	if n, ok := t.cache.Get(pid); ok {
 		return n, nil
 	}
 	n, err := t.readNode(pid)
 	if err != nil {
 		return nil, err
 	}
-	if len(t.cache) >= maxCachedNodes {
-		t.cache = make(map[storage.PageID]*node)
-	}
-	t.cache[pid] = n
+	t.cache.Put(pid, n)
 	return n, nil
 }
 
 func (t *Tree) writeNode(pid storage.PageID, n *node) error {
-	delete(t.cache, pid)
+	t.invalidate(pid)
 	if n.encodedSize() > t.bp.DM().PageSize() {
 		return fmt.Errorf("btree: node of %d bytes exceeds page size", n.encodedSize())
 	}
@@ -440,7 +449,7 @@ func (t *Tree) insertFast(key []byte, rid heap.RID) (bool, error) {
 	rb := rid.Bytes()
 	copy(data[insOff+2+len(key):], rb[:])
 	binary.LittleEndian.PutUint16(data[1:], uint16(cnt+1))
-	delete(t.cache, pid)
+	t.invalidate(pid)
 	t.bp.Unpin(p, true)
 	return true, nil
 }

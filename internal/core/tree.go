@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -10,10 +11,13 @@ import (
 // Tree is one disk-based SP-GiST index: the generic internal methods bound
 // to a concrete OpClass and a page file.
 //
-// Writers must be externally serialized (one mutator at a time); readers
-// may run concurrently with each other but not with a mutator. The
-// catalog/executor layer above enforces this, mirroring how the paper
-// delegates fine-grained concurrency to future work.
+// Writers must be externally serialized (one mutator at a time), and no
+// reader may run concurrently with a mutator; readers may run
+// concurrently with each other (the decoded-node cache is guarded and
+// cached nodes are immutable once published). The executor layer above
+// enforces the reader/writer discipline with its shared/exclusive
+// statement lock, mirroring how the paper delegates fine-grained
+// concurrency control to the host DBMS.
 type Tree struct {
 	bp *storage.BufferPool
 	oc OpClass
@@ -23,15 +27,13 @@ type Tree struct {
 	nKeys int64
 
 	// cache holds decoded nodes for read-only paths (Scan, NN, walk),
-	// invalidated on every write. It stands in for PostgreSQL processing
-	// tuples directly inside buffer pages: without it every node visit
-	// would pay a full record decode, which would distort the CPU side
-	// of the experiments. Cached nodes must never be mutated; mutating
-	// paths decode fresh copies.
-	cache map[NodeRef]*node
+	// invalidated on every write. Nodes are fully decoded and memoized
+	// before publication (immutable-after-fill), so concurrent readers
+	// share them freely; mutating paths decode fresh private copies.
+	cache *storage.NodeCache[NodeRef, *node]
 
 	// trace, when non-nil, records distinct pages touched by read paths.
-	trace map[storage.PageID]struct{}
+	trace atomic.Pointer[storage.PageTrace]
 
 	// fsm caches free bytes per page for the clustering allocator.
 	fsm map[storage.PageID]int
@@ -81,7 +83,7 @@ func Create(bp *storage.BufferPool, oc OpClass) (*Tree, error) {
 		oc:        oc,
 		pr:        oc.Params(),
 		root:      InvalidRef,
-		cache:     make(map[NodeRef]*node),
+		cache:     storage.NewNodeCache[NodeRef, *node](maxCachedNodes),
 		fsm:       make(map[storage.PageID]int),
 		spacious:  make(map[storage.PageID]struct{}),
 		lastAlloc: storage.InvalidPageID,
@@ -108,7 +110,7 @@ func Open(bp *storage.BufferPool, oc OpClass) (*Tree, error) {
 			Slot: binary.LittleEndian.Uint16(meta.Data[tmRootSlotOf:]),
 		},
 		nKeys:     int64(binary.LittleEndian.Uint64(meta.Data[tmNKeysOf:])),
-		cache:     make(map[NodeRef]*node),
+		cache:     storage.NewNodeCache[NodeRef, *node](maxCachedNodes),
 		fsm:       make(map[storage.PageID]int),
 		spacious:  make(map[storage.PageID]struct{}),
 		lastAlloc: storage.InvalidPageID,
@@ -191,30 +193,37 @@ func (t *Tree) readNode(ref NodeRef) (*node, error) {
 }
 
 // readNodeRO returns the node at ref for read-only use, serving repeated
-// visits from the decoded-node cache. Callers must not mutate the result.
+// visits from the decoded-node cache. Callers must not mutate the result:
+// it may be shared with any number of concurrent readers.
 func (t *Tree) readNodeRO(ref NodeRef) (*node, error) {
 	t.tracePage(ref.Page)
-	if n, ok := t.cache[ref]; ok {
+	if n, ok := t.cache.Get(ref); ok {
 		return n, nil
 	}
 	n, err := t.readNode(ref)
 	if err != nil {
 		return nil, err
 	}
-	if len(t.cache) >= maxCachedNodes {
-		t.cache = make(map[NodeRef]*node)
+	// Memoize the decoded forms now, while the node is still private:
+	// once published to the cache it is shared with concurrent readers
+	// and must never be written again (immutable-after-fill).
+	if n.leaf {
+		t.keyValues(n)
+	} else {
+		t.innerValues(n)
 	}
-	t.cache[ref] = n
+	t.cache.Put(ref, n)
 	return n, nil
 }
 
 // invalidate drops a node from the decoded-node cache.
 func (t *Tree) invalidate(ref NodeRef) {
-	delete(t.cache, ref)
+	t.cache.Drop(ref)
 }
 
 // innerValues returns the memoized decoded predicate and labels of an
-// inner node (filling them on first use).
+// inner node. Cached (shared) nodes are always pre-filled by readNodeRO;
+// the fill branch only ever runs on a private, freshly decoded node.
 func (t *Tree) innerValues(n *node) (Value, []Value) {
 	if !n.memoIn {
 		n.predV = t.decodePred(n.pred)
@@ -224,7 +233,8 @@ func (t *Tree) innerValues(n *node) (Value, []Value) {
 	return n.predV, n.labelsV
 }
 
-// keyValues returns the memoized decoded keys of a leaf node.
+// keyValues returns the memoized decoded keys of a leaf node. Same
+// fill discipline as innerValues.
 func (t *Tree) keyValues(n *node) []Value {
 	if !n.memoKey {
 		n.keysV = make([]Value, len(n.items))
@@ -240,20 +250,22 @@ func (t *Tree) keyValues(n *node) []Value {
 // operations — the number of page reads a cold (unbuffered) execution
 // would issue, which is the cost the paper's I/O-bound measurements see.
 func (t *Tree) StartPageTrace() {
-	t.trace = make(map[storage.PageID]struct{})
+	t.trace.Store(storage.NewPageTrace())
 }
 
 // PageTraceCount reports the distinct pages touched since StartPageTrace
 // and stops tracing.
 func (t *Tree) PageTraceCount() int {
-	n := len(t.trace)
-	t.trace = nil
-	return n
+	tr := t.trace.Swap(nil)
+	if tr == nil {
+		return 0
+	}
+	return tr.Count()
 }
 
 func (t *Tree) tracePage(pid storage.PageID) {
-	if t.trace != nil {
-		t.trace[pid] = struct{}{}
+	if tr := t.trace.Load(); tr != nil {
+		tr.Visit(pid)
 	}
 }
 

@@ -283,6 +283,9 @@ func (t *Table) Analyze() error {
 	if err := t.db.poisoned(); err != nil {
 		return err
 	}
+	if err := t.checkAttached(); err != nil {
+		return err
+	}
 	s, err := t.computeStats()
 	if err != nil {
 		return err

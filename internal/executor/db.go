@@ -136,15 +136,26 @@ type DB struct {
 	// in a way no later action may commit. Guarded by stmtMu.
 	broken error
 
-	// stmtMu serializes mutating statements against each other and
-	// against Checkpoint/Close/Crash (single-writer, like SQLite).
+	// stmtMu is the statement lock, a reader-writer discipline:
+	//
+	//   - shared (RLock): SELECT, EXPLAIN, nearest-neighbor scans, RID
+	//     lookups — any number may run concurrently; the storage and
+	//     access-method read paths below are safe for concurrent readers.
+	//   - exclusive (Lock): INSERT, DELETE, DDL, ANALYZE, CHECKPOINT,
+	//     Close, Crash — single-writer, like SQLite.
+	//
 	// Interleaved writers would let one statement's commit marker cover
 	// another statement's half-appended records, and a checkpoint
 	// running concurrently with an insert could recycle the log segment
 	// holding the insert's records while its dirty pages are still only
-	// in memory. Reads are unaffected. stmtMu is always acquired before
-	// db.mu.
-	stmtMu sync.Mutex
+	// in memory. Readers must exclude writers because scans work on
+	// shared decoded-node caches and unversioned heap pages — there is
+	// no MVCC; a reader concurrent with a writer could see a torn page.
+	// stmtMu is always acquired before db.mu, and no method may take it
+	// (shared or exclusive) while already holding it — Go's RWMutex does
+	// not support recursive read locking, so internal code paths use the
+	// *Locked variants instead.
+	stmtMu sync.RWMutex
 }
 
 // faultErr marks an error raised through FaultInjection: a simulated
@@ -630,6 +641,17 @@ func isRelationFile(name string) bool {
 // WAL returns the attached log writer (nil when logging is off).
 func (db *DB) WAL() *wal.Writer { return db.wal }
 
+// ShareLock takes the shared statement lock for a multi-call read-only
+// statement assembled outside the executor (SHOW TABLES / SHOW INDEXES
+// joining catalog records with table state). Release with ShareUnlock.
+// While held, use Table.Heap.Count() style direct reads — the locked
+// accessors (Table.Get, Table.RowCount, Select) would re-acquire the
+// lock, and Go's RWMutex read lock is not recursive.
+func (db *DB) ShareLock() { db.stmtMu.RLock() }
+
+// ShareUnlock releases ShareLock.
+func (db *DB) ShareUnlock() { db.stmtMu.RUnlock() }
+
 // Catalog exposes the persistent system catalog (SQL introspection, the
 // CLI's describe commands, tests).
 func (db *DB) Catalog() *syscat.Catalog { return db.cat }
@@ -1069,7 +1091,10 @@ func (db *DB) buildIndex(t *Table, idx am.Index, ci int, bp *storage.BufferPool)
 				return false
 			}
 		}
-		if db.wal != nil && rows%256 == 0 {
+		// Batch size 64 keeps the build's uncommitted (unevictable)
+		// frame set well inside a single buffer-pool shard even for
+		// small pools — the no-steal rule now binds per shard.
+		if db.wal != nil && rows%64 == 0 {
 			if werr := bp.LogPendingImages(); werr != nil {
 				err = werr
 				return false
@@ -1441,6 +1466,9 @@ func (db *DB) DropTable(name string) error {
 func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
 	t.db.stmtMu.Lock()
 	defer t.db.stmtMu.Unlock()
+	if err := t.checkAttached(); err != nil {
+		return heap.InvalidRID, err
+	}
 	if len(tup) != len(t.Columns) {
 		return heap.InvalidRID, fmt.Errorf("executor: %s expects %d values, got %d", t.Name, len(t.Columns), len(tup))
 	}
@@ -1466,8 +1494,36 @@ func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
 	return rid, nil
 }
 
-// Get fetches a row by RID.
+// checkAttached verifies, under the statement lock, that t is still the
+// database's attached table of its name. A caller may have resolved the
+// *Table (db.Table, a SQL session's name lookup) before a concurrent
+// DROP TABLE committed; its heap and index pools are discarded then, and
+// running a scan against them would surface as a confusing storage-level
+// error. The statement lock makes this check stable for the statement's
+// whole lock window: DROP needs the exclusive lock to detach.
+func (t *Table) checkAttached() error {
+	t.db.mu.Lock()
+	cur := t.db.tables[t.Name]
+	t.db.mu.Unlock()
+	if cur != t {
+		return fmt.Errorf("executor: table %q was dropped", t.Name)
+	}
+	return nil
+}
+
+// Get fetches a row by RID (a shared-lock read).
 func (t *Table) Get(rid heap.RID) (catalog.Tuple, error) {
+	t.db.stmtMu.RLock()
+	defer t.db.stmtMu.RUnlock()
+	if err := t.checkAttached(); err != nil {
+		return nil, err
+	}
+	return t.get(rid)
+}
+
+// get is Get without the statement lock, for callers that already hold
+// it (shared or exclusive).
+func (t *Table) get(rid heap.RID) (catalog.Tuple, error) {
 	rec, err := t.Heap.Get(rid)
 	if err != nil || rec == nil {
 		return nil, err
@@ -1475,11 +1531,31 @@ func (t *Table) Get(rid heap.RID) (catalog.Tuple, error) {
 	return catalog.DecodeTuple(rec)
 }
 
+// RowCount returns the table's live row count under the shared statement
+// lock. (Reaching for t.Heap.Count() directly is not concurrency-safe:
+// the heap's counter is maintained by writers under the exclusive lock.)
+func (t *Table) RowCount() int64 {
+	t.db.stmtMu.RLock()
+	defer t.db.stmtMu.RUnlock()
+	if t.checkAttached() != nil {
+		return 0
+	}
+	return t.Heap.Count()
+}
+
 // DeleteRow removes one row by RID, maintaining all indexes.
 func (t *Table) DeleteRow(rid heap.RID) error {
 	t.db.stmtMu.Lock()
 	defer t.db.stmtMu.Unlock()
-	tup, err := t.Get(rid)
+	if err := t.checkAttached(); err != nil {
+		return err
+	}
+	return t.deleteRowLocked(rid)
+}
+
+// deleteRowLocked is DeleteRow under an already-held exclusive lock.
+func (t *Table) deleteRowLocked(rid heap.RID) error {
+	tup, err := t.get(rid)
 	if err != nil {
 		return err
 	}

@@ -18,9 +18,22 @@ type Row struct {
 // Select plans and runs `SELECT * FROM t [WHERE pred]`, emitting rows
 // until emit returns false. Index hits are rechecked against the heap
 // tuple, so lossy access methods (R-tree MBRs, B+-tree wildcard prefix
-// ranges) never produce false positives.
+// ranges) never produce false positives. Select takes the shared
+// statement lock: any number of Selects run concurrently, excluded only
+// by writers.
 func (t *Table) Select(pred *Pred, emit func(Row) bool) (*Plan, error) {
-	plan, err := t.PlanSelect(pred)
+	t.db.stmtMu.RLock()
+	defer t.db.stmtMu.RUnlock()
+	return t.selectLocked(pred, emit)
+}
+
+// selectLocked is Select under an already-held statement lock (shared or
+// exclusive).
+func (t *Table) selectLocked(pred *Pred, emit func(Row) bool) (*Plan, error) {
+	if err := t.checkAttached(); err != nil {
+		return nil, err
+	}
+	plan, err := t.planSelect(pred)
 	if err != nil {
 		return nil, err
 	}
@@ -31,13 +44,19 @@ func (t *Table) Select(pred *Pred, emit func(Row) bool) (*Plan, error) {
 // cost-based access-path choice — the moral equivalent of PostgreSQL's
 // enable_seqscan=off. Tests and demos use it to prove a particular index
 // structure answers correctly (e.g. after crash recovery) even when the
-// planner would prefer a sequential scan on a small table.
+// planner would prefer a sequential scan on a small table. Shared lock,
+// like Select.
 func (t *Table) SelectIndexed(ix *IndexInfo, pred *Pred, emit func(Row) bool) error {
 	if pred == nil || pred.Column != ix.Column {
 		return fmt.Errorf("executor: SelectIndexed needs a predicate on the indexed column")
 	}
 	if !ix.OpClass.SupportsOp(pred.Op) {
 		return fmt.Errorf("executor: operator class %s does not support %q", ix.OpClass.Name, pred.Op)
+	}
+	t.db.stmtMu.RLock()
+	defer t.db.stmtMu.RUnlock()
+	if err := t.checkAttached(); err != nil {
+		return err
 	}
 	return t.run(&Plan{Kind: IndexScan, Table: t, Index: ix, Pred: pred, Recheck: true}, emit)
 }
@@ -76,7 +95,7 @@ func (t *Table) run(plan *Plan, emit func(Row) bool) error {
 	case IndexScan:
 		var ierr error
 		err := plan.Index.Idx.Scan(plan.Pred.Op, plan.Pred.Arg, func(rid heap.RID) bool {
-			tup, e := t.Get(rid)
+			tup, e := t.get(rid)
 			if e != nil {
 				ierr = e
 				return false
@@ -103,13 +122,23 @@ type NNResult struct {
 
 // SelectNN plans and runs `SELECT * FROM t ORDER BY col <-> arg LIMIT k`
 // via the incremental NN search when an index provides it, falling back
-// to scan-and-sort.
+// to scan-and-sort. k < 0 means "all rows", resolved against the row
+// count inside this statement's lock window so an unlimited query stays
+// atomic against concurrent inserts. Shared lock, like Select.
 func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, *Plan, error) {
 	ci, err := t.colIndex(colName)
 	if err != nil {
 		return nil, nil, err
 	}
-	plan, err := t.PlanNN(ci, arg, k)
+	t.db.stmtMu.RLock()
+	defer t.db.stmtMu.RUnlock()
+	if err := t.checkAttached(); err != nil {
+		return nil, nil, err
+	}
+	if k < 0 {
+		k = int(t.Heap.Count())
+	}
+	plan, err := t.planNN(ci, arg, k)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -124,7 +153,7 @@ func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, 
 			if !ok {
 				break
 			}
-			tup, err := t.Get(rid)
+			tup, err := t.get(rid)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -184,17 +213,24 @@ func Distance(l, r catalog.Datum) (float64, error) {
 }
 
 // DeleteWhere removes every row matching pred (all rows when pred is
-// nil), returning how many were removed.
+// nil), returning how many were removed. The whole statement — the
+// qualifying scan and the row deletions — runs under one exclusive
+// statement lock, so no reader observes its intermediate states.
 func (t *Table) DeleteWhere(pred *Pred) (int, error) {
+	t.db.stmtMu.Lock()
+	defer t.db.stmtMu.Unlock()
+	if err := t.checkAttached(); err != nil {
+		return 0, err
+	}
 	var rids []heap.RID
-	if _, err := t.Select(pred, func(r Row) bool {
+	if _, err := t.selectLocked(pred, func(r Row) bool {
 		rids = append(rids, r.RID)
 		return true
 	}); err != nil {
 		return 0, err
 	}
 	for _, rid := range rids {
-		if err := t.DeleteRow(rid); err != nil {
+		if err := t.deleteRowLocked(rid); err != nil {
 			return 0, err
 		}
 	}

@@ -133,8 +133,22 @@ func indexScanCost(t *Table, ix *IndexInfo, sel float64) float64 {
 }
 
 // PlanSelect chooses the cheapest access path for an optional predicate,
-// comparing the sequential scan against every applicable index.
+// comparing the sequential scan against every applicable index. It takes
+// the shared statement lock (EXPLAIN is a read); statistics reads are
+// safe under it — the planner's inputs (persisted or lazily sampled
+// column statistics, churn counters) are guarded by the table's stats
+// mutex, so concurrent EXPLAINs never race.
 func (t *Table) PlanSelect(pred *Pred) (*Plan, error) {
+	t.db.stmtMu.RLock()
+	defer t.db.stmtMu.RUnlock()
+	if err := t.checkAttached(); err != nil {
+		return nil, err
+	}
+	return t.planSelect(pred)
+}
+
+// planSelect is PlanSelect under an already-held statement lock.
+func (t *Table) planSelect(pred *Pred) (*Plan, error) {
 	rows := t.Heap.Count()
 	best := &Plan{
 		Kind:      SeqScan,
@@ -179,8 +193,23 @@ func (t *Table) PlanSelect(pred *Pred) (*Plan, error) {
 
 // PlanNN chooses the access path for an ORDER BY col <-> q LIMIT k query:
 // an index with an ordering operator when available, else a sequential
-// scan with a full sort (priced accordingly).
+// scan with a full sort (priced accordingly). Shared lock, like
+// PlanSelect.
 func (t *Table) PlanNN(column int, arg catalog.Datum, k int) (*Plan, error) {
+	t.db.stmtMu.RLock()
+	defer t.db.stmtMu.RUnlock()
+	if err := t.checkAttached(); err != nil {
+		return nil, err
+	}
+	return t.planNN(column, arg, k)
+}
+
+// planNN is PlanNN under an already-held statement lock. k < 0 prices
+// an unlimited query (every row returned).
+func (t *Table) planNN(column int, arg catalog.Datum, k int) (*Plan, error) {
+	if k < 0 {
+		k = int(t.Heap.Count())
+	}
 	for _, ix := range t.Indexes {
 		if ix.Column != column || ix.OpClass.NNOp == "" {
 			continue

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/heap"
@@ -61,11 +62,12 @@ type Tree struct {
 	minFill int // m: lower bound after split
 
 	// trace, when non-nil, records distinct pages touched by read paths.
-	trace map[storage.PageID]struct{}
+	trace atomic.Pointer[storage.PageTrace]
 
 	// cache holds decoded nodes for read-only paths, invalidated on
-	// writes (see the btree package for rationale).
-	cache map[storage.PageID]*node
+	// writes (see the btree package for rationale). Cached nodes are
+	// immutable once published, so concurrent readers share them freely.
+	cache *storage.NodeCache[storage.PageID, *node]
 }
 
 // Create initializes a new empty R-tree in an empty page file.
@@ -109,7 +111,7 @@ func newTree(bp *storage.BufferPool) *Tree {
 	return &Tree{
 		bp: bp, root: storage.InvalidPageID,
 		maxFill: maxFill, minFill: minFill,
-		cache: make(map[storage.PageID]*node),
+		cache: storage.NewNodeCache[storage.PageID, *node](maxCachedNodes),
 	}
 }
 
@@ -226,42 +228,46 @@ func (t *Tree) readNode(pid storage.PageID) (*node, error) {
 // StartPageTrace begins counting the distinct pages touched by read-only
 // operations (the page reads a cold execution would issue).
 func (t *Tree) StartPageTrace() {
-	t.trace = make(map[storage.PageID]struct{})
+	t.trace.Store(storage.NewPageTrace())
 }
 
 // PageTraceCount reports the distinct pages touched since StartPageTrace
 // and stops tracing.
 func (t *Tree) PageTraceCount() int {
-	n := len(t.trace)
-	t.trace = nil
-	return n
+	tr := t.trace.Swap(nil)
+	if tr == nil {
+		return 0
+	}
+	return tr.Count()
 }
 
 // maxCachedNodes bounds the decoded-node cache.
 const maxCachedNodes = 1 << 16
 
 // readNodeRO serves read-only visits from the decoded-node cache. The
-// result must not be mutated.
+// result must not be mutated: it may be shared with concurrent readers.
 func (t *Tree) readNodeRO(pid storage.PageID) (*node, error) {
-	if t.trace != nil {
-		t.trace[pid] = struct{}{}
+	if tr := t.trace.Load(); tr != nil {
+		tr.Visit(pid)
 	}
-	if n, ok := t.cache[pid]; ok {
+	if n, ok := t.cache.Get(pid); ok {
 		return n, nil
 	}
 	n, err := t.readNode(pid)
 	if err != nil {
 		return nil, err
 	}
-	if len(t.cache) >= maxCachedNodes {
-		t.cache = make(map[storage.PageID]*node)
-	}
-	t.cache[pid] = n
+	t.cache.Put(pid, n)
 	return n, nil
 }
 
+// invalidate drops a node from the decoded-node cache.
+func (t *Tree) invalidate(pid storage.PageID) {
+	t.cache.Drop(pid)
+}
+
 func (t *Tree) writeNode(pid storage.PageID, n *node) error {
-	delete(t.cache, pid)
+	t.invalidate(pid)
 	p, err := t.bp.Fetch(pid)
 	if err != nil {
 		return err

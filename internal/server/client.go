@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// Client is a minimal client for the line protocol, used by the demo,
+// the tests, and anyone scripting against spgist-server from Go.
+type Client struct {
+	conn net.Conn
+	in   *bufio.Scanner
+	out  *bufio.Writer
+}
+
+// Response is one statement's parsed reply.
+type Response struct {
+	Columns []string
+	Rows    [][]string
+	Plan    string
+	OK      string // the OK terminator's payload ("3", "INSERT 2", ...)
+}
+
+// Dial connects to a running spgist-server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, in: bufio.NewScanner(conn), out: bufio.NewWriter(conn)}
+	c.in.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return c, nil
+}
+
+// Exec sends one statement and reads its full response. A server-side
+// statement failure comes back as an error (the ERR line's message).
+func (c *Client) Exec(stmt string) (*Response, error) {
+	if _, err := fmt.Fprintf(c.out, "%s\n", strings.ReplaceAll(stmt, "\n", " ")); err != nil {
+		return nil, err
+	}
+	if err := c.out.Flush(); err != nil {
+		return nil, err
+	}
+	res := &Response{}
+	for c.in.Scan() {
+		line := c.in.Text()
+		switch {
+		case strings.HasPrefix(line, "#cols "):
+			res.Columns = strings.Split(line[len("#cols "):], "\t")
+		case strings.HasPrefix(line, "row "):
+			vals := strings.Split(line[len("row "):], "\t")
+			for i, v := range vals {
+				vals[i] = unescapeValue(v)
+			}
+			res.Rows = append(res.Rows, vals)
+		case strings.HasPrefix(line, "plan "):
+			res.Plan = line[len("plan "):]
+		case strings.HasPrefix(line, "OK"):
+			res.OK = strings.TrimSpace(strings.TrimPrefix(line, "OK"))
+			return res, nil
+		case strings.HasPrefix(line, "ERR "):
+			return nil, fmt.Errorf("server: %s", line[len("ERR "):])
+		default:
+			return nil, fmt.Errorf("server: malformed response line %q", line)
+		}
+	}
+	if err := c.in.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("server: connection closed mid-response")
+}
+
+// unescapeValue reverses the server's row-value escaping (\\ \n \r \t).
+func unescapeValue(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 == len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.out, "\\q\n")
+	c.out.Flush()
+	return c.conn.Close()
+}

@@ -1,0 +1,187 @@
+// Package server implements spgist-server's line-protocol TCP front end:
+// one sqlmini session per connection over one shared executor.DB, which
+// is what turns the engine's shared/exclusive statement locking into
+// real concurrency — N clients running SELECTs make N scans proceed in
+// parallel, while a client running DML serializes as a single writer.
+//
+// The wire protocol is deliberately trivial (newline-framed text, telnet-
+// and netcat-friendly), standing in for the PostgreSQL frontend/backend
+// protocol the paper's SP-GiST realization inherits for free:
+//
+//	client: one SQL statement per line (a trailing ';' is fine)
+//	server: zero or more result lines, then exactly one terminator line
+//
+//	  #cols <tab-separated column names>   (SELECT/SHOW only)
+//	  row <tab-separated values>           (one per result row)
+//	  plan <access path>                   (SELECT/EXPLAIN)
+//	  OK <n rows | message>                (success terminator)
+//	  ERR <message>                        (failure terminator)
+//
+// Backslashes, newlines, carriage returns, and tabs inside row values
+// are escaped as \\ \n \r \t so a value can never break the framing;
+// the Go Client reverses the escaping.
+//
+// A line of "\q" (or EOF) ends the session.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/executor"
+	"repro/internal/sqlmini"
+)
+
+// Server serves a shared database over a net.Listener.
+type Server struct {
+	db *executor.DB
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// New wraps a database. The caller keeps ownership: closing the server
+// does not close the database.
+func New(db *executor.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until the listener is closed (Shutdown
+// or an external Close), running each connection's session on its own
+// goroutine. It returns nil on clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if s.closed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.untrack(conn)
+			s.session(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting (the caller closes the listener) and closes
+// every live connection so Serve's goroutines drain.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.done = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// session runs one connection: a private sqlmini session over the shared
+// database, one statement per line.
+func (s *Server) session(conn net.Conn) {
+	sess := sqlmini.NewSession(s.db)
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	out := bufio.NewWriter(conn)
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\q` || strings.EqualFold(line, "quit") {
+			return
+		}
+		res, err := sess.Exec(line)
+		if err != nil {
+			writeErr(out, err)
+		} else {
+			writeResult(out, res)
+		}
+		if out.Flush() != nil {
+			return
+		}
+	}
+	// A scan failure (most likely a statement over the 1MB line limit)
+	// still owes the client its terminator line — without it the client
+	// cannot distinguish "statement rejected" from "server died".
+	if err := in.Err(); err != nil {
+		writeErr(out, err)
+		out.Flush()
+	}
+}
+
+// writeErr emits the failure terminator. Newlines inside the message
+// would break the framing, so they are flattened.
+func writeErr(w *bufio.Writer, err error) {
+	msg := strings.ReplaceAll(err.Error(), "\n", " ")
+	fmt.Fprintf(w, "ERR %s\n", msg)
+}
+
+// escapeValue keeps a row value from breaking the wire framing: newlines
+// would end the line early and tabs would split the column, so both are
+// emitted as their backslash escapes (the value "a\nb" arrives as the
+// five characters `a\nb`). Values without framing characters — all of
+// SQL-literal-insertable text — pass through verbatim.
+var escapeValue = strings.NewReplacer("\\", `\\`, "\n", `\n`, "\r", `\r`, "\t", `\t`)
+
+// writeResult emits one statement's result lines and the OK terminator.
+func writeResult(w *bufio.Writer, res *sqlmini.Result) {
+	if len(res.Columns) > 0 {
+		fmt.Fprintf(w, "#cols %s\n", strings.Join(res.Columns, "\t"))
+	}
+	for i, row := range res.Rows {
+		vals := make([]string, 0, len(row)+1)
+		for _, d := range row {
+			vals = append(vals, escapeValue.Replace(d.String()))
+		}
+		if res.Distances != nil {
+			vals = append(vals, fmt.Sprintf("%g", res.Distances[i]))
+		}
+		fmt.Fprintf(w, "row %s\n", strings.Join(vals, "\t"))
+	}
+	if res.Plan != "" {
+		fmt.Fprintf(w, "plan %s\n", res.Plan)
+	}
+	switch {
+	case res.Msg != "":
+		fmt.Fprintf(w, "OK %s\n", res.Msg)
+	default:
+		fmt.Fprintf(w, "OK %d\n", len(res.Rows))
+	}
+}

@@ -312,8 +312,12 @@ func (p *parser) dropIndex(s *Session) (*Result, error) {
 }
 
 // SHOW TABLES: one row per table record of the persistent system
-// catalog — name, column list, live row count, and heap file.
+// catalog — name, column list, live row count, and heap file. The whole
+// statement runs under one shared statement lock, so it never observes
+// a DDL statement's intermediate catalog state.
 func showTables(s *Session) (*Result, error) {
+	s.DB.ShareLock()
+	defer s.DB.ShareUnlock()
 	res := &Result{Columns: []string{"table", "columns", "rows", "file"}}
 	for _, te := range s.DB.Catalog().Tables() {
 		var cols []string
@@ -322,7 +326,7 @@ func showTables(s *Session) (*Result, error) {
 		}
 		rows := int64(0)
 		if t, err := s.DB.Table(te.Name); err == nil {
-			rows = t.Heap.Count()
+			rows = t.Heap.Count() // direct read; the shared lock is held
 		}
 		res.Rows = append(res.Rows, catalog.Tuple{
 			catalog.NewText(te.Name),
@@ -336,8 +340,10 @@ func showTables(s *Session) (*Result, error) {
 
 // SHOW INDEXES: one row per index record of the persistent system
 // catalog — name, table, indexed column, access method, operator class,
-// validity, and index file.
+// validity, and index file. Shared lock, like SHOW TABLES.
 func showIndexes(s *Session) (*Result, error) {
+	s.DB.ShareLock()
+	defer s.DB.ShareUnlock()
 	cat := s.DB.Catalog()
 	res := &Result{Columns: []string{"index", "table", "column", "method", "opclass", "valid", "file"}}
 	byOID := make(map[uint64]string)
@@ -493,6 +499,7 @@ func (p *parser) selectStmt(s *Session, explainOnly bool) (*Result, error) {
 	}
 	// ORDER BY col <-> literal
 	nnCol := ""
+	nnCi := -1
 	var nnArg catalog.Datum
 	if p.accept(tokIdent, "ORDER") {
 		if err := p.keyword("BY"); err != nil {
@@ -531,7 +538,7 @@ func (p *parser) selectStmt(s *Session, explainOnly bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		nnCol = t.Columns[ci].Name
+		nnCol, nnCi = t.Columns[ci].Name, ci
 	}
 	limit := -1
 	if p.accept(tokIdent, "LIMIT") {
@@ -552,28 +559,22 @@ func (p *parser) selectStmt(s *Session, explainOnly bool) (*Result, error) {
 		if pred != nil {
 			return nil, fmt.Errorf("sql: WHERE together with ORDER BY <-> is not supported")
 		}
-		k := limit
-		if k < 0 {
-			k = int(t.Heap.Count())
-		}
-		ci, _ := 0, 0
-		for i, c := range t.Columns {
-			if c.Name == nnCol {
-				ci = i
+		// limit < 0 flows through as "all rows": SelectNN resolves it
+		// against the row count inside its own lock window, so the
+		// statement stays atomic against concurrent writers.
+		if explainOnly {
+			plan, err := t.PlanNN(nnCi, nnArg, limit)
+			if err != nil {
+				return nil, err
 			}
+			res.Plan = plan.String()
+			return res, nil
 		}
-		plan, err := t.PlanNN(ci, nnArg, k)
+		nns, plan, err := t.SelectNN(nnCol, nnArg, limit)
 		if err != nil {
 			return nil, err
 		}
 		res.Plan = plan.String()
-		if explainOnly {
-			return res, nil
-		}
-		nns, _, err := t.SelectNN(nnCol, nnArg, k)
-		if err != nil {
-			return nil, err
-		}
 		for _, nn := range nns {
 			res.Rows = append(res.Rows, nn.Tuple)
 			res.Distances = append(res.Distances, nn.Distance)
@@ -581,19 +582,26 @@ func (p *parser) selectStmt(s *Session, explainOnly bool) (*Result, error) {
 		return res, nil
 	}
 
-	plan, err := t.PlanSelect(pred)
+	if explainOnly {
+		plan, err := t.PlanSelect(pred)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan = plan.String()
+		return res, nil
+	}
+	// One statement, one lock window: the plan reported is the plan the
+	// scan actually ran (planning it separately could race a writer and
+	// report a different access path than the one executed).
+	plan, err := t.Select(pred, func(r executor.Row) bool {
+		res.Rows = append(res.Rows, r.Tuple)
+		return limit < 0 || len(res.Rows) < limit
+	})
 	if err != nil {
 		return nil, err
 	}
 	res.Plan = plan.String()
-	if explainOnly {
-		return res, nil
-	}
-	_, err = t.Select(pred, func(r executor.Row) bool {
-		res.Rows = append(res.Rows, r.Tuple)
-		return limit < 0 || len(res.Rows) < limit
-	})
-	return res, err
+	return res, nil
 }
 
 // DELETE FROM t [WHERE ...]

@@ -3,17 +3,22 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wal"
 )
 
 // Page is a pinned buffer-pool frame. The holder may read and mutate Data
-// and must Unpin it (marking it dirty if mutated) when done.
+// and must Unpin it (marking it dirty if mutated) when done. Mutating
+// holders must be externally serialized against every other holder of the
+// same page (the executor's exclusive statement lock provides this);
+// read-only holders may share a page freely.
 type Page struct {
 	ID   PageID
 	Data []byte
 
-	frame int // frame index inside the owning pool
+	shard int // owning shard index
+	frame int // frame index inside the owning shard
 }
 
 // PoolStats counts logical page traffic at the buffer-pool level. Logical
@@ -25,8 +30,29 @@ type PoolStats struct {
 	Evictions int64
 }
 
+// maxPoolShards caps the page-table sharding; 16 shards keep read-path
+// lock contention negligible up to dozens of cores without wasting frames
+// on tiny pools.
+const maxPoolShards = 16
+
+// minFramesPerShard keeps each shard's clock big enough that one
+// statement's pinned and uncommitted (no-steal) frames cannot exhaust
+// it. Sharding fragments the pool's victim search — a frame must be
+// found in the page's own shard, there is no cross-shard borrowing — so
+// small pools shard less rather than risk "shard exhausted" errors on
+// statements the unsharded pool handled.
+const minFramesPerShard = 16
+
 // BufferPool caches pages of one DiskManager using clock replacement.
 // All methods are safe for concurrent use.
+//
+// The page table is sharded by PageID so concurrent Fetch/Unpin of
+// distinct pages contend on (at most) one shard mutex rather than one
+// global pool mutex, and releasing a clean pin touches no mutex at all:
+// pin counts and reference bits are per-frame atomics. Pins are only ever
+// *added* under the owning shard's mutex, which the evictor also holds,
+// so a frame observed unpinned by the evictor cannot be concurrently
+// re-pinned.
 //
 // When a write-ahead log is attached (AttachWAL), the pool becomes the
 // WAL integration point for every structure built on it: each dirty
@@ -35,23 +61,49 @@ type PoolStats struct {
 // is written back to disk before the log is durable up to that frame's
 // latest record — the WAL-before-data rule.
 type BufferPool struct {
+	dm     DiskManager
+	shards []poolShard
+
+	accesses  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	// walRef holds the attached log writer and record file name. An
+	// atomic pointer rather than a mutex: AttachWAL is called once,
+	// before the pool is shared, and afterwards every dirty unpin and
+	// eviction reads it — a lock here would be a pool-global
+	// serialization point inside the per-shard critical sections.
+	walRef atomic.Pointer[walAttachment]
+}
+
+// walAttachment pairs the log writer with the file name used in WAL
+// records for this pool's pages.
+type walAttachment struct {
+	w    *wal.Writer
+	file string
+}
+
+// poolShard owns a disjoint subset of the pool's frames and the pages
+// that hash to it. Its mutex guards the page table, the clock hand, and
+// every non-atomic frame field.
+type poolShard struct {
 	mu      sync.Mutex
-	dm      DiskManager
 	frames  []frame
 	table   map[PageID]int
 	hand    int
-	stats   PoolStats
-	wal     *wal.Writer
-	walFile string // file name used in WAL records for this pool's pages
-	pending int    // frames with imagePending set
+	pending int // frames with imagePending set
 }
 
 type frame struct {
-	id    PageID
-	data  []byte
-	pin   int
+	id   PageID
+	data []byte
+	// pin and ref are atomics so a clean unpin (the hot read path) needs
+	// no shard lock: it decrements pin and sets ref without synchronizing
+	// with anything else. New pins are only taken under the shard mutex.
+	pin   atomic.Int32
+	ref   atomic.Bool // clock reference bit
 	dirty bool
-	ref   bool // clock reference bit
 	valid bool
 	lsn   wal.LSN // latest WAL record covering this page (0 = none)
 	// imagePending marks a frame dirtied since the last commit marker
@@ -66,84 +118,120 @@ func NewBufferPool(dm DiskManager, capacity int) *BufferPool {
 	if capacity < 4 {
 		capacity = 4
 	}
+	nShards := capacity / minFramesPerShard
+	if nShards > maxPoolShards {
+		nShards = maxPoolShards
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
 	bp := &BufferPool{
 		dm:     dm,
-		frames: make([]frame, capacity),
-		table:  make(map[PageID]int, capacity),
+		shards: make([]poolShard, nShards),
 	}
-	for i := range bp.frames {
-		bp.frames[i].data = make([]byte, dm.PageSize())
+	for si := range bp.shards {
+		// Distribute the capacity remainder over the first shards so the
+		// total frame count is exactly capacity.
+		n := capacity / nShards
+		if si < capacity%nShards {
+			n++
+		}
+		sh := &bp.shards[si]
+		sh.frames = make([]frame, n)
+		sh.table = make(map[PageID]int, n)
+		for i := range sh.frames {
+			sh.frames[i].data = make([]byte, dm.PageSize())
+		}
 	}
 	return bp
+}
+
+// shardOf maps a page to its owning shard index. Sequential page IDs
+// spread round-robin, so a scan's working set lands evenly across shards.
+func (bp *BufferPool) shardOf(id PageID) int {
+	return int(uint32(id)) % len(bp.shards)
 }
 
 // DM exposes the underlying disk manager.
 func (bp *BufferPool) DM() DiskManager { return bp.dm }
 
+// NumShards reports the page-table shard count (introspection, tests).
+func (bp *BufferPool) NumShards() int { return len(bp.shards) }
+
 // AttachWAL enables write-ahead logging for this pool. fileName is the
 // name under which this pool's pages appear in log records (the data
 // file's base name). Must be called before the pool is used.
 func (bp *BufferPool) AttachWAL(w *wal.Writer, fileName string) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.wal = w
-	bp.walFile = fileName
+	bp.walRef.Store(&walAttachment{w: w, file: fileName})
 }
 
 // WAL returns the attached log writer and record file name (nil, "" when
 // logging is disabled). Structures that log logical records instead of
 // page images (the heap) reach the writer through this.
 func (bp *BufferPool) WAL() (*wal.Writer, string) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.wal, bp.walFile
+	if a := bp.walRef.Load(); a != nil {
+		return a.w, a.file
+	}
+	return nil, ""
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. Under concurrent
+// traffic the four counters are read at slightly different instants;
+// each is individually exact.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return PoolStats{
+		Accesses:  bp.accesses.Load(),
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Evictions: bp.evictions.Load(),
+	}
 }
 
 // ResetStats zeroes the pool counters (the disk counters are separate).
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	bp.accesses.Store(0)
+	bp.hits.Store(0)
+	bp.misses.Store(0)
+	bp.evictions.Store(0)
 }
 
 // Fetch pins the page with the given id, reading it from disk on a miss.
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats.Accesses++
-	if fi, ok := bp.table[id]; ok {
-		bp.stats.Hits++
-		f := &bp.frames[fi]
-		f.pin++
-		f.ref = true
-		return &Page{ID: id, Data: f.data, frame: fi}, nil
+	bp.accesses.Add(1)
+	si := bp.shardOf(id)
+	sh := &bp.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fi, ok := sh.table[id]; ok {
+		bp.hits.Add(1)
+		f := &sh.frames[fi]
+		f.pin.Add(1)
+		f.ref.Store(true)
+		return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
 	}
-	bp.stats.Misses++
-	fi, err := bp.victimLocked()
+	bp.misses.Add(1)
+	fi, err := bp.victimLocked(sh)
 	if err != nil {
 		return nil, err
 	}
-	f := &bp.frames[fi]
+	f := &sh.frames[fi]
+	// The disk read happens under the shard lock: misses on pages of the
+	// same shard serialize, misses on other shards proceed. Simple and
+	// correct; a concurrent fetch of this page blocks here rather than
+	// reading the page into a second frame.
 	if err := bp.dm.ReadPage(id, f.data); err != nil {
 		f.valid = false
 		return nil, err
 	}
 	f.id = id
-	f.pin = 1
+	f.pin.Store(1)
 	f.dirty = false
-	f.ref = true
+	f.ref.Store(true)
 	f.valid = true
 	f.lsn = 0
 	f.imagePending = false
-	bp.table[id] = fi
-	return &Page{ID: id, Data: f.data, frame: fi}, nil
+	sh.table[id] = fi
+	return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
 }
 
 // NewPage allocates a fresh zeroed page on disk and returns it pinned.
@@ -152,57 +240,71 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats.Accesses++
-	bp.stats.Misses++
-	fi, err := bp.victimLocked()
+	bp.accesses.Add(1)
+	bp.misses.Add(1)
+	si := bp.shardOf(id)
+	sh := &bp.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fi, err := bp.victimLocked(sh)
 	if err != nil {
 		return nil, err
 	}
-	f := &bp.frames[fi]
+	f := &sh.frames[fi]
 	for i := range f.data {
 		f.data[i] = 0
 	}
 	f.id = id
-	f.pin = 1
+	f.pin.Store(1)
 	f.dirty = true // must reach disk even if never modified again
-	f.ref = true
+	f.ref.Store(true)
 	f.valid = true
 	f.lsn = 0
 	f.imagePending = false
-	bp.table[id] = fi
-	return &Page{ID: id, Data: f.data, frame: fi}, nil
+	sh.table[id] = fi
+	return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
 }
 
 // Unpin releases one pin on p. dirty marks the frame as modified; with a
 // WAL attached, a dirty unpin also logs a page-image record so the
 // mutation can be redone after a crash.
+//
+// A clean unpin is lock-free: it validates, sets the reference bit, and
+// decrements the atomic pin count. The frame cannot be evicted (its id,
+// valid bit, and data reassigned) while the pin is held, and the evictor
+// observes the decrement through the same atomic.
 func (bp *BufferPool) Unpin(p *Page, dirty bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f := bp.unpinLocked(p)
-	if dirty {
-		f.dirty = true
-		switch {
-		case bp.wal == nil:
-		case bp.wal.CommittedLSN() > 0:
-			// Statement boundaries exist: defer the image to the commit
-			// point (LogPendingImages), so repeated dirtying of one
-			// page within a statement logs a single image. The no-steal
-			// rule keeps the frame in memory meanwhile.
-			if !f.imagePending {
-				f.imagePending = true
-				bp.pending++
-			}
-		default:
-			// Raw log without statement boundaries: log eagerly.
-			// Append errors are sticky in the writer; the next
-			// WAL-before-data sync surfaces them, so the failed LSN
-			// does not need to be tracked here.
-			if lsn, err := bp.wal.AppendPageImage(bp.walFile, uint32(p.ID), f.data); err == nil {
-				f.lsn = lsn
-			}
+	sh := &bp.shards[p.shard]
+	if !dirty {
+		f := &sh.frames[p.frame]
+		bp.validatePinned(f, p)
+		f.ref.Store(true)
+		f.pin.Add(-1)
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := bp.unpinLocked(sh, p)
+	f.dirty = true
+	w, walFile := bp.WAL()
+	switch {
+	case w == nil:
+	case w.CommittedLSN() > 0:
+		// Statement boundaries exist: defer the image to the commit
+		// point (LogPendingImages), so repeated dirtying of one
+		// page within a statement logs a single image. The no-steal
+		// rule keeps the frame in memory meanwhile.
+		if !f.imagePending {
+			f.imagePending = true
+			sh.pending++
+		}
+	default:
+		// Raw log without statement boundaries: log eagerly.
+		// Append errors are sticky in the writer; the next
+		// WAL-before-data sync surfaces them, so the failed LSN
+		// does not need to be tracked here.
+		if lsn, err := w.AppendPageImage(walFile, uint32(p.ID), f.data); err == nil {
+			f.lsn = lsn
 		}
 	}
 }
@@ -211,32 +313,40 @@ func (bp *BufferPool) Unpin(p *Page, dirty bool) {
 // the caller already covered with a logical WAL record at lsn. No page
 // image is logged; the frame's WAL-before-data horizon advances to lsn.
 func (bp *BufferPool) UnpinLSN(p *Page, lsn wal.LSN) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f := bp.unpinLocked(p)
+	sh := &bp.shards[p.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := bp.unpinLocked(sh, p)
 	f.dirty = true
 	if lsn > f.lsn {
 		f.lsn = lsn
 	}
 }
 
-// unpinLocked validates and drops one pin, returning the frame.
-func (bp *BufferPool) unpinLocked(p *Page) *frame {
-	f := &bp.frames[p.frame]
+// validatePinned panics on unpin misuse (stale page, double unpin).
+func (bp *BufferPool) validatePinned(f *frame, p *Page) {
 	if !f.valid || f.id != p.ID {
 		panic(fmt.Sprintf("storage: unpin of stale page %d", p.ID))
 	}
-	if f.pin <= 0 {
+	if f.pin.Load() <= 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", p.ID))
 	}
-	f.pin--
+}
+
+// unpinLocked validates and drops one pin, returning the frame. Caller
+// holds the shard mutex.
+func (bp *BufferPool) unpinLocked(sh *poolShard, p *Page) *frame {
+	f := &sh.frames[p.frame]
+	bp.validatePinned(f, p)
+	f.ref.Store(true)
+	f.pin.Add(-1)
 	return f
 }
 
-// victimLocked finds a free or evictable frame, writing back a dirty
-// victim. Caller holds bp.mu.
-func (bp *BufferPool) victimLocked() (int, error) {
-	n := len(bp.frames)
+// victimLocked finds a free or evictable frame in sh, writing back a
+// dirty victim. Caller holds sh.mu.
+func (bp *BufferPool) victimLocked(sh *poolShard) (int, error) {
+	n := len(sh.frames)
 	// No-steal rule: with a WAL attached, a dirty frame whose latest
 	// record is past the last commit marker holds uncommitted state.
 	// Writing it in place would require an undo pass at recovery (the
@@ -245,27 +355,28 @@ func (bp *BufferPool) victimLocked() (int, error) {
 	// commits. committed == 0 means no marker was ever appended — a
 	// raw storage-level log without statement boundaries — and the
 	// rule is off.
+	w, _ := bp.WAL()
 	committed := wal.LSN(0)
-	if bp.wal != nil {
-		committed = bp.wal.CommittedLSN()
+	if w != nil {
+		committed = w.CommittedLSN()
 	}
 	// Two full sweeps: the first clears reference bits, the second takes
 	// the first unpinned frame.
 	for sweep := 0; sweep < 2*n+1; sweep++ {
-		f := &bp.frames[bp.hand]
-		i := bp.hand
-		bp.hand = (bp.hand + 1) % n
+		f := &sh.frames[sh.hand]
+		i := sh.hand
+		sh.hand = (sh.hand + 1) % n
 		if !f.valid {
 			return i, nil
 		}
-		if f.pin > 0 {
+		if f.pin.Load() > 0 {
 			continue
 		}
 		if f.dirty && (f.imagePending || (committed > 0 && f.lsn > committed)) {
 			continue
 		}
-		if f.ref {
-			f.ref = false
+		if f.ref.Load() {
+			f.ref.Store(false)
 			continue
 		}
 		if f.dirty {
@@ -277,19 +388,19 @@ func (bp *BufferPool) victimLocked() (int, error) {
 			if committed > target {
 				target = committed
 			}
-			if err := bp.syncWALLocked(target); err != nil {
+			if err := bp.syncWAL(w, target); err != nil {
 				return 0, err
 			}
 			if err := bp.dm.WritePage(f.id, f.data); err != nil {
 				return 0, err
 			}
 		}
-		delete(bp.table, f.id)
+		delete(sh.table, f.id)
 		f.valid = false
-		bp.stats.Evictions++
+		bp.evictions.Add(1)
 		return i, nil
 	}
-	return 0, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned or uncommitted)", n)
+	return 0, fmt.Errorf("storage: buffer pool shard exhausted (%d frames, all pinned or uncommitted)", n)
 }
 
 // LogPendingImages appends the deferred page-image record of every
@@ -297,68 +408,84 @@ func (bp *BufferPool) victimLocked() (int, error) {
 // immediately before appending the marker, so the marker covers the
 // final image of each page the statement touched.
 func (bp *BufferPool) LogPendingImages() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if bp.wal == nil || bp.pending == 0 {
+	w, walFile := bp.WAL()
+	if w == nil {
 		return nil
 	}
-	for i := range bp.frames {
-		f := &bp.frames[i]
-		if !f.valid || !f.imagePending {
+	for si := range bp.shards {
+		sh := &bp.shards[si]
+		sh.mu.Lock()
+		if sh.pending == 0 {
+			sh.mu.Unlock()
 			continue
 		}
-		lsn, err := bp.wal.AppendPageImage(bp.walFile, uint32(f.id), f.data)
-		if err != nil {
-			return err
-		}
-		if lsn > f.lsn {
-			f.lsn = lsn
-		}
-		f.imagePending = false
-		bp.pending--
-	}
-	return nil
-}
-
-// syncWALLocked enforces WAL-before-data: with a log attached, the log
-// must be durable up to lsn before the page it covers may be written in
-// place. It also surfaces any sticky log error even when lsn is zero.
-func (bp *BufferPool) syncWALLocked(lsn wal.LSN) error {
-	if bp.wal == nil {
-		return nil
-	}
-	return bp.wal.Sync(lsn)
-}
-
-// FlushAll writes every dirty frame back to disk. Pages stay cached.
-// Deferred page images are materialized first, keeping WAL-before-data
-// intact for frames whose image was postponed to the commit point.
-func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for i := range bp.frames {
-		f := &bp.frames[i]
-		if !f.valid || !f.dirty {
-			continue
-		}
-		if f.imagePending {
-			lsn, err := bp.wal.AppendPageImage(bp.walFile, uint32(f.id), f.data)
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if !f.valid || !f.imagePending {
+				continue
+			}
+			lsn, err := w.AppendPageImage(walFile, uint32(f.id), f.data)
 			if err != nil {
+				sh.mu.Unlock()
 				return err
 			}
 			if lsn > f.lsn {
 				f.lsn = lsn
 			}
 			f.imagePending = false
-			bp.pending--
+			sh.pending--
 		}
-		if err := bp.syncWALLocked(f.lsn); err != nil {
-			return err
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// syncWAL enforces WAL-before-data: with a log attached, the log must be
+// durable up to lsn before the page it covers may be written in place.
+// It also surfaces any sticky log error even when lsn is zero.
+func (bp *BufferPool) syncWAL(w *wal.Writer, lsn wal.LSN) error {
+	if w == nil {
+		return nil
+	}
+	return w.Sync(lsn)
+}
+
+// FlushAll writes every dirty frame back to disk. Pages stay cached.
+// Deferred page images are materialized first, keeping WAL-before-data
+// intact for frames whose image was postponed to the commit point.
+func (bp *BufferPool) FlushAll() error {
+	w, walFile := bp.WAL()
+	for si := range bp.shards {
+		sh := &bp.shards[si]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if !f.valid || !f.dirty {
+				continue
+			}
+			if f.imagePending {
+				lsn, err := w.AppendPageImage(walFile, uint32(f.id), f.data)
+				if err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				if lsn > f.lsn {
+					f.lsn = lsn
+				}
+				f.imagePending = false
+				sh.pending--
+			}
+			if err := bp.syncWAL(w, f.lsn); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			if err := bp.dm.WritePage(f.id, f.data); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			f.dirty = false
 		}
-		if err := bp.dm.WritePage(f.id, f.data); err != nil {
-			return err
-		}
-		f.dirty = false
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -376,12 +503,22 @@ func (bp *BufferPool) Close() error {
 // loss of volatile state in a crash: the data file keeps only what
 // earlier evictions and flushes wrote. Test and demo hook.
 func (bp *BufferPool) Crash() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for i := range bp.frames {
-		bp.frames[i] = frame{data: bp.frames[i].data}
+	for si := range bp.shards {
+		sh := &bp.shards[si]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			f.id = 0
+			f.pin.Store(0)
+			f.ref.Store(false)
+			f.dirty = false
+			f.valid = false
+			f.lsn = 0
+			f.imagePending = false
+		}
+		sh.table = make(map[PageID]int)
+		sh.pending = 0
+		sh.mu.Unlock()
 	}
-	bp.table = make(map[PageID]int)
-	bp.pending = 0
 	return bp.dm.Close()
 }

@@ -128,6 +128,50 @@ func TestEvictionNeverReclaimsPinned(t *testing.T) {
 	}
 }
 
+// TestPoolStatsAtomicUnderConcurrency checks that the per-counter
+// atomics lose nothing under concurrent fetch traffic: every access is
+// either a hit or a miss, and the totals match the driven load exactly.
+func TestPoolStatsAtomicUnderConcurrency(t *testing.T) {
+	dm := NewMem(256)
+	const pages = 64
+	bp := NewBufferPool(dm, 2*pages) // no eviction: hits+misses is exact
+	if bp.NumShards() < 2 {
+		t.Fatalf("pool of %d frames got %d shards, want sharding", 2*pages, bp.NumShards())
+	}
+	for i := 0; i < pages; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(p, false)
+	}
+	bp.ResetStats()
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p, err := bp.Fetch(PageID((g*13 + i*5) % pages))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				bp.Unpin(p, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := bp.Stats()
+	if st.Accesses != workers*rounds {
+		t.Fatalf("accesses = %d, want %d", st.Accesses, workers*rounds)
+	}
+	if st.Hits+st.Misses != st.Accesses {
+		t.Fatalf("hits %d + misses %d != accesses %d", st.Hits, st.Misses, st.Accesses)
+	}
+}
+
 func TestPageLSNRoundTrip(t *testing.T) {
 	data := make([]byte, 512)
 	SlotInit(data)

@@ -1,0 +1,33 @@
+package storage
+
+import "sync"
+
+// PageTrace counts the distinct pages touched by read-only operations —
+// the page reads a cold (unbuffered) execution would issue, which is the
+// cost the paper's I/O-bound measurements see. The index structures hold
+// one behind an atomic pointer: tracing disabled (the norm) costs a
+// single pointer load on the read path, and an enabled trace has its own
+// mutex so traced reads may run from several goroutines.
+type PageTrace struct {
+	mu    sync.Mutex
+	pages map[PageID]struct{}
+}
+
+// NewPageTrace returns an empty trace.
+func NewPageTrace() *PageTrace {
+	return &PageTrace{pages: make(map[PageID]struct{})}
+}
+
+// Visit records one page access.
+func (t *PageTrace) Visit(id PageID) {
+	t.mu.Lock()
+	t.pages[id] = struct{}{}
+	t.mu.Unlock()
+}
+
+// Count reports the number of distinct pages visited.
+func (t *PageTrace) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pages)
+}
