@@ -10,7 +10,9 @@
 //
 // Meta commands: \dam (access methods), \doc (operator classes),
 // \do (operators), \dt (tables), \d <table> (describe one table from the
-// persistent system catalog), \wal (log/recovery stats), \q (quit).
+// persistent system catalog), \wal (log/recovery stats), \timing
+// (toggle per-statement wall-clock reporting — watch a 1000-row
+// multi-row INSERT beat 1000 single-row statements), \q (quit).
 // SHOW TABLES / SHOW INDEXES and DROP TABLE / DROP INDEX are plain SQL.
 package main
 
@@ -21,6 +23,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/catalog"
@@ -50,7 +53,8 @@ func main() {
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("SP-GiST mini SQL shell (type \\q to quit, \\dam \\doc \\do \\dt \\d <table> for catalogs)")
+	fmt.Println("SP-GiST mini SQL shell (type \\q to quit, \\dam \\doc \\do \\dt \\d <table> for catalogs, \\timing for latencies)")
+	timing := false
 	var pending strings.Builder
 	for {
 		if pending.Len() == 0 {
@@ -66,6 +70,15 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "\\") {
+			if strings.ToLower(strings.Fields(line)[0]) == "\\timing" {
+				timing = !timing
+				if timing {
+					fmt.Println("Timing is on.")
+				} else {
+					fmt.Println("Timing is off.")
+				}
+				continue
+			}
 			if meta(db, line) {
 				return
 			}
@@ -78,12 +91,17 @@ func main() {
 		}
 		sql := pending.String()
 		pending.Reset()
+		start := time.Now()
 		res, err := db.Exec(sql)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Println("ERROR:", err)
 			continue
 		}
 		printResult(res)
+		if timing {
+			fmt.Printf("Time: %.3f ms\n", float64(elapsed.Microseconds())/1000)
+		}
 	}
 }
 
@@ -189,7 +207,7 @@ func meta(db *repro.DB, line string) bool {
 				rs.Records, rs.PagesWritten, rs.FilesTouched, rs.TornTail)
 		}
 	default:
-		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\wal \\q")
+		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\wal \\timing \\q")
 	}
 	return false
 }

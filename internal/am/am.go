@@ -11,6 +11,7 @@ package am
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/btree"
 	"repro/internal/catalog"
@@ -56,6 +57,34 @@ type Index interface {
 	SaveMeta() error
 	// Flush persists the index.
 	Flush() error
+}
+
+// BatchInserter is the optional grouped-maintenance interface: an index
+// that implements it absorbs a multi-row statement's keys as one
+// operation (sorting them so descents cluster, amortizing node decodes
+// and page pins) instead of one fully independent insert per row.
+type BatchInserter interface {
+	InsertBatch(keys []catalog.Datum, rids []heap.RID) error
+}
+
+// InsertBatch feeds every (tups[i][column], rids[i]) pair into idx,
+// through its BatchInserter fast path when it has one and row by row
+// otherwise. The executor's multi-row INSERT maintains each index
+// through this.
+func InsertBatch(idx Index, column int, tups []catalog.Tuple, rids []heap.RID) error {
+	if bi, ok := idx.(BatchInserter); ok {
+		keys := make([]catalog.Datum, len(tups))
+		for i, tup := range tups {
+			keys[i] = tup[column]
+		}
+		return bi.InsertBatch(keys, rids)
+	}
+	for i, tup := range tups {
+		if err := idx.Insert(tup[column], rids[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // New creates (or reopens) an index of the given operator class over the
@@ -164,6 +193,21 @@ func (x *spgistIndex) Insert(key catalog.Datum, rid heap.RID) error {
 	return x.tree.Insert(v, rid)
 }
 
+// InsertBatch groups a statement's inserts: core sorts the keys by
+// encoded form and serves the clustered descents from its decoded-node
+// cache.
+func (x *spgistIndex) InsertBatch(keys []catalog.Datum, rids []heap.RID) error {
+	vs := make([]core.Value, len(keys))
+	for i, k := range keys {
+		v, err := datumToValue(k)
+		if err != nil {
+			return err
+		}
+		vs[i] = v
+	}
+	return x.tree.InsertBatch(vs, rids)
+}
+
 func (x *spgistIndex) Delete(key catalog.Datum, rid heap.RID) (int, error) {
 	v, err := datumToValue(key)
 	if err != nil {
@@ -215,6 +259,23 @@ func (x *suffixIndex) Insert(key catalog.Datum, rid heap.RID) error {
 	return suffix.InsertWord(x.tree, key.S, rid)
 }
 
+// InsertBatch must not inherit the plain SP-GiST batch path: each word
+// expands to all its suffixes. Words are inserted in sorted order so at
+// least their shared-prefix descents cluster.
+func (x *suffixIndex) InsertBatch(keys []catalog.Datum, rids []heap.RID) error {
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]].S < keys[order[b]].S })
+	for _, i := range order {
+		if err := x.Insert(keys[i], rids[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (x *suffixIndex) Delete(key catalog.Datum, rid heap.RID) (int, error) {
 	if key.Typ != catalog.Text {
 		return 0, fmt.Errorf("am: suffix index requires VARCHAR keys")
@@ -246,6 +307,19 @@ func (x *btreeIndex) Insert(key catalog.Datum, rid heap.RID) error {
 		return fmt.Errorf("am: btree_text requires VARCHAR keys")
 	}
 	return x.tree.Insert([]byte(key.S), rid)
+}
+
+// InsertBatch sorts the keys and hands them to the tree's leaf-run bulk
+// path: one descent and one page pin per leaf cluster.
+func (x *btreeIndex) InsertBatch(keys []catalog.Datum, rids []heap.RID) error {
+	pairs := make([]btree.Pair, len(keys))
+	for i, k := range keys {
+		if k.Typ != catalog.Text {
+			return fmt.Errorf("am: btree_text requires VARCHAR keys")
+		}
+		pairs[i] = btree.Pair{Key: []byte(k.S), RID: rids[i]}
+	}
+	return x.tree.InsertBatch(pairs)
 }
 
 func (x *btreeIndex) Delete(key catalog.Datum, rid heap.RID) (int, error) {

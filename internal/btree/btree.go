@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/heap"
@@ -396,6 +397,132 @@ func (t *Tree) Insert(key []byte, rid heap.RID) error {
 	}
 	t.count++
 	return nil
+}
+
+// Pair is one (key, RID) input of InsertBatch.
+type Pair struct {
+	Key []byte
+	RID heap.RID
+}
+
+// InsertBatch adds many pairs as one grouped operation. The pairs are
+// sorted first, then inserted in key order with a leaf-run fast path:
+// one descent pins the target leaf and splices every following key that
+// provably belongs to the same leaf — strictly below the leaf's current
+// last key, or anything at all on the rightmost leaf — without
+// re-descending or re-pinning per row. Keys that fall outside the run
+// (or overflow the leaf) fall back to the ordinary split path. For the
+// common bulk-load shape (many keys per leaf) this is one descent and
+// one pin per leaf cluster instead of one per row.
+func (t *Tree) InsertBatch(pairs []Pair) error {
+	for _, p := range pairs {
+		if len(p.Key)+32 > t.bp.DM().PageSize()/4 {
+			return fmt.Errorf("btree: key of %d bytes too large", len(p.Key))
+		}
+	}
+	sorted := append([]Pair(nil), pairs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0 })
+	i := 0
+	for i < len(sorted) {
+		if t.root == storage.InvalidPageID {
+			if err := t.Insert(sorted[i].Key, sorted[i].RID); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		n, err := t.spliceRun(sorted[i:])
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			// The run's first key needs the split path; insert it alone
+			// and resume the run from the next key.
+			if err := t.Insert(sorted[i].Key, sorted[i].RID); err != nil {
+				return err
+			}
+			n = 1
+		}
+		i += n
+	}
+	return nil
+}
+
+// spliceRun descends once to the leaf covering pairs[0].Key and splices
+// as many consecutive (sorted) pairs into it as provably belong there
+// and fit, returning how many were consumed (0 if the first key needs
+// the split path).
+func (t *Tree) spliceRun(pairs []Pair) (int, error) {
+	pid := t.root
+	for {
+		n, err := t.readNodeRO(pid)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			break
+		}
+		pid, _ = childFor(n, pairs[0].Key)
+	}
+	p, err := t.bp.Fetch(pid)
+	if err != nil {
+		return 0, err
+	}
+	data := p.Data
+	if data[0] != kindLeaf {
+		t.bp.Unpin(p, false)
+		return 0, fmt.Errorf("btree: descent ended on non-leaf page %d", pid)
+	}
+	rightmost := storage.PageID(binary.LittleEndian.Uint32(data[3:])) == storage.InvalidPageID
+	done := 0
+	for _, pr := range pairs {
+		cnt := int(binary.LittleEndian.Uint16(data[1:]))
+		// One pass over the entry bytes: find the upper-bound insertion
+		// offset, the end of the used region, and the leaf's last key.
+		off := hdrSize
+		insOff := -1
+		var lastOff, lastLen int
+		for i := 0; i < cnt; i++ {
+			kl := int(binary.LittleEndian.Uint16(data[off:]))
+			if insOff < 0 && bytes.Compare(data[off+2:off+2+kl], pr.Key) > 0 {
+				insOff = off
+			}
+			lastOff, lastLen = off+2, kl
+			off += 2 + kl + heap.RIDSize
+		}
+		end := off
+		if done > 0 && cnt > 0 && !rightmost {
+			// Only the first key of the run is placed here by descent;
+			// later keys belong to this leaf only when strictly below
+			// its current last key (equal keys may belong to the right
+			// sibling under upper-bound separators).
+			if bytes.Compare(pr.Key, data[lastOff:lastOff+lastLen]) >= 0 {
+				break
+			}
+		}
+		if insOff < 0 {
+			insOff = end
+		}
+		esz := 2 + len(pr.Key) + heap.RIDSize
+		if end+esz > len(data) {
+			break // leaf full: the caller re-enters through the split path
+		}
+		copy(data[insOff+esz:end+esz], data[insOff:end])
+		binary.LittleEndian.PutUint16(data[insOff:], uint16(len(pr.Key)))
+		copy(data[insOff+2:], pr.Key)
+		rb := pr.RID.Bytes()
+		copy(data[insOff+2+len(pr.Key):], rb[:])
+		binary.LittleEndian.PutUint16(data[1:], uint16(cnt+1))
+		done++
+	}
+	if done > 0 {
+		t.invalidate(pid)
+		t.count += int64(done)
+		t.bp.Unpin(p, true)
+	} else {
+		t.bp.Unpin(p, false)
+	}
+	return done, nil
 }
 
 // insertFast descends read-only to the target leaf and splices the new

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/heap"
 	"repro/internal/storage"
@@ -22,7 +24,38 @@ const (
 // internal method of the framework: all tree-specific behaviour comes
 // from the opclass's Choose and PickSplit external methods.
 func (t *Tree) Insert(key Value, rid heap.RID) error {
-	kb := t.oc.EncodeKey(key)
+	return t.insertEncoded(t.oc.EncodeKey(key), rid)
+}
+
+// InsertBatch adds many (key, rid) pairs as one grouped operation: the
+// keys are sorted by their encoded form first, so consecutive descents
+// revisit the same inner nodes back to back and the decoded-node cache
+// (readNodeRO) serves them without re-decoding — the batch amortizes
+// one node decode over the whole key cluster that routes through it,
+// instead of paying it per row the way per-row Insert does.
+func (t *Tree) InsertBatch(keys []Value, rids []heap.RID) error {
+	if len(keys) != len(rids) {
+		return fmt.Errorf("spgist: InsertBatch got %d keys for %d rids", len(keys), len(rids))
+	}
+	type pair struct {
+		kb  []byte
+		rid heap.RID
+	}
+	ps := make([]pair, len(keys))
+	for i := range keys {
+		ps[i] = pair{kb: t.oc.EncodeKey(keys[i]), rid: rids[i]}
+	}
+	sort.SliceStable(ps, func(i, j int) bool { return bytes.Compare(ps[i].kb, ps[j].kb) < 0 })
+	for _, p := range ps {
+		if err := t.insertEncoded(p.kb, p.rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertEncoded is Insert past key encoding.
+func (t *Tree) insertEncoded(kb []byte, rid heap.RID) error {
 	if !t.root.Valid() {
 		n := &node{leaf: true, items: []item{{key: kb, rid: rid}}}
 		ref, err := t.allocNode(storage.InvalidPageID, n.encode())
@@ -40,14 +73,34 @@ func (t *Tree) Insert(key Value, rid heap.RID) error {
 	return nil
 }
 
+// cloneForWrite returns a private mutable copy of a possibly-shared
+// (cached) node: the descent reads nodes through the decoded-node cache,
+// so a branch that needs to mutate one must copy it first — cached nodes
+// are immutable once published. Entry and item values are copied; the
+// byte slices inside them are never mutated in place, so they may be
+// shared.
+func cloneForWrite(n *node) *node {
+	return &node{
+		leaf:    n.leaf,
+		pred:    n.pred,
+		entries: append([]entry(nil), n.entries...),
+		items:   append([]item(nil), n.items...),
+		next:    n.next,
+	}
+}
+
 // insertAt descends from the node at ref until the key lands in a data
 // node, applying Choose at every inner node and PickSplit on overflow.
+// The descent reads through the decoded-node cache (readNodeRO) and the
+// memoized predicate/label forms, so a batch of sorted keys descending
+// through the same inner nodes decodes each of them once; branches that
+// mutate a node clone it first (cached nodes are shared, immutable).
 func (t *Tree) insertAt(ref NodeRef, parent *parentLink, level int, recon Value, kb []byte, rid heap.RID) error {
 	for guard := 0; ; guard++ {
 		if guard >= maxChooseIters {
 			return fmt.Errorf("spgist: %s.Choose did not converge at node %v", t.oc.Name(), ref)
 		}
-		n, err := t.readNode(ref)
+		n, err := t.readNodeRO(ref)
 		if err != nil {
 			return err
 		}
@@ -63,11 +116,12 @@ func (t *Tree) insertAt(ref NodeRef, parent *parentLink, level int, recon Value,
 			return t.splitLeaf(ref, parent, items, chain, level, recon)
 		}
 
+		pred, labels := t.innerValues(n)
 		in := &ChooseIn{
 			Key:    t.oc.DecodeKey(kb),
 			Level:  level,
-			Pred:   t.decodePred(n.pred),
-			Labels: t.decodeLabels(n),
+			Pred:   pred,
+			Labels: labels,
 			Recon:  recon,
 		}
 		out := t.oc.Choose(in)
@@ -93,8 +147,9 @@ func (t *Tree) insertAt(ref NodeRef, parent *parentLink, level int, recon Value,
 					if err != nil {
 						return err
 					}
-					n.entries[m.Entry].child = cref
-					_, err = t.writeNode(ref, n, parent)
+					w := cloneForWrite(n)
+					w.entries[m.Entry].child = cref
+					_, err = t.writeNode(ref, w, parent)
 					return err
 				}
 				parent = &parentLink{ref: ref, entry: m.Entry}
@@ -104,13 +159,12 @@ func (t *Tree) insertAt(ref NodeRef, parent *parentLink, level int, recon Value,
 				continue
 			}
 			// Multi-assignment (PMR quadtree): the key descends into every
-			// matched partition. Re-read the node before each branch — the
-			// previous branch may have patched child pointers in place.
-			for i, m := range out.Matches {
-				if i > 0 {
-					if n, err = t.readNode(ref); err != nil {
-						return err
-					}
+			// matched partition. Re-read the node privately before each
+			// branch — the previous branch may have patched child
+			// pointers, and the loop's n may be a shared cached node.
+			for _, m := range out.Matches {
+				if n, err = t.readNode(ref); err != nil {
+					return err
 				}
 				if m.Entry < 0 || m.Entry >= len(n.entries) {
 					return fmt.Errorf("spgist: Choose match entry %d out of range", m.Entry)
@@ -135,8 +189,9 @@ func (t *Tree) insertAt(ref NodeRef, parent *parentLink, level int, recon Value,
 			return nil
 
 		case AddNode:
-			n.entries = append(n.entries, entry{label: t.oc.EncodeLabel(out.NewLabel), child: InvalidRef})
-			newRef, err := t.writeNode(ref, n, parent)
+			w := cloneForWrite(n)
+			w.entries = append(w.entries, entry{label: t.oc.EncodeLabel(out.NewLabel), child: InvalidRef})
+			newRef, err := t.writeNode(ref, w, parent)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,537 @@
+package executor_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/heap"
+	"repro/internal/wal"
+)
+
+// batchTuple builds one (name, id) tuple of the word-table shape the
+// batch tests share.
+func batchTuple(i int) catalog.Tuple {
+	return catalog.Tuple{catalog.NewText(fmt.Sprintf("word%05d", i)), catalog.NewInt(int64(i))}
+}
+
+// TestInsertBatchMatchesPerRow: a batched insert must leave exactly the
+// state the per-row path leaves — same rows, same index answers across
+// every attached access method.
+func TestInsertBatchMatchesPerRow(t *testing.T) {
+	db := executor.OpenMemory()
+	defer db.Close()
+	mk := func(name string) *executor.Table {
+		tb, err := db.CreateTable(name, []executor.Column{
+			{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, oc := range []string{"spgist_trie", "btree_text", "spgist_suffix"} {
+			method := "spgist"
+			if oc == "btree_text" {
+				method = "btree"
+			}
+			if _, err := db.CreateIndex(fmt.Sprintf("%s_ix%d", name, i), name, "name", method, oc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tb
+	}
+	batched, perRow := mk("batched"), mk("perrow")
+
+	const rows = 700
+	tups := make([]catalog.Tuple, rows)
+	for i := range tups {
+		tups[i] = batchTuple(i % 300) // duplicates included
+	}
+	rids, err := batched.InsertBatch(tups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != rows {
+		t.Fatalf("got %d RIDs for %d rows", len(rids), rows)
+	}
+	for i, rid := range rids {
+		tup, err := batched.Get(rid)
+		if err != nil || tup == nil {
+			t.Fatalf("rid %d (%v): %v, tup=%v", i, rid, err, tup)
+		}
+		if tup[1].I != tups[i][1].I || tup[0].S != tups[i][0].S {
+			t.Fatalf("rid %d points at %v, want %v", i, tup, tups[i])
+		}
+	}
+	for _, tup := range tups {
+		if _, err := perRow.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b, p := batched.RowCount(), perRow.RowCount(); b != p || b != rows {
+		t.Fatalf("row counts diverge: batched=%d perrow=%d want %d", b, p, rows)
+	}
+	collect := func(tb *executor.Table, ix *executor.IndexInfo, pred *executor.Pred) map[string]int {
+		got := map[string]int{}
+		var err error
+		if ix == nil {
+			_, err = tb.Select(pred, func(r executor.Row) bool {
+				got[r.Tuple[0].S+"|"+r.Tuple[1].String()]++
+				return true
+			})
+		} else {
+			err = tb.SelectIndexed(ix, pred, func(r executor.Row) bool {
+				got[r.Tuple[0].S+"|"+r.Tuple[1].String()]++
+				return true
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	pred := &executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText("word")}
+	want := collect(perRow, nil, nil)
+	if got := collect(batched, nil, nil); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("heap scans diverge")
+	}
+	for _, ix := range batched.Indexes {
+		if !ix.OpClass.SupportsOp(pred.Op) {
+			// The suffix tree answers substring ops, not prefix; its
+			// batch maintenance is still exercised by the inserts above.
+			continue
+		}
+		got := collect(batched, ix, pred)
+		if len(got) != len(want) {
+			t.Fatalf("index %s: %d distinct rows, want %d", ix.Name, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("index %s row %q: count %d, want %d", ix.Name, k, got[k], c)
+			}
+		}
+	}
+}
+
+// TestInsertBatchValidatesUpFront: a bad row anywhere in the batch fails
+// the whole statement before anything is applied.
+func TestInsertBatchValidatesUpFront(t *testing.T) {
+	db := executor.OpenMemory()
+	defer db.Close()
+	tb, err := db.CreateTable("t", []executor.Column{
+		{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []catalog.Tuple{
+		batchTuple(1),
+		{catalog.NewText("x")}, // arity
+	}
+	if _, err := tb.InsertBatch(bad); err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Fatalf("arity error not reported: %v", err)
+	}
+	bad[1] = catalog.Tuple{catalog.NewInt(9), catalog.NewInt(9)} // type
+	if _, err := tb.InsertBatch(bad); err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Fatalf("type error not reported: %v", err)
+	}
+	if n := tb.RowCount(); n != 0 {
+		t.Fatalf("failed batches left %d rows", n)
+	}
+}
+
+// TestBatchInsertCrashAtomic pins the acceptance criterion: a crash in
+// the middle of a multi-row INSERT — before the statement's record
+// group and commit marker reach the log (the statement's mutations are
+// deferred, so at every point up to the commit the log holds nothing of
+// it) — must recover with ZERO rows of that statement visible, while
+// previously committed rows survive.
+func TestBatchInsertCrashAtomic(t *testing.T) {
+	dir := t.TempDir()
+	var failNext bool
+	errBoom := errors.New("injected crash")
+	faults := executor.FaultInjection{BeforeDMLCommit: func(stmt string) error {
+		if failNext {
+			failNext = false
+			return errBoom
+		}
+		return nil
+	}}
+	open := func() *executor.DB {
+		db, err := executor.Open(executor.Options{Dir: dir, WAL: true, Faults: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := open()
+	if _, err := db.CreateTable("t", []executor.Column{
+		{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("ix", "t", "name", "spgist", "spgist_trie"); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := db.Table("t")
+	seed := []catalog.Tuple{batchTuple(90001), batchTuple(90002), batchTuple(90003)}
+	if _, err := tb.InsertBatch(seed); err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed statement: 1000 rows, crash at the commit point.
+	doomed := make([]catalog.Tuple, 1000)
+	for i := range doomed {
+		doomed[i] = batchTuple(i)
+	}
+	failNext = true
+	if _, err := tb.InsertBatch(doomed); !errors.Is(err, errBoom) {
+		t.Fatalf("fault did not fire: %v", err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = open()
+	defer db.Close()
+	tb, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tb.RowCount(); n != int64(len(seed)) {
+		t.Fatalf("recovered %d rows, want only the %d committed seeds (all-or-nothing violated)", n, len(seed))
+	}
+	got := map[string]bool{}
+	if _, err := tb.Select(nil, func(r executor.Row) bool {
+		got[r.Tuple[0].S] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range doomed {
+		if got[tup[0].S] {
+			t.Fatalf("row %q of the crashed batch is visible after recovery", tup[0].S)
+		}
+	}
+	// The index answers exactly the surviving rows.
+	for _, tup := range seed {
+		n := 0
+		err := tb.SelectIndexed(tb.Indexes[0], &executor.Pred{Column: 0, Op: "=", Arg: tup[0]}, func(executor.Row) bool {
+			n++
+			return true
+		})
+		if err != nil || n != 1 {
+			t.Fatalf("seed row %q after recovery: n=%d err=%v", tup[0].S, n, err)
+		}
+	}
+
+	// And the same batch committed normally survives a crash whole.
+	if _, err := tb.InsertBatch(doomed); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	db = open()
+	tb, err = db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tb.RowCount(); n != int64(len(seed)+len(doomed)) {
+		t.Fatalf("committed batch lost rows across crash: %d, want %d", n, len(seed)+len(doomed))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchInsertFasterThanPerRow is the regression guard behind
+// BenchmarkInsertBatch1000: the batched path must beat the per-row path
+// by a wide margin on a WAL-backed database (it pays one group append
+// and one fsync instead of one per row). The 3x gate is deliberately
+// far below the benchmarked speedup so scheduler noise cannot flake it.
+func TestBatchInsertFasterThanPerRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const rows = 400
+	run := func(batched bool) time.Duration {
+		dir := t.TempDir()
+		db, err := executor.Open(executor.Options{Dir: dir, WAL: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		tb, err := db.CreateTable("t", []executor.Column{
+			{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateIndex("ix", "t", "name", "spgist", "spgist_trie"); err != nil {
+			t.Fatal(err)
+		}
+		tups := make([]catalog.Tuple, rows)
+		for i := range tups {
+			tups[i] = batchTuple(i)
+		}
+		start := time.Now()
+		if batched {
+			if _, err := tb.InsertBatch(tups); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, tup := range tups {
+				if _, err := tb.Insert(tup); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return time.Since(start)
+	}
+	perRow := run(false)
+	batch := run(true)
+	if batch*3 > perRow {
+		t.Fatalf("batched insert of %d rows took %v, per-row %v — less than the 3x floor", rows, batch, perRow)
+	}
+	t.Logf("%d rows: batched %v, per-row %v (%.1fx)", rows, batch, perRow, float64(perRow)/float64(batch))
+}
+
+// TestConcurrentInsertDifferentTables: writers on different tables hold
+// different table locks and commit concurrently; every batch must land
+// exactly once and survive crash recovery.
+func TestConcurrentInsertDifferentTables(t *testing.T) {
+	dir := t.TempDir()
+	db, err := executor.Open(executor.Options{Dir: dir, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nTables, nBatches, batchRows = 3, 8, 50
+	tables := make([]*executor.Table, nTables)
+	for i := range tables {
+		tb, err := db.CreateTable(fmt.Sprintf("t%d", i), []executor.Column{
+			{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateIndex(fmt.Sprintf("ix%d", i), tb.Name, "name", "spgist", "spgist_trie"); err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = tb
+	}
+	var wg sync.WaitGroup
+	for g, tb := range tables {
+		wg.Add(1)
+		go func(g int, tb *executor.Table) {
+			defer wg.Done()
+			for b := 0; b < nBatches; b++ {
+				tups := make([]catalog.Tuple, batchRows)
+				for i := range tups {
+					tups[i] = batchTuple(g*1000000 + b*1000 + i)
+				}
+				if _, err := tb.InsertBatch(tups); err != nil {
+					t.Errorf("table %d batch %d: %v", g, b, err)
+					return
+				}
+			}
+		}(g, tb)
+	}
+	wg.Wait()
+	if t.Failed() {
+		db.Crash()
+		return
+	}
+	check := func(db *executor.DB) {
+		for i := 0; i < nTables; i++ {
+			tb, err := db.Table(fmt.Sprintf("t%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := tb.RowCount(); n != nBatches*batchRows {
+				t.Fatalf("table %d: %d rows, want %d", i, n, nBatches*batchRows)
+			}
+			n := 0
+			if err := tb.SelectIndexed(tb.Indexes[0], &executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText("word")}, func(r executor.Row) bool {
+				n++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if n != nBatches*batchRows {
+				t.Fatalf("table %d index: %d rows, want %d", i, n, nBatches*batchRows)
+			}
+		}
+	}
+	check(db)
+	// All commits are durable: recovery after a crash changes nothing.
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = executor.Open(executor.Options{Dir: dir, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	check(db)
+}
+
+// TestHeapInsertBatchFillsPages: the heap batch path packs records onto
+// shared pages (one pin, one batch WAL record per page) instead of
+// spreading them one page ahead of the meta hint like repeated Insert
+// calls would on a torn fast path — RIDs must come back page-clustered.
+func TestHeapInsertBatchFillsPages(t *testing.T) {
+	db := executor.OpenMemory()
+	defer db.Close()
+	tb, err := db.CreateTable("t", []executor.Column{
+		{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tups := make([]catalog.Tuple, 2000)
+	for i := range tups {
+		tups[i] = batchTuple(i)
+	}
+	rids, err := tb.InsertBatch(tups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := map[heap.RID]bool{}
+	pages := map[uint32]bool{}
+	for _, rid := range rids {
+		if perPage[rid] {
+			t.Fatalf("duplicate RID %v", rid)
+		}
+		perPage[rid] = true
+		pages[uint32(rid.Page)] = true
+	}
+	// ~20 byte records on 8KB pages: 2000 rows must pack into well under
+	// one page per 50 rows.
+	if len(pages) > len(rids)/50 {
+		t.Fatalf("%d rows spread over %d pages — batch is not filling pages", len(rids), len(pages))
+	}
+}
+
+// TestInsertBatchGroupCommit: concurrent committers on different tables
+// must share fsyncs — with N sessions committing at once, the log's
+// sync count stays well below its commit (statement) count.
+func TestInsertBatchGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	db, err := executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const nTables = 4
+	tables := make([]*executor.Table, nTables)
+	for i := range tables {
+		tb, err := db.CreateTable(fmt.Sprintf("t%d", i), []executor.Column{
+			{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = tb
+	}
+	before := db.WAL().Stats()
+	const perTable = 40
+	var wg sync.WaitGroup
+	for g, tb := range tables {
+		wg.Add(1)
+		go func(g int, tb *executor.Table) {
+			defer wg.Done()
+			for i := 0; i < perTable; i++ {
+				if _, err := tb.Insert(batchTuple(g*100000 + i)); err != nil {
+					t.Errorf("table %d: %v", g, err)
+					return
+				}
+			}
+		}(g, tb)
+	}
+	wg.Wait()
+	st := db.WAL().Stats()
+	commits := int64(nTables * perTable)
+	syncs := st.Syncs - before.Syncs
+	// Whether commits actually overlap here is scheduling- and
+	// disk-latency-dependent (under -race the instrumentation slows the
+	// compute phase so much that fsyncs rarely overlap), so this test
+	// only pins the plumbing — never more than one fsync per statement —
+	// and logs the observed sharing. The deterministic guard for the
+	// sharing property itself is wal.TestGroupCommitSharesFsync.
+	if syncs > commits {
+		t.Fatalf("%d syncs for %d commits — more than one fsync per statement", syncs, commits)
+	}
+	t.Logf("%d statement commits used %d fsyncs", commits, syncs)
+}
+
+// TestOversizedDMLDoesNotExhaustPool: statements bigger than the buffer
+// pool must still execute — every dirtied page is unevictable until its
+// records append, so unbounded single-marker statements would wedge the
+// pool; the pool-proportional chunked commits keep them running on a
+// pool a fraction of the table's size, like the per-row path always
+// could.
+func TestOversizedDMLDoesNotExhaustPool(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *executor.DB {
+		db, err := executor.Open(executor.Options{Dir: dir, WAL: true, PoolPages: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := open()
+	tb, err := db.CreateTable("big", []executor.Column{
+		{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("bix", "big", "name", "btree", "btree_text"); err != nil {
+		t.Fatal(err)
+	}
+	// ~12k rows over ~170 heap pages — nearly 3x the 64-frame pool.
+	const rows = 12000
+	tups := make([]catalog.Tuple, rows)
+	for i := range tups {
+		tups[i] = batchTuple(i)
+	}
+	if _, err := tb.InsertBatch(tups); err != nil {
+		t.Fatalf("oversized batch insert: %v", err)
+	}
+	if n := tb.RowCount(); n != rows {
+		t.Fatalf("inserted %d rows, want %d", n, rows)
+	}
+	// The oversized DELETE the seed's per-row commits could always run.
+	n, err := tb.DeleteWhere(nil)
+	if err != nil {
+		t.Fatalf("oversized delete: %v", err)
+	}
+	if n != rows {
+		t.Fatalf("deleted %d rows, want %d", n, rows)
+	}
+	if got := tb.RowCount(); got != 0 {
+		t.Fatalf("%d rows survived DELETE", got)
+	}
+	// The pool is healthy afterwards: more statements run, and the
+	// durable state round-trips a crash.
+	if _, err := tb.InsertBatch(tups[:100]); err != nil {
+		t.Fatalf("insert after oversized delete: %v", err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	db = open()
+	defer db.Close()
+	tb, err = db.Table("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tb.RowCount(); n != 100 {
+		t.Fatalf("recovered %d rows, want 100", n)
+	}
+}

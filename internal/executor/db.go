@@ -72,7 +72,42 @@ type Table struct {
 	// statsOnce gates the lazy sampling run by ensureStats.
 	statsOnce sync.Once
 
+	// mu is the per-table statement lock, the second level of the lock
+	// hierarchy (below db.stmtMu, which every statement holds at least
+	// shared): readers of this table hold it shared, DML writers hold
+	// it exclusive. Writers on *different* tables therefore overlap —
+	// each holds db.stmtMu shared plus its own table's mu — and their
+	// commits meet in the write-ahead log's group-commit fsync. DDL
+	// needs no table locks: it takes db.stmtMu exclusive, which excludes
+	// every reader and writer at once.
+	mu sync.RWMutex
+
 	db *DB
+}
+
+// lockRead takes the locks of a read statement against t: the shared
+// catalog/DDL lock plus t's shared table lock.
+func (t *Table) lockRead() {
+	t.db.stmtMu.RLock()
+	t.mu.RLock()
+}
+
+func (t *Table) unlockRead() {
+	t.mu.RUnlock()
+	t.db.stmtMu.RUnlock()
+}
+
+// lockWrite takes the locks of a DML statement against t: the shared
+// catalog/DDL lock plus t's exclusive table lock. Concurrent writers on
+// other tables proceed; readers and writers of t wait.
+func (t *Table) lockWrite() {
+	t.db.stmtMu.RLock()
+	t.mu.Lock()
+}
+
+func (t *Table) unlockWrite() {
+	t.mu.Unlock()
+	t.db.stmtMu.RUnlock()
 }
 
 // ensureStats lazily samples planner statistics the first time a
@@ -100,10 +135,10 @@ func (t *Table) OID() uint64 { return t.oid }
 // File returns the table's heap file base name (catalog introspection).
 func (t *Table) File() string { return t.file }
 
-// bumpChurn counts one row inserted or deleted since the last ANALYZE.
-func (t *Table) bumpChurn() {
+// bumpChurn counts n rows inserted or deleted since the last ANALYZE.
+func (t *Table) bumpChurn(n int) {
 	t.statsMu.Lock()
-	t.churn++
+	t.churn += int64(n)
 	t.statsMu.Unlock()
 }
 
@@ -136,25 +171,32 @@ type DB struct {
 	// in a way no later action may commit. Guarded by stmtMu.
 	broken error
 
-	// stmtMu is the statement lock, a reader-writer discipline:
+	// stmtMu is the catalog/DDL lock, the top of the two-level lock
+	// hierarchy (stmtMu, then Table.mu):
 	//
-	//   - shared (RLock): SELECT, EXPLAIN, nearest-neighbor scans, RID
-	//     lookups — any number may run concurrently; the storage and
-	//     access-method read paths below are safe for concurrent readers.
-	//   - exclusive (Lock): INSERT, DELETE, DDL, ANALYZE, CHECKPOINT,
-	//     Close, Crash — single-writer, like SQLite.
+	//   - shared (RLock): every table statement — SELECT, EXPLAIN,
+	//     nearest-neighbor scans, RID lookups, INSERT, DELETE. Readers
+	//     additionally hold the target table's mu shared and writers
+	//     hold it exclusive, so reads and writes of one table still
+	//     exclude each other (scans work on shared decoded-node caches
+	//     and unversioned heap pages — there is no MVCC), while writers
+	//     on different tables overlap and commit together through the
+	//     write-ahead log's group-commit fsync.
+	//   - exclusive (Lock): DDL, ANALYZE, CHECKPOINT, Close, Crash —
+	//     anything that changes the schema, the shared catalog state, or
+	//     the log's segment structure excludes every statement at once.
 	//
-	// Interleaved writers would let one statement's commit marker cover
-	// another statement's half-appended records, and a checkpoint
-	// running concurrently with an insert could recycle the log segment
-	// holding the insert's records while its dirty pages are still only
-	// in memory. Readers must exclude writers because scans work on
-	// shared decoded-node caches and unversioned heap pages — there is
-	// no MVCC; a reader concurrent with a writer could see a torn page.
-	// stmtMu is always acquired before db.mu, and no method may take it
-	// (shared or exclusive) while already holding it — Go's RWMutex does
-	// not support recursive read locking, so internal code paths use the
-	// *Locked variants instead.
+	// Concurrent writers are safe for the log because a statement's
+	// records are *deferred* during execution and appended as one
+	// contiguous group with its commit marker (wal.AppendGroupCommit):
+	// a marker can only ever cover whole statements, so recovery keeps
+	// its positional everything-before-the-last-marker rule. A
+	// checkpoint still excludes writers exclusively — recycling a log
+	// segment under an in-flight statement's unflushed pages would lose
+	// them. stmtMu is always acquired before Table.mu and db.mu, and no
+	// method may take it (shared or exclusive) while already holding it
+	// — Go's RWMutex does not support recursive read locking, so
+	// internal code paths use the *Locked variants instead.
 	stmtMu sync.RWMutex
 }
 
@@ -183,6 +225,12 @@ type FaultInjection struct {
 	// marker would be appended. stmt names the statement, e.g.
 	// "CREATE TABLE t".
 	BeforeDDLCommit func(stmt string) error
+	// BeforeDMLCommit runs inside a DML statement before any of its
+	// records reach the log (mutations are deferred, so whatever has
+	// been applied exists only in memory), and before its first chunk
+	// commit — a crash here must recover with none of the statement
+	// visible. stmt names the statement, e.g. "INSERT t 1000".
+	BeforeDMLCommit func(stmt string) error
 }
 
 // Options configure a database.
@@ -641,12 +689,15 @@ func isRelationFile(name string) bool {
 // WAL returns the attached log writer (nil when logging is off).
 func (db *DB) WAL() *wal.Writer { return db.wal }
 
-// ShareLock takes the shared statement lock for a multi-call read-only
-// statement assembled outside the executor (SHOW TABLES / SHOW INDEXES
-// joining catalog records with table state). Release with ShareUnlock.
-// While held, use Table.Heap.Count() style direct reads — the locked
-// accessors (Table.Get, Table.RowCount, Select) would re-acquire the
-// lock, and Go's RWMutex read lock is not recursive.
+// ShareLock takes the shared catalog/DDL lock for a multi-call
+// read-only statement assembled outside the executor (SHOW TABLES /
+// SHOW INDEXES iterating catalog records). Release with ShareUnlock.
+// It stabilizes the *catalog* — DDL takes stmtMu exclusively — but NOT
+// table contents: a writer on some table holds stmtMu only shared, so
+// direct reads like Table.Heap.Count() race it. Read row counts through
+// Table.RowCount *outside* the ShareLock window instead (the locked
+// accessors re-acquire stmtMu, and Go's RWMutex read lock is not
+// recursive).
 func (db *DB) ShareLock() { db.stmtMu.RLock() }
 
 // ShareUnlock releases ShareLock.
@@ -812,11 +863,16 @@ func (db *DB) poisoned() error {
 	return fmt.Errorf("executor: database poisoned by a failed DDL compensation, reopen it: %w", db.broken)
 }
 
-// commitWAL is the per-statement commit point: index metadata is saved
-// into (logged) meta pages, deferred page images are materialized, a
-// commit marker closes the statement in the log, and the log is forced
-// according to the sync mode. A no-op when logging is off.
-func (db *DB) commitWAL(t *Table) error {
+// commitPools is the per-statement commit point over an explicit pool
+// set: index metadata is saved into (logged) meta pages, the deferred
+// logical records and page images of those pools are staged into one
+// record group, the group plus a commit marker is appended to the log
+// *atomically* (no concurrent statement's records interleave), the
+// assigned LSNs are stamped back onto the covered frames, and the log
+// is forced according to the sync mode. The final force runs the
+// writer's group-commit protocol, so any number of statements
+// committing concurrently share one fsync. A no-op when logging is off.
+func (db *DB) commitPools(t *Table, pools []*storage.BufferPool) error {
 	if err := db.poisoned(); err != nil {
 		return err
 	}
@@ -830,18 +886,106 @@ func (db *DB) commitWAL(t *Table) error {
 			}
 		}
 	}
-	// Materialize the deferred page images of every pool so the marker
-	// covers them. db.pools is only mutated under stmtMu, which every
-	// caller of commitWAL holds.
-	for _, bp := range db.pools {
-		if err := bp.LogPendingImages(); err != nil {
-			return err
-		}
-	}
-	if _, err := db.wal.AppendCommit(); err != nil {
+	if err := db.appendPools(pools, true); err != nil {
 		return err
 	}
 	return db.wal.Commit()
+}
+
+// appendPools stages the deferred records and page images of pools into
+// one wal.Group, appends the group (with a commit marker when commit is
+// set) atomically, and stamps the assigned LSNs back onto the covered
+// frames.
+func (db *DB) appendPools(pools []*storage.BufferPool, commit bool) error {
+	g := wal.NewGroup()
+	staged := make([][]storage.Staged, len(pools))
+	for i, bp := range pools {
+		staged[i] = bp.StagePending(g)
+	}
+	var lsns []wal.LSN
+	var err error
+	if commit {
+		lsns, _, err = db.wal.AppendGroupCommit(g)
+	} else {
+		lsns, err = db.wal.AppendGroup(g)
+	}
+	if err != nil {
+		return err
+	}
+	for i, bp := range pools {
+		bp.ResolvePending(staged[i], lsns)
+	}
+	return nil
+}
+
+// tablePools lists the pools a DML statement against t can touch.
+func tablePools(t *Table) []*storage.BufferPool {
+	pools := make([]*storage.BufferPool, 0, 1+len(t.Indexes))
+	pools = append(pools, t.Heap.Pool())
+	for _, ix := range t.Indexes {
+		pools = append(pools, ix.pool)
+	}
+	return pools
+}
+
+// abortTable cleans up after a DML statement that failed *after*
+// mutating pages (an index insert error, a pool exhausted mid-batch).
+// The already-applied mutations cannot be taken back — there is no undo
+// — so their deferred records are appended WITHOUT a marker: they ride
+// under the next statement's commit exactly as the per-row path's
+// eagerly-appended records always did, and the covered frames resolve
+// so the pool is not left holding unevictable ghosts that would wedge
+// every later statement. Skipped for injected faults (the test is about
+// to Crash() and the ops must vanish with the frames) and best-effort
+// otherwise: an append failure here is a sticky log error the next
+// statement reports.
+func (db *DB) abortTable(t *Table) {
+	if db.wal == nil {
+		return
+	}
+	db.appendPools(tablePools(t), false)
+}
+
+// commitWAL commits a statement that may have touched any pool — the
+// DDL, catalog, and maintenance paths. Every caller holds stmtMu
+// exclusively, and db.pools is only mutated under that lock, so the
+// slice is read without db.mu (which Close and Checkpoint already hold
+// when they commit through here).
+func (db *DB) commitWAL(t *Table) error {
+	return db.commitPools(t, db.pools)
+}
+
+// commitTable commits a DML statement against one table: only the
+// table's own heap and index pools are staged, so statements of
+// concurrent writers on other tables (which hold stmtMu only shared)
+// are never swept into this statement's marker.
+func (db *DB) commitTable(t *Table) error {
+	return db.commitPools(t, tablePools(t))
+}
+
+// insertChunkRows bounds how many rows of one multi-row INSERT apply
+// between commit markers. Every page a statement dirties is unevictable
+// until its records are appended (no-steal), so an unbounded statement
+// could exhaust the buffer pool; like buildIndex's intra-build markers,
+// oversized batches commit in pool-proportional chunks (each chunk
+// all-or-nothing across a crash). Batched inserts pack ~dozens of rows
+// per heap page and their sorted index descents cluster, so poolPages*4
+// rows stay well inside a pool even after sharding.
+func (db *DB) insertChunkRows() int {
+	if n := db.poolPages * 4; n > 64 {
+		return n
+	}
+	return 64
+}
+
+// deleteChunkRows is insertChunkRows for DELETE, far smaller because a
+// deleted row can touch a heap page all of its own (worst case one page
+// per row, against ~dozens of batched inserts per page).
+func (db *DB) deleteChunkRows() int {
+	if n := db.poolPages / 4; n > 16 {
+		return n
+	}
+	return 16
 }
 
 // newPool opens a buffer pool over a fresh or existing file (or memory).
@@ -1462,36 +1606,113 @@ func (db *DB) DropTable(name string) error {
 	return firstErr
 }
 
-// Insert adds a row, maintaining all indexes, and returns its RID.
-func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
-	t.db.stmtMu.Lock()
-	defer t.db.stmtMu.Unlock()
-	if err := t.checkAttached(); err != nil {
-		return heap.InvalidRID, err
-	}
+// validateTuple checks one tuple against the table schema.
+func (t *Table) validateTuple(tup catalog.Tuple) error {
 	if len(tup) != len(t.Columns) {
-		return heap.InvalidRID, fmt.Errorf("executor: %s expects %d values, got %d", t.Name, len(t.Columns), len(tup))
+		return fmt.Errorf("executor: %s expects %d values, got %d", t.Name, len(t.Columns), len(tup))
 	}
 	for i, d := range tup {
 		if d.Typ != t.Columns[i].Type {
-			return heap.InvalidRID, fmt.Errorf("executor: column %s expects %v, got %v",
+			return fmt.Errorf("executor: column %s expects %v, got %v",
 				t.Columns[i].Name, t.Columns[i].Type, d.Typ)
 		}
 	}
+	return nil
+}
+
+// Insert adds a row, maintaining all indexes, and returns its RID. It
+// holds the table's writer lock: inserts into other tables proceed
+// concurrently and their commits share one log fsync.
+func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
+	t.lockWrite()
+	defer t.unlockWrite()
+	if err := t.checkAttached(); err != nil {
+		return heap.InvalidRID, err
+	}
+	if err := t.validateTuple(tup); err != nil {
+		return heap.InvalidRID, err
+	}
 	rid, err := t.Heap.Insert(catalog.EncodeTuple(tup))
 	if err != nil {
+		t.db.abortTable(t)
 		return heap.InvalidRID, err
 	}
 	for _, ix := range t.Indexes {
 		if err := ix.Idx.Insert(tup[ix.Column], rid); err != nil {
+			t.db.abortTable(t)
 			return heap.InvalidRID, fmt.Errorf("executor: index %s: %w", ix.Name, err)
 		}
 	}
-	if err := t.db.commitWAL(t); err != nil {
+	if err := t.db.commitTable(t); err != nil {
 		return heap.InvalidRID, err
 	}
-	t.bumpChurn()
+	t.bumpChurn(1)
 	return rid, nil
+}
+
+// InsertBatch adds every row of tups as ONE batched statement — the
+// executor half of multi-row INSERT. All tuples are validated and
+// encoded up front, the heap fills each data page to capacity under a
+// single pin and covers it with a single batch log record, and index
+// maintenance is grouped (keys sorted so consecutive inserts descend
+// through the same just-decoded nodes; see am.InsertBatch). The batch
+// commits under one marker and one (group-shared) fsync and is
+// crash-atomic: a crash before the commit point recovers with none of
+// the batch visible. Two bounds on that guarantee: a batch larger than
+// insertChunkRows commits in pool-bounded chunks (each chunk
+// all-or-nothing), and a statement that *fails* — rather than crashes —
+// after mutating pages may leave a partially-applied prefix, exactly
+// like the per-row path (there is no undo; see abortTable). The
+// returned RIDs parallel tups.
+func (t *Table) InsertBatch(tups []catalog.Tuple) ([]heap.RID, error) {
+	if len(tups) == 0 {
+		return nil, nil
+	}
+	// Validate and encode before taking any lock or touching any page,
+	// so a malformed row fails the statement with nothing applied.
+	encoded := make([][]byte, len(tups))
+	for i, tup := range tups {
+		if err := t.validateTuple(tup); err != nil {
+			return nil, fmt.Errorf("executor: row %d: %w", i, err)
+		}
+		encoded[i] = catalog.EncodeTuple(tup)
+	}
+	t.lockWrite()
+	defer t.unlockWrite()
+	if err := t.checkAttached(); err != nil {
+		return nil, err
+	}
+	if f := t.db.faults.BeforeDMLCommit; f != nil {
+		// The crash point: nothing of the statement has reached the log.
+		if err := f(fmt.Sprintf("INSERT %s %d", t.Name, len(tups))); err != nil {
+			return nil, faultErr{err}
+		}
+	}
+	chunk := t.db.insertChunkRows()
+	rids := make([]heap.RID, 0, len(tups))
+	for base := 0; base < len(tups); base += chunk {
+		end := base + chunk
+		if end > len(tups) {
+			end = len(tups)
+		}
+		crids, err := t.Heap.InsertBatch(encoded[base:end])
+		if err != nil {
+			t.db.abortTable(t)
+			return nil, err
+		}
+		for _, ix := range t.Indexes {
+			if err := am.InsertBatch(ix.Idx, ix.Column, tups[base:end], crids); err != nil {
+				t.db.abortTable(t)
+				return nil, fmt.Errorf("executor: index %s: %w", ix.Name, err)
+			}
+		}
+		if err := t.db.commitTable(t); err != nil {
+			return nil, err
+		}
+		rids = append(rids, crids...)
+	}
+	t.bumpChurn(len(tups))
+	return rids, nil
 }
 
 // checkAttached verifies, under the statement lock, that t is still the
@@ -1513,8 +1734,8 @@ func (t *Table) checkAttached() error {
 
 // Get fetches a row by RID (a shared-lock read).
 func (t *Table) Get(rid heap.RID) (catalog.Tuple, error) {
-	t.db.stmtMu.RLock()
-	defer t.db.stmtMu.RUnlock()
+	t.lockRead()
+	defer t.unlockRead()
 	if err := t.checkAttached(); err != nil {
 		return nil, err
 	}
@@ -1531,29 +1752,41 @@ func (t *Table) get(rid heap.RID) (catalog.Tuple, error) {
 	return catalog.DecodeTuple(rec)
 }
 
-// RowCount returns the table's live row count under the shared statement
+// RowCount returns the table's live row count under the shared table
 // lock. (Reaching for t.Heap.Count() directly is not concurrency-safe:
-// the heap's counter is maintained by writers under the exclusive lock.)
+// the heap's counter is maintained by writers under the table's writer
+// lock.)
 func (t *Table) RowCount() int64 {
-	t.db.stmtMu.RLock()
-	defer t.db.stmtMu.RUnlock()
+	t.lockRead()
+	defer t.unlockRead()
 	if t.checkAttached() != nil {
 		return 0
 	}
 	return t.Heap.Count()
 }
 
-// DeleteRow removes one row by RID, maintaining all indexes.
+// DeleteRow removes one row by RID, maintaining all indexes. Like
+// Insert, it serializes only against statements on the same table.
 func (t *Table) DeleteRow(rid heap.RID) error {
-	t.db.stmtMu.Lock()
-	defer t.db.stmtMu.Unlock()
+	t.lockWrite()
+	defer t.unlockWrite()
 	if err := t.checkAttached(); err != nil {
 		return err
 	}
-	return t.deleteRowLocked(rid)
+	if err := t.deleteRowLocked(rid); err != nil {
+		t.db.abortTable(t)
+		return err
+	}
+	if err := t.db.commitTable(t); err != nil {
+		return err
+	}
+	t.bumpChurn(1)
+	return nil
 }
 
-// deleteRowLocked is DeleteRow under an already-held exclusive lock.
+// deleteRowLocked removes one row under an already-held writer lock
+// without committing — the caller commits, so a multi-row DELETE
+// statement closes under a single marker.
 func (t *Table) deleteRowLocked(rid heap.RID) error {
 	tup, err := t.get(rid)
 	if err != nil {
@@ -1567,12 +1800,5 @@ func (t *Table) deleteRowLocked(rid heap.RID) error {
 			return fmt.Errorf("executor: index %s: %w", ix.Name, err)
 		}
 	}
-	if err := t.Heap.Delete(rid); err != nil {
-		return err
-	}
-	if err := t.db.commitWAL(t); err != nil {
-		return err
-	}
-	t.bumpChurn()
-	return nil
+	return t.Heap.Delete(rid)
 }

@@ -19,11 +19,11 @@ type Row struct {
 // until emit returns false. Index hits are rechecked against the heap
 // tuple, so lossy access methods (R-tree MBRs, B+-tree wildcard prefix
 // ranges) never produce false positives. Select takes the shared
-// statement lock: any number of Selects run concurrently, excluded only
-// by writers.
+// catalog lock plus this table's shared lock: any number of Selects run
+// concurrently, excluded only by writers on the same table.
 func (t *Table) Select(pred *Pred, emit func(Row) bool) (*Plan, error) {
-	t.db.stmtMu.RLock()
-	defer t.db.stmtMu.RUnlock()
+	t.lockRead()
+	defer t.unlockRead()
 	return t.selectLocked(pred, emit)
 }
 
@@ -44,7 +44,7 @@ func (t *Table) selectLocked(pred *Pred, emit func(Row) bool) (*Plan, error) {
 // cost-based access-path choice — the moral equivalent of PostgreSQL's
 // enable_seqscan=off. Tests and demos use it to prove a particular index
 // structure answers correctly (e.g. after crash recovery) even when the
-// planner would prefer a sequential scan on a small table. Shared lock,
+// planner would prefer a sequential scan on a small table. Shared locks,
 // like Select.
 func (t *Table) SelectIndexed(ix *IndexInfo, pred *Pred, emit func(Row) bool) error {
 	if pred == nil || pred.Column != ix.Column {
@@ -53,8 +53,8 @@ func (t *Table) SelectIndexed(ix *IndexInfo, pred *Pred, emit func(Row) bool) er
 	if !ix.OpClass.SupportsOp(pred.Op) {
 		return fmt.Errorf("executor: operator class %s does not support %q", ix.OpClass.Name, pred.Op)
 	}
-	t.db.stmtMu.RLock()
-	defer t.db.stmtMu.RUnlock()
+	t.lockRead()
+	defer t.unlockRead()
 	if err := t.checkAttached(); err != nil {
 		return err
 	}
@@ -124,14 +124,14 @@ type NNResult struct {
 // via the incremental NN search when an index provides it, falling back
 // to scan-and-sort. k < 0 means "all rows", resolved against the row
 // count inside this statement's lock window so an unlimited query stays
-// atomic against concurrent inserts. Shared lock, like Select.
+// atomic against concurrent inserts. Shared locks, like Select.
 func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, *Plan, error) {
 	ci, err := t.colIndex(colName)
 	if err != nil {
 		return nil, nil, err
 	}
-	t.db.stmtMu.RLock()
-	defer t.db.stmtMu.RUnlock()
+	t.lockRead()
+	defer t.unlockRead()
 	if err := t.checkAttached(); err != nil {
 		return nil, nil, err
 	}
@@ -214,11 +214,17 @@ func Distance(l, r catalog.Datum) (float64, error) {
 
 // DeleteWhere removes every row matching pred (all rows when pred is
 // nil), returning how many were removed. The whole statement — the
-// qualifying scan and the row deletions — runs under one exclusive
-// statement lock, so no reader observes its intermediate states.
+// qualifying scan and the row deletions — runs under this table's
+// writer lock, so no reader observes its intermediate states, and
+// deletes on one table no longer block reads or writes on any other
+// table (only the catalog lock is held shared). Deletes up to
+// deleteChunkRows commit under a single marker — all rows back, or all
+// gone, across a crash; larger deletes commit in pool-bounded chunks
+// (every dirtied page is unevictable until its records append, so an
+// unbounded single-marker statement could exhaust the buffer pool).
 func (t *Table) DeleteWhere(pred *Pred) (int, error) {
-	t.db.stmtMu.Lock()
-	defer t.db.stmtMu.Unlock()
+	t.lockWrite()
+	defer t.unlockWrite()
 	if err := t.checkAttached(); err != nil {
 		return 0, err
 	}
@@ -229,10 +235,27 @@ func (t *Table) DeleteWhere(pred *Pred) (int, error) {
 	}); err != nil {
 		return 0, err
 	}
-	for _, rid := range rids {
-		if err := t.deleteRowLocked(rid); err != nil {
-			return 0, err
+	if f := t.db.faults.BeforeDMLCommit; f != nil {
+		// The crash point: nothing of the statement has reached the log.
+		if err := f(fmt.Sprintf("DELETE %s %d", t.Name, len(rids))); err != nil {
+			return 0, faultErr{err}
 		}
 	}
+	chunk := t.db.deleteChunkRows()
+	for i, rid := range rids {
+		if err := t.deleteRowLocked(rid); err != nil {
+			t.db.abortTable(t)
+			return 0, err
+		}
+		if (i+1)%chunk == 0 {
+			if err := t.db.commitTable(t); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := t.db.commitTable(t); err != nil {
+		return 0, err
+	}
+	t.bumpChurn(len(rids))
 	return len(rids), nil
 }

@@ -139,8 +139,8 @@ func indexScanCost(t *Table, ix *IndexInfo, sel float64) float64 {
 // column statistics, churn counters) are guarded by the table's stats
 // mutex, so concurrent EXPLAINs never race.
 func (t *Table) PlanSelect(pred *Pred) (*Plan, error) {
-	t.db.stmtMu.RLock()
-	defer t.db.stmtMu.RUnlock()
+	t.lockRead()
+	defer t.unlockRead()
 	if err := t.checkAttached(); err != nil {
 		return nil, err
 	}
@@ -196,8 +196,8 @@ func (t *Table) planSelect(pred *Pred) (*Plan, error) {
 // scan with a full sort (priced accordingly). Shared lock, like
 // PlanSelect.
 func (t *Table) PlanNN(column int, arg catalog.Datum, k int) (*Plan, error) {
-	t.db.stmtMu.RLock()
-	defer t.db.stmtMu.RUnlock()
+	t.lockRead()
+	defer t.unlockRead()
 	if err := t.checkAttached(); err != nil {
 		return nil, err
 	}

@@ -215,6 +215,7 @@ func runTorture(t *testing.T, seed int64, steps int) {
 	faults := executor.FaultInjection{
 		BeforeDDLCommit:  func(string) error { return arm.hook() },
 		DuringIndexBuild: func(int) error { return arm.hook() },
+		BeforeDMLCommit:  func(string) error { return arm.hook() },
 	}
 	open := func() *executor.DB {
 		db, err := executor.Open(executor.Options{Dir: dir, WAL: true, PoolPages: 16, WALSync: wal.SyncCommit, Faults: faults})
@@ -372,14 +373,14 @@ func runTorture(t *testing.T, seed int64, steps int) {
 			verifyTorture(t, dir, model)
 			db = open()
 
-		case op >= 7 && op <= 8 && len(live) > 0: // INSERT batch
+		case op == 7 && len(live) > 0: // per-row INSERTs
 			name := live[rng.Intn(len(live))]
 			mt := model.tables[name]
 			tb, err := db.Table(name)
 			if err != nil {
 				t.Fatalf("seed %d step %d: %v", seed, step, err)
 			}
-			n := 1 + rng.Intn(15)
+			n := 1 + rng.Intn(8)
 			for i := 0; i < n; i++ {
 				word := fmt.Sprintf("w%c%c%02d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))
 				id := mt.nextID
@@ -390,6 +391,37 @@ func runTorture(t *testing.T, seed int64, steps int) {
 				mt.rows[fmt.Sprintf("%s|%d", word, id)]++
 			}
 
+		case op == 8 && len(live) > 0: // multi-row INSERT (one batched statement)
+			name := live[rng.Intn(len(live))]
+			mt := model.tables[name]
+			tb, err := db.Table(name)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			n := 1 + rng.Intn(25)
+			tups := make([]catalog.Tuple, 0, n)
+			keys := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				word := fmt.Sprintf("w%c%c%02d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))
+				id := mt.nextID
+				mt.nextID++
+				tups = append(tups, catalog.Tuple{catalog.NewText(word), catalog.NewInt(int64(id))})
+				keys = append(keys, fmt.Sprintf("%s|%d", word, id))
+			}
+			_, err = tb.InsertBatch(tups)
+			if errors.Is(err, errTortureCrash) {
+				// All-or-nothing: a batch crashed before its commit point
+				// recovers with ZERO of its rows visible.
+				crashed(step)
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d step %d: insert batch: %v", seed, step, err)
+			}
+			for _, k := range keys {
+				mt.rows[k]++
+			}
+
 		case op == 9 && len(live) > 0: // DELETE WHERE name #= prefix
 			name := live[rng.Intn(len(live))]
 			mt := model.tables[name]
@@ -398,7 +430,14 @@ func runTorture(t *testing.T, seed int64, steps int) {
 				t.Fatalf("seed %d step %d: %v", seed, step, err)
 			}
 			prefix := fmt.Sprintf("w%c", 'a'+rng.Intn(6))
-			if _, err := tb.DeleteWhere(&executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText(prefix)}); err != nil {
+			_, err = tb.DeleteWhere(&executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText(prefix)})
+			if errors.Is(err, errTortureCrash) {
+				// The whole DELETE commits under one marker now: a crash
+				// before it recovers with every row still present.
+				crashed(step)
+				continue
+			}
+			if err != nil {
 				t.Fatalf("seed %d step %d: delete: %v", seed, step, err)
 			}
 			for k := range mt.rows {
@@ -546,12 +585,15 @@ func TestStaleTableHandleRejected(t *testing.T) {
 	}
 }
 
-// TestConcurrentReadWriteTorture: every iteration seeds a table, runs the
-// concurrent read/write phase, then crashes, recovers, and model-checks
-// the durable state — under -race in CI this is the end-to-end proof
-// that the sharded buffer pool, the guarded node caches, and the
-// shared/exclusive statement lock compose into a safe concurrent read
-// path over a crash-consistent engine.
+// TestConcurrentReadWriteTorture: every iteration seeds two tables,
+// runs the concurrent read/write phase on one while a second writer
+// streams multi-row INSERT batches into the other — two writers holding
+// different per-table locks, committing concurrently through the WAL's
+// group-commit path — then crashes, recovers, and model-checks the
+// durable state of both. Under -race in CI this is the end-to-end proof
+// that the sharded buffer pool, the guarded node caches, the two-level
+// catalog/table lock hierarchy, and the atomic group append compose
+// into a safe concurrent engine.
 func TestConcurrentReadWriteTorture(t *testing.T) {
 	seeds := []int64{3, 17}
 	if testing.Short() {
@@ -585,6 +627,17 @@ func TestConcurrentReadWriteTorture(t *testing.T) {
 				t.Fatal(err)
 			}
 			mt.indexes["ix1"] = "btree_text"
+			// The second table: written only by the concurrent batch
+			// writer, proving writers on different tables overlap.
+			if _, err := db.CreateTable("t1", tortureCols()); err != nil {
+				t.Fatal(err)
+			}
+			mt1 := &modelTable{rows: map[string]int{}, indexes: map[string]string{}, statsRows: -1}
+			model.tables["t1"] = mt1
+			if _, err := db.CreateIndex("ix2", "t1", "name", "spgist", "spgist_trie"); err != nil {
+				t.Fatal(err)
+			}
+			mt1.indexes["ix2"] = "spgist_trie"
 
 			tb, err := db.Table("t0")
 			if err != nil {
@@ -601,13 +654,53 @@ func TestConcurrentReadWriteTorture(t *testing.T) {
 			}
 
 			for round := 0; round < 6; round++ {
+				tb1, err := db.Table("t1")
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Concurrent multi-table writer: multi-row INSERT batches
+				// into t1 (with interleaved reads of it) while the phase
+				// below reads and writes t0. mt1 is touched only by this
+				// goroutine until the phase joins.
+				t1done := make(chan struct{})
+				t1rng := rand.New(rand.NewSource(seed*1000 + int64(round)))
+				go func() {
+					defer close(t1done)
+					for i, rounds := 0, 3+t1rng.Intn(4); i < rounds; i++ {
+						n := 5 + t1rng.Intn(20)
+						tups := make([]catalog.Tuple, 0, n)
+						keys := make([]string, 0, n)
+						for j := 0; j < n; j++ {
+							word := fmt.Sprintf("w%c%c%02d", 'a'+t1rng.Intn(6), 'a'+t1rng.Intn(6), t1rng.Intn(40))
+							id := mt1.nextID
+							mt1.nextID++
+							tups = append(tups, catalog.Tuple{catalog.NewText(word), catalog.NewInt(int64(id))})
+							keys = append(keys, fmt.Sprintf("%s|%d", word, id))
+						}
+						if _, err := tb1.InsertBatch(tups); err != nil {
+							t.Errorf("t1 batch writer: %v", err)
+							return
+						}
+						for _, k := range keys {
+							mt1.rows[k]++
+						}
+						pred := &executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText("w")}
+						got := 0
+						if _, err := tb1.Select(pred, func(executor.Row) bool { got++; return true }); err != nil {
+							t.Errorf("t1 read-back: %v", err)
+							return
+						}
+					}
+				}()
 				concurrentPhase(t, db, "t0", mt, rng)
+				<-t1done
 				if t.Failed() {
 					db.Crash()
 					return
 				}
-				// Crash with the phase's committed writes in the log only,
-				// recover, and model-check the durable state.
+				// Crash with both writers' committed batches in the log,
+				// recover, and model-check the durable state of both
+				// tables.
 				if err := db.Crash(); err != nil {
 					t.Fatalf("round %d: crash: %v", round, err)
 				}

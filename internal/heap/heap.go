@@ -120,13 +120,26 @@ func (f *File) saveMeta() error {
 
 // unpinLogged releases a data page after an insert or delete of rec at
 // slot. With a WAL attached the mutation is covered by a logical record
-// (not a page image): the record's LSN is stamped into the slotted-page
-// header and becomes the frame's WAL-before-data horizon. rec is nil for
-// a delete.
+// (not a page image). When the log carries statement boundaries (the
+// executor's commit markers) the record is *deferred*: it is staged in
+// the buffer pool and appended — contiguously with the rest of the
+// statement's records and its marker — at the commit point, so records
+// of statements running concurrently on other tables never interleave
+// with it. On a raw marker-less log the record is appended eagerly, as
+// before. rec is nil for a delete.
 func (f *File) unpinLogged(p *storage.Page, slot int, rec []byte) error {
 	w, name := f.bp.WAL()
 	if w == nil {
 		f.bp.Unpin(p, true)
+		return nil
+	}
+	if w.CommittedLSN() > 0 {
+		if rec != nil {
+			f.bp.DeferHeapInsert(p.ID, uint16(slot), rec)
+		} else {
+			f.bp.DeferHeapDelete(p.ID, uint16(slot))
+		}
+		f.bp.UnpinDeferredOp(p)
 		return nil
 	}
 	var lsn wal.LSN
@@ -136,6 +149,30 @@ func (f *File) unpinLogged(p *storage.Page, slot int, rec []byte) error {
 	} else {
 		lsn, err = w.AppendHeapDelete(name, uint32(p.ID), uint16(slot))
 	}
+	if err != nil {
+		f.bp.Unpin(p, true)
+		return err
+	}
+	storage.SetPageLSN(p.Data, uint64(lsn))
+	f.bp.UnpinLSN(p, lsn)
+	return nil
+}
+
+// unpinBatchLogged releases a data page after a batch insert of recs at
+// slots — the batch twin of unpinLogged, covering the whole page-worth
+// of tuples with one log record.
+func (f *File) unpinBatchLogged(p *storage.Page, slots []uint16, recs [][]byte) error {
+	w, name := f.bp.WAL()
+	if w == nil {
+		f.bp.Unpin(p, true)
+		return nil
+	}
+	if w.CommittedLSN() > 0 {
+		f.bp.DeferHeapBatchInsert(p.ID, slots, recs)
+		f.bp.UnpinDeferredOp(p)
+		return nil
+	}
+	lsn, err := w.AppendHeapBatchInsert(name, uint32(p.ID), slots, recs)
 	if err != nil {
 		f.bp.Unpin(p, true)
 		return err
@@ -183,6 +220,66 @@ func (f *File) Insert(rec []byte) (RID, error) {
 	}
 	f.count++
 	return rid, f.saveMeta()
+}
+
+// InsertBatch appends every record of recs, filling each data page to
+// capacity under a single pin (instead of re-pinning per record the way
+// per-row Insert does) and covering each filled page with one batch log
+// record rather than one record per tuple. The returned RIDs parallel
+// recs. The heap metadata is saved once for the whole batch. recs
+// slices are retained until the statement commits; callers pass freshly
+// encoded tuples.
+func (f *File) InsertBatch(recs [][]byte) ([]RID, error) {
+	capacity := storage.SlotCapacity(f.bp.DM().PageSize())
+	for _, rec := range recs {
+		if len(rec) > capacity {
+			return nil, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(rec))
+		}
+	}
+	rids := make([]RID, 0, len(recs))
+	i := 0
+	for i < len(recs) {
+		var p *storage.Page
+		var err error
+		fresh := false
+		if f.lastPage != storage.InvalidPageID {
+			p, err = f.bp.Fetch(f.lastPage)
+		} else {
+			fresh = true
+			p, err = f.bp.NewPage()
+		}
+		if err != nil {
+			return rids, err
+		}
+		if fresh {
+			storage.SlotInit(p.Data)
+			f.lastPage = p.ID
+		}
+		// Fill this page with as many of the remaining records as fit.
+		var slots []uint16
+		var placed [][]byte
+		for i < len(recs) {
+			slot, ok := storage.SlotInsert(p.Data, recs[i])
+			if !ok {
+				break
+			}
+			rids = append(rids, RID{Page: p.ID, Slot: uint16(slot)})
+			slots = append(slots, uint16(slot))
+			placed = append(placed, recs[i])
+			i++
+		}
+		if len(slots) == 0 {
+			// A full last page: move on to a fresh one.
+			f.bp.Unpin(p, false)
+			f.lastPage = storage.InvalidPageID
+			continue
+		}
+		f.count += int64(len(slots))
+		if err := f.unpinBatchLogged(p, slots, placed); err != nil {
+			return rids, err
+		}
+	}
+	return rids, f.saveMeta()
 }
 
 // Get returns a copy of the record at rid, or nil if it does not exist.

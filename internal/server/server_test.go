@@ -207,3 +207,78 @@ func TestServerConcurrentSessions(t *testing.T) {
 		t.Fatalf("final row count %d, want %d", len(res.Rows), 200+writerRows)
 	}
 }
+
+// TestServerConcurrentBatchWritersTwoTables: sessions streaming
+// multi-row INSERT statements into different tables hold different
+// per-table writer locks and commit concurrently — the server-level
+// face of the batched write pipeline.
+func TestServerConcurrentBatchWritersTwoTables(t *testing.T) {
+	addr, shutdown := startServer(t)
+	defer shutdown()
+
+	seed, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := seed.Exec(fmt.Sprintf("CREATE TABLE t%d (name VARCHAR, id INT)", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seed.Exec(fmt.Sprintf("CREATE INDEX ix%d ON t%d USING spgist (name spgist_trie)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.Close()
+
+	const batches, rows = 6, 40
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				t.Errorf("writer %d: %v", g, err)
+				return
+			}
+			defer c.Close()
+			for b := 0; b < batches; b++ {
+				stmt := fmt.Sprintf("INSERT INTO t%d VALUES ", g)
+				for j := 0; j < rows; j++ {
+					if j > 0 {
+						stmt += ", "
+					}
+					id := b*rows + j
+					stmt += fmt.Sprintf("('w%d_%04d', %d)", g, id, id)
+				}
+				res, err := c.Exec(stmt)
+				if err != nil {
+					t.Errorf("writer %d batch %d: %v", g, b, err)
+					return
+				}
+				if want := fmt.Sprintf("INSERT %d", rows); res.OK != want {
+					t.Errorf("writer %d batch %d: got %q want %q", g, b, res.OK, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for g := 0; g < 2; g++ {
+		res, err := c.Exec(fmt.Sprintf("SELECT * FROM t%d WHERE name #= 'w%d_'", g, g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != batches*rows {
+			t.Fatalf("table t%d: %d rows, want %d", g, len(res.Rows), batches*rows)
+		}
+	}
+}

@@ -312,28 +312,38 @@ func (p *parser) dropIndex(s *Session) (*Result, error) {
 }
 
 // SHOW TABLES: one row per table record of the persistent system
-// catalog — name, column list, live row count, and heap file. The whole
-// statement runs under one shared statement lock, so it never observes
-// a DDL statement's intermediate catalog state.
+// catalog — name, column list, live row count, and heap file. The
+// catalog iterates under the shared catalog lock, so no DDL
+// intermediate state is observed; the row counts are read afterwards
+// through Table.RowCount, which takes each table's own shared lock —
+// a concurrent writer on some table holds only that table's writer
+// lock, so reading its heap counter directly would race it.
 func showTables(s *Session) (*Result, error) {
 	s.DB.ShareLock()
-	defer s.DB.ShareUnlock()
 	res := &Result{Columns: []string{"table", "columns", "rows", "file"}}
+	var tables []*executor.Table
 	for _, te := range s.DB.Catalog().Tables() {
 		var cols []string
 		for _, c := range te.Cols {
 			cols = append(cols, fmt.Sprintf("%s %v", c.Name, c.Type))
 		}
-		rows := int64(0)
-		if t, err := s.DB.Table(te.Name); err == nil {
-			rows = t.Heap.Count() // direct read; the shared lock is held
+		t, err := s.DB.Table(te.Name)
+		if err != nil {
+			t = nil
 		}
+		tables = append(tables, t)
 		res.Rows = append(res.Rows, catalog.Tuple{
 			catalog.NewText(te.Name),
 			catalog.NewText(strings.Join(cols, ", ")),
-			catalog.NewInt(rows),
+			catalog.NewInt(0),
 			catalog.NewText(te.File),
 		})
+	}
+	s.DB.ShareUnlock()
+	for i, t := range tables {
+		if t != nil {
+			res.Rows[i][2] = catalog.NewInt(t.RowCount())
+		}
 	}
 	return res, nil
 }
@@ -376,6 +386,13 @@ func showIndexes(s *Session) (*Result, error) {
 }
 
 // INSERT INTO table VALUES (lit, ...), (...)
+//
+// Every row list of the statement is parsed first, then the whole set
+// executes as ONE batched statement (Table.InsertBatch): the heap fills
+// each page under a single pin, index maintenance is grouped, and the
+// batch commits under one WAL marker and one fsync — all-or-nothing
+// across a crash. A parse error anywhere in the VALUES list therefore
+// inserts nothing.
 func (p *parser) insert(s *Session) (*Result, error) {
 	if err := p.keyword("INTO"); err != nil {
 		return nil, err
@@ -391,7 +408,7 @@ func (p *parser) insert(s *Session) (*Result, error) {
 	if err := p.keyword("VALUES"); err != nil {
 		return nil, err
 	}
-	n := 0
+	var tups []catalog.Tuple
 	for {
 		if _, err := p.expect(tokPunct, "("); err != nil {
 			return nil, err
@@ -422,16 +439,19 @@ func (p *parser) insert(s *Session) (*Result, error) {
 		if len(tup) != len(t.Columns) {
 			return nil, fmt.Errorf("sql: table %s expects %d values, got %d", t.Name, len(t.Columns), len(tup))
 		}
-		if _, err := t.Insert(tup); err != nil {
-			return nil, err
-		}
-		n++
+		tups = append(tups, tup)
 		if p.accept(tokPunct, ",") {
 			continue
 		}
 		break
 	}
-	return &Result{Affected: n, Msg: fmt.Sprintf("INSERT %d", n)}, nil
+	if !p.atStatementEnd() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	if _, err := t.InsertBatch(tups); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: len(tups), Msg: fmt.Sprintf("INSERT %d", len(tups))}, nil
 }
 
 // where parses [WHERE col OP literal].

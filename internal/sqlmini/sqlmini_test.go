@@ -384,3 +384,34 @@ func TestAnalyzeStatement(t *testing.T) {
 			wantCommon, wantRare, gotCommon, gotRare)
 	}
 }
+
+// TestMultiRowInsertIsOneStatement: the whole VALUES list parses before
+// anything executes, so a malformed row anywhere — even after valid
+// rows — inserts nothing, and a successful multi-row INSERT reports
+// every row.
+func TestMultiRowInsertIsOneStatement(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE w (name VARCHAR, id INT)")
+
+	if res := mustExec(t, s, "INSERT INTO w VALUES ('a', 1), ('b', 2), ('c', 3)"); res.Affected != 3 {
+		t.Fatalf("affected %d, want 3", res.Affected)
+	}
+	for _, bad := range []string{
+		"INSERT INTO w VALUES ('d', 4), ('e')",         // arity, last row
+		"INSERT INTO w VALUES ('d', 4), ('e', 5) junk", // trailing garbage
+		"INSERT INTO w VALUES ('d', 4), ('e', 5), (",   // truncated
+	} {
+		if _, err := s.Exec(bad); err == nil {
+			t.Fatalf("%q did not fail", bad)
+		}
+	}
+	res := mustExec(t, s, "SELECT * FROM w")
+	if len(res.Rows) != 3 {
+		t.Fatalf("failed statements leaked rows: %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[0].S == "d" || row[0].S == "e" {
+			t.Fatalf("row %v from a failed statement is visible", row)
+		}
+	}
+}

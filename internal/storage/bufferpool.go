@@ -75,6 +75,30 @@ type BufferPool struct {
 	// eviction reads it — a lock here would be a pool-global
 	// serialization point inside the per-shard critical sections.
 	walRef atomic.Pointer[walAttachment]
+
+	// ops holds the statement's deferred logical records (heap inserts,
+	// deletes, batch inserts): instead of appending to the log during
+	// execution — where records of concurrent statements on other
+	// tables would interleave with them — they are staged here and
+	// appended contiguously, together with the statement's commit
+	// marker, by StagePending/AppendGroupCommit. The frames they cover
+	// carry opPending and are unevictable until ResolvePending assigns
+	// their LSNs. Statements on one pool are externally serialized (the
+	// executor's per-table writer lock); opsMu only orders the slice
+	// against FlushAll and Crash.
+	opsMu sync.Mutex
+	ops   []deferredOp
+}
+
+// deferredOp is one staged logical record. rec/slots/recs are retained
+// until the statement commits; callers pass freshly allocated slices.
+type deferredOp struct {
+	typ   wal.RecordType
+	page  PageID
+	slot  uint16
+	rec   []byte   // RecHeapInsert
+	slots []uint16 // RecHeapBatchInsert
+	recs  [][]byte // RecHeapBatchInsert
 }
 
 // walAttachment pairs the log writer with the file name used in WAL
@@ -111,6 +135,10 @@ type frame struct {
 	// page touched N times within one statement is imaged once, not N
 	// times. Such frames are unevictable (no-steal) until logged.
 	imagePending bool
+	// opPending marks a frame covered by deferred logical records
+	// (bp.ops) whose LSNs are not yet assigned. Unevictable, like
+	// imagePending, until ResolvePending runs at the commit point.
+	opPending bool
 }
 
 // NewBufferPool creates a pool with capacity frames over dm.
@@ -230,6 +258,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	f.valid = true
 	f.lsn = 0
 	f.imagePending = false
+	f.opPending = false
 	sh.table[id] = fi
 	return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
 }
@@ -261,6 +290,7 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	f.valid = true
 	f.lsn = 0
 	f.imagePending = false
+	f.opPending = false
 	sh.table[id] = fi
 	return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
 }
@@ -323,6 +353,172 @@ func (bp *BufferPool) UnpinLSN(p *Page, lsn wal.LSN) {
 	}
 }
 
+// UnpinDeferredOp releases one pin on p, marking it dirty and covered by
+// a deferred logical record the caller just staged with DeferHeapInsert/
+// DeferHeapDelete/DeferHeapBatchInsert. The frame stays unevictable
+// until ResolvePending assigns the record's LSN at the commit point.
+func (bp *BufferPool) UnpinDeferredOp(p *Page) {
+	sh := &bp.shards[p.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := bp.unpinLocked(sh, p)
+	f.dirty = true
+	f.opPending = true
+}
+
+// DeferHeapInsert stages a logical heap-insert record for the commit
+// point. rec is retained until then; pass a freshly allocated slice.
+// Pair with UnpinDeferredOp on the mutated page.
+func (bp *BufferPool) DeferHeapInsert(page PageID, slot uint16, rec []byte) {
+	bp.opsMu.Lock()
+	bp.ops = append(bp.ops, deferredOp{typ: wal.RecHeapInsert, page: page, slot: slot, rec: rec})
+	bp.opsMu.Unlock()
+}
+
+// DeferHeapDelete stages a logical heap-delete record for the commit
+// point. Pair with UnpinDeferredOp on the mutated page.
+func (bp *BufferPool) DeferHeapDelete(page PageID, slot uint16) {
+	bp.opsMu.Lock()
+	bp.ops = append(bp.ops, deferredOp{typ: wal.RecHeapDelete, page: page, slot: slot})
+	bp.opsMu.Unlock()
+}
+
+// DeferHeapBatchInsert stages one page-worth of heap inserts as a single
+// batch record for the commit point. slots/recs are retained until then.
+// Pair with UnpinDeferredOp on the mutated page.
+func (bp *BufferPool) DeferHeapBatchInsert(page PageID, slots []uint16, recs [][]byte) {
+	bp.opsMu.Lock()
+	bp.ops = append(bp.ops, deferredOp{typ: wal.RecHeapBatchInsert, page: page, slots: slots, recs: recs})
+	bp.opsMu.Unlock()
+}
+
+// Staged names one record a StagePending call added to a wal.Group: the
+// page it covers and its index into the LSNs AppendGroup(Commit)
+// returns. ResolvePending consumes it.
+type Staged struct {
+	Page  PageID
+	Index int
+	Image bool
+}
+
+// StagePending moves the pool's deferred work — logical records staged
+// by the Defer* calls and the page images of imagePending frames — into
+// g for one atomic group append. The covered frames keep their pending
+// flags (and stay unevictable) until ResolvePending stamps the assigned
+// LSNs. The caller must serialize StagePending/ResolvePending pairs per
+// pool (the executor's per-table writer lock and exclusive DDL lock do).
+func (bp *BufferPool) StagePending(g *wal.Group) []Staged {
+	w, file := bp.WAL()
+	if w == nil {
+		return nil
+	}
+	bp.opsMu.Lock()
+	ops := bp.ops
+	bp.ops = nil
+	bp.opsMu.Unlock()
+	staged := stageOps(g, file, ops)
+	for si := range bp.shards {
+		sh := &bp.shards[si]
+		sh.mu.Lock()
+		if sh.pending == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if !f.valid || !f.imagePending {
+				continue
+			}
+			idx := g.AddPageImage(file, uint32(f.id), f.data)
+			staged = append(staged, Staged{Page: f.id, Index: idx, Image: true})
+		}
+		sh.mu.Unlock()
+	}
+	return staged
+}
+
+// stageOps encodes deferred logical records into g.
+func stageOps(g *wal.Group, file string, ops []deferredOp) []Staged {
+	var staged []Staged
+	for _, op := range ops {
+		var idx int
+		switch op.typ {
+		case wal.RecHeapInsert:
+			idx = g.AddHeapInsert(file, uint32(op.page), op.slot, op.rec)
+		case wal.RecHeapDelete:
+			idx = g.AddHeapDelete(file, uint32(op.page), op.slot)
+		case wal.RecHeapBatchInsert:
+			idx = g.AddHeapBatchInsert(file, uint32(op.page), op.slots, op.recs)
+		}
+		staged = append(staged, Staged{Page: op.page, Index: idx})
+	}
+	return staged
+}
+
+// ResolvePending stamps the LSNs assigned by the group append onto the
+// staged frames: the WAL-before-data horizon advances, logical records
+// stamp the slotted pageLSN (for redo idempotence), and the pending
+// flags clear, making the frames evictable again. lsns is the slice
+// AppendGroup(Commit) returned for the group the Staged indices point
+// into.
+func (bp *BufferPool) ResolvePending(staged []Staged, lsns []wal.LSN) {
+	for _, s := range staged {
+		lsn := lsns[s.Index]
+		sh := &bp.shards[bp.shardOf(s.Page)]
+		sh.mu.Lock()
+		fi, ok := sh.table[s.Page]
+		if !ok {
+			// Unreachable: pending frames are unevictable until resolved.
+			sh.mu.Unlock()
+			continue
+		}
+		f := &sh.frames[fi]
+		if lsn > f.lsn {
+			f.lsn = lsn
+		}
+		if s.Image {
+			if f.imagePending {
+				f.imagePending = false
+				sh.pending--
+			}
+		} else {
+			f.opPending = false
+			if PageLSN(f.data) < uint64(lsn) {
+				SetPageLSN(f.data, uint64(lsn))
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// flushDeferredOps appends any still-deferred logical records directly
+// (no commit marker). Only flush paths call it — Close and CHECKPOINT
+// run under the exclusive statement lock, where a deferred record can
+// only belong to an aborted statement whose pages are about to be made
+// durable anyway; the checkpoint or close marker that follows commits
+// them.
+func (bp *BufferPool) flushDeferredOps() error {
+	w, file := bp.WAL()
+	if w == nil {
+		return nil
+	}
+	bp.opsMu.Lock()
+	ops := bp.ops
+	bp.ops = nil
+	bp.opsMu.Unlock()
+	if len(ops) == 0 {
+		return nil
+	}
+	g := wal.NewGroup()
+	staged := stageOps(g, file, ops)
+	lsns, err := w.AppendGroup(g)
+	if err != nil {
+		return err
+	}
+	bp.ResolvePending(staged, lsns)
+	return nil
+}
+
 // validatePinned panics on unpin misuse (stale page, double unpin).
 func (bp *BufferPool) validatePinned(f *frame, p *Page) {
 	if !f.valid || f.id != p.ID {
@@ -372,7 +568,7 @@ func (bp *BufferPool) victimLocked(sh *poolShard) (int, error) {
 		if f.pin.Load() > 0 {
 			continue
 		}
-		if f.dirty && (f.imagePending || (committed > 0 && f.lsn > committed)) {
+		if f.dirty && (f.imagePending || f.opPending || (committed > 0 && f.lsn > committed)) {
 			continue
 		}
 		if f.ref.Load() {
@@ -451,9 +647,13 @@ func (bp *BufferPool) syncWAL(w *wal.Writer, lsn wal.LSN) error {
 }
 
 // FlushAll writes every dirty frame back to disk. Pages stay cached.
-// Deferred page images are materialized first, keeping WAL-before-data
-// intact for frames whose image was postponed to the commit point.
+// Deferred logical records and page images are materialized first,
+// keeping WAL-before-data intact for frames whose records were
+// postponed to the commit point.
 func (bp *BufferPool) FlushAll() error {
+	if err := bp.flushDeferredOps(); err != nil {
+		return err
+	}
 	w, walFile := bp.WAL()
 	for si := range bp.shards {
 		sh := &bp.shards[si]
@@ -515,10 +715,14 @@ func (bp *BufferPool) Crash() error {
 			f.valid = false
 			f.lsn = 0
 			f.imagePending = false
+			f.opPending = false
 		}
 		sh.table = make(map[PageID]int)
 		sh.pending = 0
 		sh.mu.Unlock()
 	}
+	bp.opsMu.Lock()
+	bp.ops = nil
+	bp.opsMu.Unlock()
 	return bp.dm.Close()
 }

@@ -12,8 +12,9 @@ import (
 type RecoveryStats struct {
 	wal.ReplayStats
 	PageImages    int64 // page-image records applied
-	HeapInserts   int64 // logical heap inserts applied
+	HeapInserts   int64 // logical heap inserts applied (batch rows included)
 	HeapDeletes   int64 // logical heap deletes applied
+	HeapBatches   int64 // batch-insert records applied
 	SkippedByLSN  int64 // logical records skipped because pageLSN was newer
 	TailDiscarded int64 // records after the last commit marker, not replayed
 	FilesTouched  int   // distinct data files opened by redo
@@ -109,7 +110,7 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 			st.PageImages++
 			st.PagesWritten++
 			return nil
-		case wal.RecHeapInsert, wal.RecHeapDelete:
+		case wal.RecHeapInsert, wal.RecHeapDelete, wal.RecHeapBatchInsert:
 			dm, err := open(r.File)
 			if err != nil {
 				return err
@@ -127,12 +128,23 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 				st.SkippedByLSN++
 				return nil
 			}
-			if r.Type == wal.RecHeapInsert {
+			switch r.Type {
+			case wal.RecHeapInsert:
 				if !SlotInsertAt(buf, int(r.Slot), r.Data) {
 					return fmt.Errorf("storage: recovery: redo insert does not fit page %d of %s", r.Page, r.File)
 				}
 				st.HeapInserts++
-			} else {
+			case wal.RecHeapBatchInsert:
+				// One record redoes a whole page-worth of tuples — the
+				// all-or-nothing unit of a multi-row INSERT's redo.
+				for i, slot := range r.Slots {
+					if !SlotInsertAt(buf, int(slot), r.Recs[i]) {
+						return fmt.Errorf("storage: recovery: redo batch insert does not fit page %d of %s", r.Page, r.File)
+					}
+				}
+				st.HeapInserts += int64(len(r.Slots))
+				st.HeapBatches++
+			default:
 				SlotDelete(buf, int(r.Slot))
 				st.HeapDeletes++
 			}

@@ -50,6 +50,7 @@ func encodeFrame(lsn LSN, typ RecordType, payload []byte) []byte {
 //	page image:  nameLen:2 name pageID:4 pageSize:4 image...
 //	heap insert: nameLen:2 name pageID:4 slot:2 rec...
 //	heap delete: nameLen:2 name pageID:4 slot:2
+//	batch insert: nameLen:2 name pageID:4 n:2 { slot:2 len:4 rec }*n
 //	file create: nameLen:2 name
 //	checkpoint:  (empty)
 
@@ -72,6 +73,22 @@ func encodeHeapOp(file string, page uint32, slot uint16, rec []byte) []byte {
 	b = binary.LittleEndian.AppendUint32(b, page)
 	b = binary.LittleEndian.AppendUint16(b, slot)
 	return append(b, rec...)
+}
+
+func encodeHeapBatch(file string, page uint32, slots []uint16, recs [][]byte) []byte {
+	sz := 8 + len(file)
+	for _, r := range recs {
+		sz += 6 + len(r)
+	}
+	b := appendName(make([]byte, 0, sz), file)
+	b = binary.LittleEndian.AppendUint32(b, page)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(slots)))
+	for i, r := range recs {
+		b = binary.LittleEndian.AppendUint16(b, slots[i])
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r)))
+		b = append(b, r...)
+	}
+	return b
 }
 
 func decodeName(b []byte) (name string, rest []byte, err error) {
@@ -127,6 +144,34 @@ func decodeRecord(lsn LSN, body []byte) (*Record, error) {
 		r.Slot = binary.LittleEndian.Uint16(payload[4:])
 		if r.Type == RecHeapInsert {
 			r.Data = append([]byte(nil), payload[6:]...)
+		}
+		return r, nil
+	case RecHeapBatchInsert:
+		r.File, payload, err = decodeName(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 6 {
+			return nil, fmt.Errorf("wal: truncated heap-batch header")
+		}
+		r.Page = binary.LittleEndian.Uint32(payload)
+		n := int(binary.LittleEndian.Uint16(payload[4:]))
+		payload = payload[6:]
+		r.Slots = make([]uint16, 0, n)
+		r.Recs = make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			if len(payload) < 6 {
+				return nil, fmt.Errorf("wal: truncated heap-batch tuple header")
+			}
+			slot := binary.LittleEndian.Uint16(payload)
+			rl := int(binary.LittleEndian.Uint32(payload[2:]))
+			payload = payload[6:]
+			if len(payload) < rl {
+				return nil, fmt.Errorf("wal: truncated heap-batch tuple")
+			}
+			r.Slots = append(r.Slots, slot)
+			r.Recs = append(r.Recs, append([]byte(nil), payload[:rl]...))
+			payload = payload[rl:]
 		}
 		return r, nil
 	default:

@@ -64,6 +64,10 @@ const (
 	// mid-statement never replays half a statement (heap row without
 	// its index entries).
 	RecCommit RecordType = 6
+	// RecHeapBatchInsert is a logical insert of a whole page-worth of
+	// heap records at fixed slots — one record per filled page instead
+	// of one per tuple, the log shape of a multi-row INSERT.
+	RecHeapBatchInsert RecordType = 7
 )
 
 // String names the record type for stats and debugging output.
@@ -81,6 +85,8 @@ func (t RecordType) String() string {
 		return "checkpoint"
 	case RecCommit:
 		return "commit"
+	case RecHeapBatchInsert:
+		return "heap-batch-insert"
 	default:
 		return "unknown"
 	}
@@ -90,7 +96,8 @@ func (t RecordType) String() string {
 // on Type: File/Page address a page for images and heap ops, Slot is
 // the slot of a heap op, PageSize is the full page size an image must
 // be expanded to, and Data holds the (truncated) image or the heap
-// record bytes.
+// record bytes. Batch inserts carry parallel Slots/Recs instead of
+// Slot/Data.
 type Record struct {
 	LSN      LSN
 	Type     RecordType
@@ -99,4 +106,8 @@ type Record struct {
 	Slot     uint16
 	PageSize uint32
 	Data     []byte
+	// Slots/Recs are the per-tuple slot assignments and record bytes of
+	// one RecHeapBatchInsert.
+	Slots []uint16
+	Recs  [][]byte
 }

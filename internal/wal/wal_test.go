@@ -309,3 +309,161 @@ func TestOpenWriterOnEmptyDirStartsAtLSN1(t *testing.T) {
 // The WAL append benchmark (BenchmarkWALAppend) lives in the top-level
 // bench suite (bench_test.go) next to the paper's other per-operation
 // benchmarks.
+
+// TestGroupCommitSharesFsync is the deterministic guard for group
+// commit's whole point — one fsync covering N committing statements.
+// Every statement's record group (and marker) is appended first; only
+// then do all sessions call Commit concurrently. The first committer to
+// take the lock becomes the leader and syncs to the writer's appended
+// horizon, which already covers every other statement, so exactly one
+// fsync serves all N — an implementation that fsynced per commit would
+// count N and fail.
+func TestGroupCommitSharesFsync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Mode: SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 8
+	for g := 0; g < sessions; g++ {
+		grp := NewGroup()
+		grp.AddHeapInsert("t.tbl", uint32(g+1), 0, []byte("row"))
+		grp.AddHeapInsert("t.tbl", uint32(g+1), 1, []byte("row2"))
+		if _, _, err := w.AppendGroupCommit(grp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.Stats().Syncs
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Commit(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if syncs := w.Stats().Syncs - before; syncs != 1 {
+		t.Fatalf("%d commits used %d fsyncs, want exactly 1 shared fsync", sessions, syncs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendGroupCommitIsAtomic: groups appended from concurrent
+// goroutines must land contiguously — no other statement's records (or
+// marker) interleave inside a group, so a marker only ever covers whole
+// statements.
+func TestAppendGroupCommitIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Mode: SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, groups, recsPer = 6, 30, 5
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < groups; b++ {
+				grp := NewGroup()
+				for r := 0; r < recsPer; r++ {
+					// Page encodes the owning worker so replay can check
+					// contiguity per group.
+					grp.AddHeapInsert("t.tbl", uint32(g), uint16(r), []byte{byte(g)})
+				}
+				if _, _, err := w.AppendGroupCommit(grp); err != nil {
+					t.Errorf("worker %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, dir)
+	run := 0
+	var runOwner uint32
+	for _, r := range recs {
+		switch r.Type {
+		case RecHeapInsert:
+			if run == 0 {
+				runOwner = r.Page
+			} else if r.Page != runOwner {
+				t.Fatalf("group of worker %d interleaved with worker %d at LSN %d", runOwner, r.Page, r.LSN)
+			}
+			run++
+		case RecCommit:
+			if run != recsPer && run != 0 {
+				t.Fatalf("marker at LSN %d covers a torn group of %d records", r.LSN, run)
+			}
+			run = 0
+		}
+	}
+	total := 0
+	for _, r := range recs {
+		if r.Type == RecHeapInsert {
+			total++
+		}
+	}
+	if total != workers*groups*recsPer {
+		t.Fatalf("replayed %d records, want %d", total, workers*groups*recsPer)
+	}
+}
+
+// TestHeapBatchRecordRoundTrip: the batch-insert record's slots and
+// tuples survive encode -> frame -> replay intact.
+func TestHeapBatchRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Mode: SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := []uint16{3, 0, 7}
+	recs := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-record")}
+	if _, err := w.AppendHeapBatchInsert("big.tbl", 42, slots, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	var batch *Record
+	for _, r := range got {
+		if r.Type == RecHeapBatchInsert {
+			batch = r
+		}
+	}
+	if batch == nil {
+		t.Fatal("batch record not replayed")
+	}
+	if batch.File != "big.tbl" || batch.Page != 42 {
+		t.Fatalf("addr %s/%d", batch.File, batch.Page)
+	}
+	if len(batch.Slots) != len(slots) {
+		t.Fatalf("%d slots, want %d", len(batch.Slots), len(slots))
+	}
+	for i := range slots {
+		if batch.Slots[i] != slots[i] || !bytes.Equal(batch.Recs[i], recs[i]) {
+			t.Fatalf("tuple %d: slot %d rec %q, want slot %d rec %q",
+				i, batch.Slots[i], batch.Recs[i], slots[i], recs[i])
+		}
+	}
+}

@@ -183,6 +183,111 @@ func (w *Writer) AppendHeapDelete(file string, page uint32, slot uint16) (LSN, e
 	return w.append(RecHeapDelete, encodeHeapOp(file, page, slot, nil))
 }
 
+// AppendHeapBatchInsert logs the logical insert of a page-worth of heap
+// records (parallel slot/record slices) as one record.
+func (w *Writer) AppendHeapBatchInsert(file string, page uint32, slots []uint16, recs [][]byte) (LSN, error) {
+	return w.append(RecHeapBatchInsert, encodeHeapBatch(file, page, slots, recs))
+}
+
+// Group is a set of records one statement appends atomically: no other
+// appender's record (in particular no other statement's commit marker)
+// can interleave with a group's records in the log. This is what lets
+// statements on different tables run and commit concurrently while
+// recovery keeps its positional rule — everything before the last
+// marker is committed — because a marker can only ever cover whole
+// statements. Build the group during or after statement execution, then
+// hand it to AppendGroup or AppendGroupCommit.
+type Group struct {
+	types    []RecordType
+	payloads [][]byte
+}
+
+// NewGroup returns an empty record group.
+func NewGroup() *Group { return &Group{} }
+
+// Len reports the number of records staged in the group.
+func (g *Group) Len() int { return len(g.types) }
+
+func (g *Group) add(typ RecordType, payload []byte) int {
+	g.types = append(g.types, typ)
+	g.payloads = append(g.payloads, payload)
+	return len(g.types) - 1
+}
+
+// AddPageImage stages a full (zero-truncated) page image, returning its
+// index into the LSN slice AppendGroup returns.
+func (g *Group) AddPageImage(file string, page uint32, pageData []byte) int {
+	img := truncateZeros(pageData)
+	return g.add(RecPageImage, encodePageImage(file, page, uint32(len(pageData)), img))
+}
+
+// AddHeapInsert stages a logical heap insert.
+func (g *Group) AddHeapInsert(file string, page uint32, slot uint16, rec []byte) int {
+	return g.add(RecHeapInsert, encodeHeapOp(file, page, slot, rec))
+}
+
+// AddHeapDelete stages a logical heap delete.
+func (g *Group) AddHeapDelete(file string, page uint32, slot uint16) int {
+	return g.add(RecHeapDelete, encodeHeapOp(file, page, slot, nil))
+}
+
+// AddHeapBatchInsert stages a page-worth of heap inserts as one record.
+func (g *Group) AddHeapBatchInsert(file string, page uint32, slots []uint16, recs [][]byte) int {
+	return g.add(RecHeapBatchInsert, encodeHeapBatch(file, page, slots, recs))
+}
+
+// AppendGroup appends every record of g contiguously (no concurrent
+// appender interleaves) and returns their LSNs, index-aligned with the
+// group's Add* calls. The records are buffered, not yet durable.
+func (w *Writer) AppendGroup(g *Group) ([]LSN, error) {
+	lsns, _, err := w.appendGroup(g, false)
+	return lsns, err
+}
+
+// AppendGroupCommit appends every record of g contiguously, immediately
+// followed by a commit marker — one statement's records and its
+// boundary as a single atomic log append. It returns the record LSNs
+// and the marker's LSN. Durability still requires Commit (or Sync),
+// whose group-commit protocol lets any number of concurrently
+// committing statements share one fsync.
+func (w *Writer) AppendGroupCommit(g *Group) ([]LSN, LSN, error) {
+	return w.appendGroup(g, true)
+}
+
+func (w *Writer) appendGroup(g *Group, commit bool) ([]LSN, LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, 0, fmt.Errorf("wal: append on closed log")
+	}
+	if w.err != nil {
+		return nil, 0, w.err
+	}
+	var lsns []LSN
+	if g != nil && len(g.types) > 0 {
+		lsns = make([]LSN, len(g.types))
+		for i, typ := range g.types {
+			lsn, err := w.appendLocked(typ, g.payloads[i])
+			if err != nil {
+				return nil, 0, err
+			}
+			lsns[i] = lsn
+		}
+	}
+	var marker LSN
+	if commit {
+		lsn, err := w.appendLocked(RecCommit, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		marker = lsn
+		if lsn > w.committed {
+			w.committed = lsn
+		}
+	}
+	return lsns, marker, nil
+}
+
 // AppendFileCreate logs the creation of a data file.
 func (w *Writer) AppendFileCreate(file string) (LSN, error) {
 	return w.append(RecFileCreate, appendName(nil, file))
@@ -223,6 +328,12 @@ func (w *Writer) append(typ RecordType, payload []byte) (LSN, error) {
 	if w.err != nil {
 		return 0, w.err
 	}
+	return w.appendLocked(typ, payload)
+}
+
+// appendLocked encodes and buffers one record. Caller holds w.mu and
+// has checked closed/err.
+func (w *Writer) appendLocked(typ RecordType, payload []byte) (LSN, error) {
 	frameLen := int64(frameHeaderSize + 1 + len(payload))
 	cur := w.segWritten + int64(len(w.buf))
 	if cur > 0 && cur+frameLen > w.opts.SegmentBytes {
