@@ -7,6 +7,7 @@
 //	spgist-bench -exp fig13               # one figure (its group runs)
 //	spgist-bench -exp strings -scale 10   # 10x larger datasets
 //	spgist-bench -exp all -md             # markdown (EXPERIMENTS.md body)
+//	spgist-bench -exp latency -bench6 BENCH_6.json  # latency percentiles
 //
 // Dataset sizes default to roughly 1/100 of the paper's; -scale 100
 // reproduces the original sizes given time and memory. All figure axes
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload seed")
 		queries = flag.Int("queries", 200, "probes per measurement")
 		md      = flag.Bool("md", false, "emit markdown instead of text tables")
+		bench6  = flag.String("bench6", "", "also write the latency-percentile report (BENCH_6.json shape) to this path")
 	)
 	flag.Parse()
 
@@ -53,7 +56,26 @@ func main() {
 	var out strings.Builder
 	for _, e := range exps {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Title)
-		for _, fig := range e.Run(cfg) {
+		var figs []bench.Figure
+		if e.ID == "latency" && *bench6 != "" {
+			// The report variant yields the same figures plus the raw
+			// rows for BENCH_6.json, in a single run.
+			report, rfigs := bench.RunLatencyReport(cfg)
+			figs = rfigs
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*bench6, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *bench6)
+		} else {
+			figs = e.Run(cfg)
+		}
+		for _, fig := range figs {
 			if *md {
 				fig.Markdown(&out)
 			} else {

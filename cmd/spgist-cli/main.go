@@ -10,10 +10,13 @@
 //
 // Meta commands: \dam (access methods), \doc (operator classes),
 // \do (operators), \dt (tables), \d <table> (describe one table from the
-// persistent system catalog), \wal (log/recovery stats), \timing
-// (toggle per-statement wall-clock reporting — watch a 1000-row
-// multi-row INSERT beat 1000 single-row statements), \q (quit).
-// SHOW TABLES / SHOW INDEXES and DROP TABLE / DROP INDEX are plain SQL.
+// persistent system catalog), \page <rel> <pageno> (decode a raw heap,
+// B+-tree, SP-GiST, or R-tree page straight from disk, pgpageshell
+// style), \wal (log/recovery stats), \timing (toggle per-statement
+// wall-clock reporting — watch a 1000-row multi-row INSERT beat 1000
+// single-row statements), \q (quit).
+// SHOW TABLES / SHOW INDEXES / SHOW STATS and DROP TABLE / DROP INDEX
+// are plain SQL.
 package main
 
 import (
@@ -21,12 +24,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/catalog"
+	"repro/internal/pageinspect"
 	"repro/internal/wal"
 )
 
@@ -79,7 +85,7 @@ func main() {
 				}
 				continue
 			}
-			if meta(db, line) {
+			if meta(db, *dir, line) {
 				return
 			}
 			continue
@@ -132,7 +138,7 @@ func printResult(res *repro.Result) {
 }
 
 // meta handles backslash commands; returns true to quit.
-func meta(db *repro.DB, line string) bool {
+func meta(db *repro.DB, dir, line string) bool {
 	switch strings.ToLower(strings.Fields(line)[0]) {
 	case "\\q", "\\quit":
 		return true
@@ -191,6 +197,25 @@ func meta(db *repro.DB, line string) bool {
 					ix.Name, t.Columns[ix.Column].Name, ix.OpClass.AM, ix.OpClass.Name, ix.Idx.NumPages())
 			}
 		}
+	case "\\page":
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			fmt.Println("usage: \\page <table|index|file> <pageno>")
+			break
+		}
+		pageNo, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			fmt.Printf("bad page number %q\n", fields[2])
+			break
+		}
+		path, err := relPath(db, dir, fields[1])
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			break
+		}
+		if err := pageinspect.Describe(os.Stdout, path, uint32(pageNo), 0); err != nil {
+			fmt.Println("ERROR:", err)
+		}
 	case "\\wal":
 		w := db.Engine().WAL()
 		if w == nil {
@@ -207,9 +232,39 @@ func meta(db *repro.DB, line string) bool {
 				rs.Records, rs.PagesWritten, rs.FilesTouched, rs.TornTail)
 		}
 	default:
-		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\wal \\timing \\q")
+		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\page <rel> <n> \\wal \\timing \\q")
 	}
 	return false
+}
+
+// relPath resolves the \page argument to a page-file path: a table or
+// index name is looked up in the system catalog (on-disk databases
+// only), anything containing a path separator or an existing file is
+// taken literally — which is what lets the inspector read a *closed*
+// database directory's files without an engine over them.
+func relPath(db *repro.DB, dir, rel string) (string, error) {
+	if strings.ContainsRune(rel, os.PathSeparator) {
+		return rel, nil
+	}
+	if _, err := os.Stat(rel); err == nil {
+		return rel, nil
+	}
+	cat := db.Engine().Catalog()
+	if te, ok := cat.GetTable(rel); ok {
+		if dir == "" {
+			return "", fmt.Errorf("\\page needs an on-disk database (start with -dir), or pass a file path")
+		}
+		return filepath.Join(dir, te.File), nil
+	}
+	for _, ie := range cat.Indexes() {
+		if strings.EqualFold(ie.Name, rel) {
+			if dir == "" {
+				return "", fmt.Errorf("\\page needs an on-disk database (start with -dir), or pass a file path")
+			}
+			return filepath.Join(dir, ie.File), nil
+		}
+	}
+	return "", fmt.Errorf("no table, index, or file %q", rel)
 }
 
 // describe prints one table's schema and indexes as recorded in the

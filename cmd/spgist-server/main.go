@@ -33,13 +33,17 @@ func main() {
 	useWAL := flag.Bool("wal", false, "enable write-ahead logging and crash recovery (requires -dir)")
 	walLazy := flag.Bool("wal-lazy", false, "sync the log lazily instead of on every commit")
 	poolPages := flag.Int("pool", 0, "buffer-pool pages per file (default 1024)")
+	slowQuery := flag.Duration("slow-query", 0, "log statements at or over this duration to stderr (0 disables)")
 	flag.Parse()
 
 	mode := wal.SyncCommit
 	if *walLazy {
 		mode = wal.SyncLazy
 	}
-	db, err := executor.Open(executor.Options{Dir: *dir, WAL: *useWAL, WALSync: mode, PoolPages: *poolPages})
+	db, err := executor.Open(executor.Options{
+		Dir: *dir, WAL: *useWAL, WALSync: mode, PoolPages: *poolPages,
+		SlowQueryThreshold: *slowQuery,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -5,7 +5,9 @@
 // running exact-match and prefix SELECTs while one client keeps
 // inserting. It prints the aggregate statement throughput — the number
 // the engine's sharded buffer pool and shared/exclusive statement lock
-// exist to scale.
+// exist to scale — then scrapes the STATS protocol verb and exits
+// non-zero if the server-side counters undercount the issued traffic
+// (CI runs this as its server smoke test).
 //
 // To run the same workload against a standalone server instead:
 //
@@ -119,6 +121,25 @@ func main() {
 	fmt.Printf("%d reader sessions + 1 writer session over %v:\n", readers, elapsed.Round(time.Millisecond))
 	fmt.Printf("  %8d SELECTs   (%.0f/s aggregate)\n", r, float64(r)/elapsed.Seconds())
 	fmt.Printf("  %8d INSERTs   (%.0f/s)\n", w, float64(w)/elapsed.Seconds())
+
+	// Scrape the STATS protocol verb and cross-check it against the
+	// client-side tallies: the server must have counted every statement.
+	scraper, err := server.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := scraper.Stats()
+	scraper.Close()
+	if err != nil {
+		log.Fatalf("STATS scrape: %v", err)
+	}
+	fmt.Printf("STATS scrape: server_queries_total=%d server_sessions_total=%d p99=%s pool hit ratio=%.1f%%\n",
+		stats["server_queries_total"], stats["server_sessions_total"],
+		time.Duration(stats["server_query_latency_p99_ns"]),
+		100*float64(stats["pool_hits_total"])/float64(stats["pool_hits_total"]+stats["pool_misses_total"]))
+	if q := stats["server_queries_total"]; q < r+w {
+		log.Fatalf("STATS undercounts: server_queries_total=%d, clients issued >= %d", q, r+w)
+	}
 
 	srv.Shutdown()
 	l.Close()

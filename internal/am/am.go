@@ -57,6 +57,12 @@ type Index interface {
 	SaveMeta() error
 	// Flush persists the index.
 	Flush() error
+	// StartPageTrace begins counting the distinct pages read-only
+	// operations touch (EXPLAIN ANALYZE, the benchmark harness).
+	StartPageTrace()
+	// PageTraceCount reports the distinct pages touched since
+	// StartPageTrace and stops tracing (0 when tracing never started).
+	PageTraceCount() int
 }
 
 // BatchInserter is the optional grouped-maintenance interface: an index
@@ -181,6 +187,8 @@ func (x *spgistIndex) NumPages() uint32                { return x.tree.NumPages(
 func (x *spgistIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
 func (x *spgistIndex) SaveMeta() error                 { return x.tree.SaveMeta() }
 func (x *spgistIndex) Flush() error                    { return x.tree.Flush() }
+func (x *spgistIndex) StartPageTrace()                 { x.tree.StartPageTrace() }
+func (x *spgistIndex) PageTraceCount() int             { return x.tree.PageTraceCount() }
 
 // Tree exposes the underlying SP-GiST tree (statistics, ablations).
 func (x *spgistIndex) Tree() *core.Tree { return x.tree }
@@ -298,6 +306,8 @@ func (x *btreeIndex) NumPages() uint32                { return x.tree.NumPages()
 func (x *btreeIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
 func (x *btreeIndex) SaveMeta() error                 { return x.tree.SaveMeta() }
 func (x *btreeIndex) Flush() error                    { return x.tree.Flush() }
+func (x *btreeIndex) StartPageTrace()                 { x.tree.StartPageTrace() }
+func (x *btreeIndex) PageTraceCount() int             { return x.tree.PageTraceCount() }
 
 // Tree exposes the underlying B+-tree (statistics).
 func (x *btreeIndex) Tree() *btree.Tree { return x.tree }
@@ -364,6 +374,8 @@ func (x *rtreeIndex) NumPages() uint32                { return x.tree.NumPages()
 func (x *rtreeIndex) SizeBytes() int64                { return x.tree.SizeBytes() }
 func (x *rtreeIndex) SaveMeta() error                 { return x.tree.SaveMeta() }
 func (x *rtreeIndex) Flush() error                    { return x.tree.Flush() }
+func (x *rtreeIndex) StartPageTrace()                 { x.tree.StartPageTrace() }
+func (x *rtreeIndex) PageTraceCount() int             { return x.tree.PageTraceCount() }
 
 // Tree exposes the underlying R-tree (statistics).
 func (x *rtreeIndex) Tree() *rtree.Tree { return x.tree }

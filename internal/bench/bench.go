@@ -264,6 +264,7 @@ func All() []Experiment {
 		{"suffix", "Figure 16: suffix tree vs sequential scan", RunSuffix},
 		{"nn", "Figure 17: NN search across SP-GiST instantiations", RunNN},
 		{"ablation", "Ablations: clustering, node shrink, bucket size", RunAblation},
+		{"latency", "Latency percentiles over the executor (exact, NN, mixed 90/10)", RunLatency},
 	}
 }
 
@@ -294,4 +295,20 @@ func sortedCopy(ds []time.Duration) []time.Duration {
 	out := append([]time.Duration(nil), ds...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of ds by nearest rank.
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := sortedCopy(ds)
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/geom"
+)
+
+// LatencyRow is one workload's latency distribution in BENCH_6.json.
+type LatencyRow struct {
+	Name      string  `json:"name"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MeanNs    float64 `json:"mean_ns"`
+	P50Ns     int64   `json:"p50_ns"`
+	P95Ns     int64   `json:"p95_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+}
+
+// LatencyReport is the BENCH_6.json payload: per-workload latency
+// percentiles over the executor, including a concurrent mixed
+// 90/10 read/write run.
+type LatencyReport struct {
+	PR          int               `json:"pr"`
+	Description string            `json:"description"`
+	Command     string            `json:"command"`
+	Environment map[string]string `json:"environment"`
+	Workloads   []LatencyRow      `json:"workloads"`
+}
+
+// latencyRow reduces raw per-op durations to a report row.
+func latencyRow(name string, ds []time.Duration) LatencyRow {
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	row := LatencyRow{
+		Name:   name,
+		Ops:    len(ds),
+		MeanNs: mean(ds) * 1e9,
+		P50Ns:  int64(percentile(ds, 0.50)),
+		P95Ns:  int64(percentile(ds, 0.95)),
+		P99Ns:  int64(percentile(ds, 0.99)),
+	}
+	if sum > 0 {
+		row.OpsPerSec = float64(len(ds)) / sum.Seconds()
+	}
+	return row
+}
+
+// RunLatencyReport measures per-operation latency distributions over
+// the full executor (planner, locks, metrics) rather than the bare
+// index structures the paper figures use: an exact-match read workload
+// on a trie-indexed word table, a k-NN workload on a kd-tree-indexed
+// point table, and a concurrent mixed workload of 90% exact reads and
+// 10% single-row inserts racing across GOMAXPROCS-bounded workers.
+func RunLatencyReport(cfg Config) (*LatencyReport, []Figure) {
+	cfg = cfg.normalized()
+	rows := cfg.sizes([]int{20000})[0]
+	reads := cfg.Queries * 10
+	nnOps := cfg.Queries * 2
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Word table with a trie index, analyzed so equality plans as an
+	// index scan (the same shape TestExplainAnalyzeMatchesPageTrace pins).
+	db := executor.OpenMemory()
+	words, err := db.CreateTable("bench_words", []executor.Column{
+		{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := db.CreateIndex("bench_words_trie", "bench_words", "name", "spgist", "spgist_trie"); err != nil {
+		panic(err)
+	}
+	batch := make([]catalog.Tuple, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, catalog.Tuple{
+			catalog.NewText(fmt.Sprintf("word%07d", i)), catalog.NewInt(int64(i)),
+		})
+	}
+	if _, err := words.InsertBatch(batch); err != nil {
+		panic(err)
+	}
+	if err := words.Analyze(); err != nil {
+		panic(err)
+	}
+
+	exact := timePerOp(reads, func(i int) {
+		pred := &executor.Pred{Column: 0, Op: "=", Arg: catalog.NewText(fmt.Sprintf("word%07d", rng.Intn(rows)))}
+		if _, err := words.Select(pred, func(executor.Row) bool { return true }); err != nil {
+			panic(err)
+		}
+	})
+
+	// Point table with a kd-tree index for the k-NN workload.
+	pts, err := db.CreateTable("bench_pts", []executor.Column{{Name: "p", Type: catalog.Point}})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := db.CreateIndex("bench_pts_kd", "bench_pts", "p", "spgist", "spgist_kdtree"); err != nil {
+		panic(err)
+	}
+	pbatch := make([]catalog.Tuple, 0, rows)
+	for i := 0; i < rows; i++ {
+		pbatch = append(pbatch, catalog.Tuple{
+			catalog.NewPoint(geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}),
+		})
+	}
+	if _, err := pts.InsertBatch(pbatch); err != nil {
+		panic(err)
+	}
+	nn := timePerOp(nnOps, func(i int) {
+		q := catalog.NewPoint(geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+		if _, _, err := pts.SelectNN("p", q, 10); err != nil {
+			panic(err)
+		}
+	})
+
+	// Mixed 90/10 read/write: workers race exact reads against
+	// single-row inserts on the same trie-indexed table, so the
+	// percentiles include lock waits and index-maintenance tails.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	if workers < 2 {
+		workers = 2 // always an actual read/write race
+	}
+	perWorker := (cfg.Queries * 10) / workers
+	mixedParts := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(cfg.Seed + int64(w) + 1))
+			next := rows + w*perWorker
+			mixedParts[w] = timePerOp(perWorker, func(i int) {
+				if wrng.Intn(10) == 0 { // 10% writes
+					tup := catalog.Tuple{
+						catalog.NewText(fmt.Sprintf("word%07d", next)), catalog.NewInt(int64(next)),
+					}
+					next++
+					if _, err := words.Insert(tup); err != nil {
+						panic(err)
+					}
+					return
+				}
+				pred := &executor.Pred{Column: 0, Op: "=", Arg: catalog.NewText(fmt.Sprintf("word%07d", wrng.Intn(rows)))}
+				if _, err := words.Select(pred, func(executor.Row) bool { return true }); err != nil {
+					panic(err)
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	var mixed []time.Duration
+	for _, part := range mixedParts {
+		mixed = append(mixed, part...)
+	}
+
+	report := &LatencyReport{
+		PR: 6,
+		Description: fmt.Sprintf(
+			"executor-level latency percentiles: exact-match reads over a %d-row trie-indexed table, 10-NN over a %d-point kd-tree, and a %d-worker mixed 90%%/10%% read/write run",
+			rows, rows, workers),
+		Command: "spgist-bench -exp latency -bench6 BENCH_6.json",
+		Environment: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"pkg":    "repro/internal/bench",
+			"cpu":    fmt.Sprintf("%d logical CPUs", runtime.NumCPU()),
+		},
+		Workloads: []LatencyRow{
+			latencyRow("exact_match_read", exact),
+			latencyRow("nn_search_k10", nn),
+			latencyRow("mixed_rw_90_10", mixed),
+		},
+	}
+
+	fig := Figure{
+		ID:     "latency",
+		Title:  "Operation latency percentiles over the executor",
+		XLabel: "workload#",
+		YLabel: "latency (ms)",
+	}
+	p50 := Series{Name: "p50 ms"}
+	p95 := Series{Name: "p95 ms"}
+	p99 := Series{Name: "p99 ms"}
+	for i, row := range report.Workloads {
+		x := float64(i)
+		p50.X, p50.Y = append(p50.X, x), append(p50.Y, float64(row.P50Ns)/1e6)
+		p95.X, p95.Y = append(p95.X, x), append(p95.Y, float64(row.P95Ns)/1e6)
+		p99.X, p99.Y = append(p99.X, x), append(p99.Y, float64(row.P99Ns)/1e6)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("workload %d = %s (%d ops, %.0f ops/s)", i, row.Name, row.Ops, row.OpsPerSec))
+	}
+	fig.Series = []Series{p50, p95, p99}
+	return report, []Figure{fig}
+}
+
+// RunLatency adapts RunLatencyReport to the experiment registry.
+func RunLatency(cfg Config) []Figure {
+	_, figs := RunLatencyReport(cfg)
+	return figs
+}

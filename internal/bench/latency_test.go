@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestRunLatencyReport smoke-tests the PR 6 latency experiment at a
+// tiny scale: every workload must produce ops and ordered percentiles.
+func TestRunLatencyReport(t *testing.T) {
+	cfg := Config{Scale: 0.01, Seed: 1, Queries: 10}
+	report, figs := RunLatencyReport(cfg)
+	if len(report.Workloads) != 3 {
+		t.Fatalf("workloads = %d, want 3", len(report.Workloads))
+	}
+	for _, row := range report.Workloads {
+		if row.Ops <= 0 {
+			t.Errorf("%s: ops = %d, want > 0", row.Name, row.Ops)
+		}
+		if row.P50Ns <= 0 || row.P50Ns > row.P95Ns || row.P95Ns > row.P99Ns {
+			t.Errorf("%s: percentiles out of order: p50=%d p95=%d p99=%d",
+				row.Name, row.P50Ns, row.P95Ns, row.P99Ns)
+		}
+		if row.OpsPerSec <= 0 {
+			t.Errorf("%s: ops_per_sec = %f", row.Name, row.OpsPerSec)
+		}
+	}
+	if len(figs) != 1 || len(figs[0].Series) != 3 {
+		t.Fatalf("figure shape: %+v", figs)
+	}
+}

@@ -15,10 +15,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/am"
 	"repro/internal/catalog"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/syscat"
 	"repro/internal/wal"
@@ -39,6 +41,11 @@ type IndexInfo struct {
 
 	pool *storage.BufferPool
 	file string // data file base name, from the system catalog
+
+	// Per-opclass counters, cached here so the scan path pays one
+	// atomic add instead of a registry lookup.
+	scans        *obs.Counter // index scans through this opclass
+	pagesVisited *obs.Counter // distinct pages seen by traced (analyzed) scans
 }
 
 // File returns the index's data file base name (catalog introspection).
@@ -86,10 +93,12 @@ type Table struct {
 }
 
 // lockRead takes the locks of a read statement against t: the shared
-// catalog/DDL lock plus t's shared table lock.
+// catalog/DDL lock plus t's shared table lock. Waits (a DDL holding the
+// catalog lock, a writer holding this table) are charged to the
+// lock-wait counter; the uncontended path reads no clock.
 func (t *Table) lockRead() {
-	t.db.stmtMu.RLock()
-	t.mu.RLock()
+	rlockTimed(&t.db.stmtMu, t.db.met.lockWaitNs)
+	rlockTimed(&t.mu, t.db.met.lockWaitNs)
 }
 
 func (t *Table) unlockRead() {
@@ -101,8 +110,8 @@ func (t *Table) unlockRead() {
 // catalog/DDL lock plus t's exclusive table lock. Concurrent writers on
 // other tables proceed; readers and writers of t wait.
 func (t *Table) lockWrite() {
-	t.db.stmtMu.RLock()
-	t.mu.Lock()
+	rlockTimed(&t.db.stmtMu, t.db.met.lockWaitNs)
+	lockTimed(&t.mu, t.db.met.lockWaitNs)
 }
 
 func (t *Table) unlockWrite() {
@@ -165,6 +174,15 @@ type DB struct {
 	catPool *storage.BufferPool // the catalog heap's own pool
 	rebuilt []string            // indexes rebuilt during Open (recorded invalid)
 	faults  FaultInjection
+
+	// met is the pg_stat layer: always non-nil, created at Open. See
+	// metrics.go.
+	met *execMetrics
+
+	// slowQueryThreshold/slowQueryLog configure the slow-query log (see
+	// Options); immutable after Open.
+	slowQueryThreshold time.Duration
+	slowQueryLog       io.Writer
 
 	// broken poisons the database when a DDL compensation fails: the
 	// in-memory catalog and its uncommitted heap records have diverged
@@ -252,6 +270,13 @@ type Options struct {
 	WALSync wal.SyncMode
 	// Faults injects test-only crash points into DDL statements.
 	Faults FaultInjection
+	// SlowQueryThreshold enables the slow-query log: a SQL statement
+	// whose execution exceeds it is written to SlowQueryLog with its
+	// text, duration, and buffer counters. Zero (the default) disables
+	// the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines; defaults to os.Stderr.
+	SlowQueryLog io.Writer
 }
 
 // Open creates or opens a database. The persistent system catalog is
@@ -273,12 +298,19 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 	db := &DB{
-		dir:       opts.Dir,
-		pageSize:  opts.PageSize,
-		poolPages: opts.PoolPages,
-		tables:    make(map[string]*Table),
-		faults:    opts.Faults,
+		dir:                opts.Dir,
+		pageSize:           opts.PageSize,
+		poolPages:          opts.PoolPages,
+		tables:             make(map[string]*Table),
+		faults:             opts.Faults,
+		met:                newExecMetrics(),
+		slowQueryThreshold: opts.SlowQueryThreshold,
+		slowQueryLog:       opts.SlowQueryLog,
 	}
+	if db.slowQueryLog == nil {
+		db.slowQueryLog = os.Stderr
+	}
+	db.met.reg.Sample(db.sampleStorage)
 	if !opts.WAL && opts.Dir != "" && wal.HasLog(filepath.Join(opts.Dir, "wal")) {
 		// Ignoring a leftover log would skip its recovery now and then
 		// replay it over newer (unlogged) data if WAL is re-enabled.
@@ -714,6 +746,13 @@ func (db *DB) RebuiltIndexes() []string { return append([]string(nil), db.rebuil
 // RecoveryStats reports the redo pass performed when the database was
 // opened (all zeros when logging is off or the log was empty).
 func (db *DB) RecoveryStats() storage.RecoveryStats { return db.recovered }
+
+// SlowQueryConfig reports the slow-query log settings (threshold zero
+// means disabled). The SQL session layer, which owns statement text and
+// timing, writes the log lines.
+func (db *DB) SlowQueryConfig() (time.Duration, io.Writer) {
+	return db.slowQueryThreshold, db.slowQueryLog
+}
 
 // OpenMemory opens an in-memory database with default settings.
 func OpenMemory() *DB {
@@ -1201,7 +1240,11 @@ func (t *Table) colIndex(name string) (int, error) {
 // appends it to the table (the single construction site for all three
 // paths: fresh CREATE INDEX, reattach at open, rebuild at open).
 func (db *DB) attachIndex(t *Table, name string, column int, oc *catalog.OperatorClass, idx am.Index, bp *storage.BufferPool, file string) *IndexInfo {
-	info := &IndexInfo{Name: name, Column: column, OpClass: oc, Idx: idx, pool: bp, file: file}
+	info := &IndexInfo{
+		Name: name, Column: column, OpClass: oc, Idx: idx, pool: bp, file: file,
+		scans:        db.met.reg.Counter("am_" + oc.Name + "_scans_total"),
+		pagesVisited: db.met.reg.Counter("am_" + oc.Name + "_traced_pages_total"),
+	}
 	db.mu.Lock()
 	t.Indexes = append(t.Indexes, info)
 	db.mu.Unlock()
@@ -1647,6 +1690,8 @@ func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
 		return heap.InvalidRID, err
 	}
 	t.bumpChurn(1)
+	t.db.met.stmtInsert.Inc()
+	t.db.met.tuplesInserted.Inc()
 	return rid, nil
 }
 
@@ -1712,6 +1757,8 @@ func (t *Table) InsertBatch(tups []catalog.Tuple) ([]heap.RID, error) {
 		rids = append(rids, crids...)
 	}
 	t.bumpChurn(len(tups))
+	t.db.met.stmtInsert.Inc()
+	t.db.met.tuplesInserted.Add(int64(len(tups)))
 	return rids, nil
 }
 
@@ -1781,6 +1828,8 @@ func (t *Table) DeleteRow(rid heap.RID) error {
 		return err
 	}
 	t.bumpChurn(1)
+	t.db.met.stmtDelete.Inc()
+	t.db.met.tuplesDeleted.Inc()
 	return nil
 }
 

@@ -24,6 +24,7 @@ type Row struct {
 func (t *Table) Select(pred *Pred, emit func(Row) bool) (*Plan, error) {
 	t.lockRead()
 	defer t.unlockRead()
+	t.db.met.stmtSelect.Inc()
 	return t.selectLocked(pred, emit)
 }
 
@@ -37,7 +38,8 @@ func (t *Table) selectLocked(pred *Pred, emit func(Row) bool) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return plan, t.run(plan, emit)
+	_, _, err = t.run(plan, emit)
+	return plan, err
 }
 
 // SelectIndexed runs `pred` through a specific index, bypassing the
@@ -58,27 +60,40 @@ func (t *Table) SelectIndexed(ix *IndexInfo, pred *Pred, emit func(Row) bool) er
 	if err := t.checkAttached(); err != nil {
 		return err
 	}
-	return t.run(&Plan{Kind: IndexScan, Table: t, Index: ix, Pred: pred, Recheck: true}, emit)
+	t.db.met.stmtSelect.Inc()
+	_, _, err := t.run(&Plan{Kind: IndexScan, Table: t, Index: ix, Pred: pred, Recheck: true}, emit)
+	return err
 }
 
-// run executes a SeqScan or IndexScan plan.
-func (t *Table) run(plan *Plan, emit func(Row) bool) error {
+// run executes a SeqScan or IndexScan plan, returning how many tuples
+// it read (pre-filter) and emitted. Tuple counts accumulate locally and
+// reach the cumulative counters in one Add per statement, keeping the
+// per-row path free of shared-cacheline traffic.
+func (t *Table) run(plan *Plan, emit func(Row) bool) (scanned, emitted int64, err error) {
+	m := t.db.met
+	defer func() {
+		m.tuplesRead.Add(scanned)
+		m.rowsReturned.Add(emitted)
+	}()
 	var opProc func(l, r catalog.Datum) bool
 	if plan.Pred != nil {
 		op, ok := catalog.LookupOperator(plan.Pred.Op, t.Columns[plan.Pred.Column].Type)
 		if !ok {
-			return fmt.Errorf("executor: no operator %q", plan.Pred.Op)
+			return 0, 0, fmt.Errorf("executor: no operator %q", plan.Pred.Op)
 		}
 		opProc = op.Proc
 	}
 	accept := func(rid heap.RID, tup catalog.Tuple) bool {
+		scanned++
 		if opProc != nil && !opProc(tup[plan.Pred.Column], plan.Pred.Arg) {
 			return true // filtered out; keep scanning
 		}
+		emitted++
 		return emit(Row{RID: rid, Tuple: tup})
 	}
 	switch plan.Kind {
 	case SeqScan:
+		m.planSeqScan.Inc()
 		var derr error
 		err := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
 			tup, e := catalog.DecodeTuple(rec)
@@ -89,10 +104,12 @@ func (t *Table) run(plan *Plan, emit func(Row) bool) error {
 			return accept(rid, tup)
 		})
 		if err != nil {
-			return err
+			return scanned, emitted, err
 		}
-		return derr
+		return scanned, emitted, derr
 	case IndexScan:
+		m.planIndexScan.Inc()
+		plan.Index.scans.Inc()
 		var ierr error
 		err := plan.Index.Idx.Scan(plan.Pred.Op, plan.Pred.Arg, func(rid heap.RID) bool {
 			tup, e := t.get(rid)
@@ -106,11 +123,11 @@ func (t *Table) run(plan *Plan, emit func(Row) bool) error {
 			return accept(rid, tup)
 		})
 		if err != nil {
-			return err
+			return scanned, emitted, err
 		}
-		return ierr
+		return scanned, emitted, ierr
 	default:
-		return fmt.Errorf("executor: cannot run plan kind %v", plan.Kind)
+		return 0, 0, fmt.Errorf("executor: cannot run plan kind %v", plan.Kind)
 	}
 }
 
@@ -135,6 +152,7 @@ func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, 
 	if err := t.checkAttached(); err != nil {
 		return nil, nil, err
 	}
+	t.db.met.stmtNN.Inc()
 	if k < 0 {
 		k = int(t.Heap.Count())
 	}
@@ -143,6 +161,8 @@ func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, 
 		return nil, nil, err
 	}
 	if plan.Kind == IndexNNScan {
+		t.db.met.planNNScan.Inc()
+		plan.Index.scans.Inc()
 		iter, err := plan.Index.Idx.NNScan(arg)
 		if err != nil {
 			return nil, nil, err
@@ -162,9 +182,11 @@ func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, 
 			}
 			out = append(out, NNResult{Row: Row{RID: rid, Tuple: tup}, Distance: dist})
 		}
+		t.db.met.rowsReturned.Add(int64(len(out)))
 		return out, plan, nil
 	}
 	// Fallback: full scan, sort by distance.
+	t.db.met.planSeqScan.Inc()
 	var all []NNResult
 	var derr error
 	err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
@@ -191,6 +213,8 @@ func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, 
 	if len(all) > k {
 		all = all[:k]
 	}
+	t.db.met.tuplesRead.Add(int64(len(all)))
+	t.db.met.rowsReturned.Add(int64(len(all)))
 	return all, plan, nil
 }
 
@@ -257,5 +281,7 @@ func (t *Table) DeleteWhere(pred *Pred) (int, error) {
 		return 0, err
 	}
 	t.bumpChurn(len(rids))
+	t.db.met.stmtDelete.Inc()
+	t.db.met.tuplesDeleted.Add(int64(len(rids)))
 	return len(rids), nil
 }

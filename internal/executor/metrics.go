@@ -1,0 +1,319 @@
+package executor
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// execMetrics holds the executor's cumulative counters — the pg_stat
+// layer of this engine. Every field is registered in one obs.Registry
+// at Open and bumped directly (one atomic add) on its path; the
+// storage, disk, and WAL counters, which live in their own components,
+// join the registry's readout through a cold sampler callback instead
+// of a second hot-path increment.
+type execMetrics struct {
+	reg *obs.Registry
+
+	stmtSelect *obs.Counter
+	stmtNN     *obs.Counter
+	stmtInsert *obs.Counter
+	stmtDelete *obs.Counter
+
+	rowsReturned   *obs.Counter
+	tuplesRead     *obs.Counter
+	tuplesInserted *obs.Counter
+	tuplesDeleted  *obs.Counter
+
+	planSeqScan   *obs.Counter
+	planIndexScan *obs.Counter
+	planNNScan    *obs.Counter
+
+	lockWaitNs *obs.Counter
+}
+
+func newExecMetrics() *execMetrics {
+	reg := obs.NewRegistry()
+	return &execMetrics{
+		reg:            reg,
+		stmtSelect:     reg.Counter("exec_select_total"),
+		stmtNN:         reg.Counter("exec_select_nn_total"),
+		stmtInsert:     reg.Counter("exec_insert_total"),
+		stmtDelete:     reg.Counter("exec_delete_total"),
+		rowsReturned:   reg.Counter("exec_rows_returned_total"),
+		tuplesRead:     reg.Counter("exec_tuples_read_total"),
+		tuplesInserted: reg.Counter("exec_tuples_inserted_total"),
+		tuplesDeleted:  reg.Counter("exec_tuples_deleted_total"),
+		planSeqScan:    reg.Counter("exec_plan_seqscan_total"),
+		planIndexScan:  reg.Counter("exec_plan_indexscan_total"),
+		planNNScan:     reg.Counter("exec_plan_nnscan_total"),
+		lockWaitNs:     reg.Counter("exec_lock_wait_ns_total"),
+	}
+}
+
+// Obs exposes the database's metrics registry: the executor's own
+// counters plus, via a sampler, the buffer-pool, disk, and WAL counters
+// of every open file. SHOW STATS and the server's STATS verb render it.
+// Do not call Render/Each while holding ShareLock — the storage sampler
+// takes the shared statement lock itself.
+func (db *DB) Obs() *obs.Registry { return db.met.reg }
+
+// sampleStorage contributes the storage-layer counters to the registry
+// readout: buffer-pool traffic summed over every open pool (catalog
+// included), physical disk I/O, and the write-ahead log's activity.
+func (db *DB) sampleStorage(emit func(name string, value int64)) {
+	db.stmtMu.RLock()
+	pools := append([]*storage.BufferPool(nil), db.pools...)
+	w := db.wal
+	db.stmtMu.RUnlock()
+
+	var ps storage.PoolStats
+	var reads, writes, allocs int64
+	shards := 0
+	for _, bp := range pools {
+		s := bp.Stats()
+		ps.Accesses += s.Accesses
+		ps.Hits += s.Hits
+		ps.Misses += s.Misses
+		ps.Evictions += s.Evictions
+		ps.DirtyWrites += s.DirtyWrites
+		r, wr, al := bp.DM().Stats().Snapshot()
+		reads += r
+		writes += wr
+		allocs += al
+		shards += bp.NumShards()
+	}
+	emit("pool_open", int64(len(pools)))
+	emit("pool_shards", int64(shards))
+	emit("pool_accesses_total", ps.Accesses)
+	emit("pool_hits_total", ps.Hits)
+	emit("pool_misses_total", ps.Misses)
+	emit("pool_evictions_total", ps.Evictions)
+	emit("pool_dirty_writes_total", ps.DirtyWrites)
+	emit("disk_reads_total", reads)
+	emit("disk_writes_total", writes)
+	emit("disk_allocs_total", allocs)
+	if w != nil {
+		s := w.Stats()
+		emit("wal_appends_total", s.Appends)
+		emit("wal_appended_bytes_total", s.AppendedBytes)
+		emit("wal_syncs_total", s.Syncs)
+		emit("wal_sync_waits_total", s.SyncWaits)
+		emit("wal_rotations_total", s.Rotations)
+		emit("wal_checkpoints_total", s.Checkpoints)
+		emit("wal_group_commits_total", s.GroupCommits)
+		emit("wal_group_records_total", s.GroupRecords)
+		emit("wal_segment_recycles_total", s.Recycles)
+	}
+}
+
+// PoolStats sums the buffer-pool counters over every open pool. The
+// slow-query log and tests use it for before/after deltas.
+func (db *DB) PoolStats() storage.PoolStats {
+	db.stmtMu.RLock()
+	pools := append([]*storage.BufferPool(nil), db.pools...)
+	db.stmtMu.RUnlock()
+	var ps storage.PoolStats
+	for _, bp := range pools {
+		s := bp.Stats()
+		ps.Accesses += s.Accesses
+		ps.Hits += s.Hits
+		ps.Misses += s.Misses
+		ps.Evictions += s.Evictions
+		ps.DirtyWrites += s.DirtyWrites
+	}
+	return ps
+}
+
+// TableStat is one name/value line of the per-table SHOW STATS output.
+type TableStat struct {
+	Name  string
+	Value int64
+}
+
+// Stats reads this table's pg_stat-style numbers under the shared
+// statement lock: live rows, heap pages, churn since the last ANALYZE,
+// and per-index size and scan counters.
+func (t *Table) Stats() ([]TableStat, error) {
+	t.lockRead()
+	defer t.unlockRead()
+	if err := t.checkAttached(); err != nil {
+		return nil, err
+	}
+	t.statsMu.Lock()
+	churn := t.churn
+	analyzed := int64(0)
+	if t.haveStats {
+		analyzed = 1
+	}
+	t.statsMu.Unlock()
+	out := []TableStat{
+		{"rows", t.Heap.Count()},
+		{"heap_pages", int64(t.Heap.NumPages())},
+		{"churn_since_analyze", churn},
+		{"analyzed", analyzed},
+	}
+	for _, ix := range t.Indexes {
+		out = append(out,
+			TableStat{"index_" + ix.Name + "_entries", ix.Idx.Count()},
+			TableStat{"index_" + ix.Name + "_pages", int64(ix.Idx.NumPages())},
+			TableStat{"index_" + ix.Name + "_size_bytes", ix.Idx.SizeBytes()},
+			TableStat{"index_" + ix.Name + "_scans_total", ix.scans.Load()},
+		)
+	}
+	return out, nil
+}
+
+// RowCountShared reads the live row count while the caller already
+// holds ShareLock: it takes only this table's own shared lock, because
+// RowCount would re-enter the shared statement lock, which sync.RWMutex
+// forbids while a writer is queued. Returns 0 for a dropped table.
+func (t *Table) RowCountShared() int64 {
+	rlockTimed(&t.mu, t.db.met.lockWaitNs)
+	defer t.mu.RUnlock()
+	if t.checkAttached() != nil {
+		return 0
+	}
+	return t.Heap.Count()
+}
+
+// rlockTimed takes mu's read lock, charging any wait to c. The
+// uncontended fast path (TryRLock succeeds) reads no clock.
+func rlockTimed(mu *sync.RWMutex, c *obs.Counter) {
+	if mu.TryRLock() {
+		return
+	}
+	start := time.Now()
+	mu.RLock()
+	c.Add(time.Since(start).Nanoseconds())
+}
+
+// lockTimed is rlockTimed for the write lock.
+func lockTimed(mu *sync.RWMutex, c *obs.Counter) {
+	if mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	mu.Lock()
+	c.Add(time.Since(start).Nanoseconds())
+}
+
+// RunStats captures the actual execution counters of one analyzed
+// statement — what EXPLAIN ANALYZE reports next to the planner's
+// estimates. Buffer counters are deltas over this table's pools (heap
+// plus indexes), so concurrent statements on other tables do not
+// pollute them; concurrent work on the *same* table is excluded by the
+// statement lock the analyzed run holds.
+type RunStats struct {
+	Rows       int64 // rows emitted after recheck/filter
+	Scanned    int64 // tuples read before filtering
+	Elapsed    time.Duration
+	PoolHits   int64
+	PoolMisses int64
+	WALBytes   int64
+	// IndexPages is the count of distinct index pages the scan visited,
+	// from the access method's PageTrace; -1 when the plan did not go
+	// through an index.
+	IndexPages int
+}
+
+// tablePoolStats sums the pool counters of this table's own files.
+// Caller holds the statement lock.
+func (t *Table) tablePoolStats() (hits, misses int64) {
+	s := t.Heap.Pool().Stats()
+	hits, misses = s.Hits, s.Misses
+	for _, ix := range t.Indexes {
+		is := ix.pool.Stats()
+		hits += is.Hits
+		misses += is.Misses
+	}
+	return hits, misses
+}
+
+// SelectAnalyzed is Select instrumented for EXPLAIN ANALYZE: it plans
+// and runs the statement under the normal shared locks while capturing
+// wall time, tuple counts, buffer hit/miss deltas, WAL byte deltas, and
+// — for index scans — the distinct index pages visited via PageTrace.
+func (t *Table) SelectAnalyzed(pred *Pred, emit func(Row) bool) (*Plan, *RunStats, error) {
+	t.lockRead()
+	defer t.unlockRead()
+	if err := t.checkAttached(); err != nil {
+		return nil, nil, err
+	}
+	plan, err := t.planSelect(pred)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &RunStats{IndexPages: -1}
+	hitsBefore, missesBefore := t.tablePoolStats()
+	var walBefore int64
+	if w := t.db.wal; w != nil {
+		walBefore = w.Stats().AppendedBytes
+	}
+	traced := plan.Kind == IndexScan
+	if traced {
+		plan.Index.Idx.StartPageTrace()
+	}
+	start := time.Now()
+	scanned, emitted, err := t.run(plan, emit)
+	rs.Elapsed = time.Since(start)
+	rs.Scanned, rs.Rows = scanned, emitted
+	if traced {
+		// PageTraceCount also stops the trace, so the per-page tracing
+		// cost ends with this statement.
+		rs.IndexPages = plan.Index.Idx.PageTraceCount()
+		plan.Index.pagesVisited.Add(int64(rs.IndexPages))
+	}
+	hitsAfter, missesAfter := t.tablePoolStats()
+	rs.PoolHits = hitsAfter - hitsBefore
+	rs.PoolMisses = missesAfter - missesBefore
+	if w := t.db.wal; w != nil {
+		rs.WALBytes = w.Stats().AppendedBytes - walBefore
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, rs, nil
+}
+
+// SelectNNAnalyzed is SelectNN instrumented the same way. The access
+// path is chosen inside SelectNN's lock window, so no index trace is
+// armed (IndexPages stays -1); buffer deltas still cover the NN scan.
+func (t *Table) SelectNNAnalyzed(colName string, arg catalog.Datum, k int) ([]NNResult, *Plan, *RunStats, error) {
+	rs := &RunStats{IndexPages: -1}
+	hitsBefore, missesBefore := int64(0), int64(0)
+	sampled := false
+	// The lock is taken inside SelectNN; sample this table's pools just
+	// before and after the call. The table set is stable (DDL takes the
+	// exclusive lock), so sampling outside the lock window only risks
+	// counting a concurrent same-table statement that slipped between
+	// sample and lock — the analyzed numbers remain honest upper bounds.
+	if t.checkAttached() == nil {
+		hitsBefore, missesBefore = t.tablePoolStats()
+		sampled = true
+	}
+	var walBefore int64
+	if w := t.db.wal; w != nil {
+		walBefore = w.Stats().AppendedBytes
+	}
+	start := time.Now()
+	out, plan, err := t.SelectNN(colName, arg, k)
+	rs.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rs.Rows = int64(len(out))
+	rs.Scanned = rs.Rows
+	if sampled {
+		hitsAfter, missesAfter := t.tablePoolStats()
+		rs.PoolHits = hitsAfter - hitsBefore
+		rs.PoolMisses = missesAfter - missesBefore
+	}
+	if w := t.db.wal; w != nil {
+		rs.WALBytes = w.Stats().AppendedBytes - walBefore
+	}
+	return out, plan, rs, nil
+}

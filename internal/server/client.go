@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 )
 
@@ -70,6 +71,27 @@ func (c *Client) Exec(stmt string) (*Response, error) {
 		return nil, err
 	}
 	return nil, fmt.Errorf("server: connection closed mid-response")
+}
+
+// Stats runs the STATS protocol verb and returns the server's metrics
+// registry as a name → value map.
+func (c *Client) Stats() (map[string]int64, error) {
+	res, err := c.Exec("STATS")
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]int64, len(res.Rows))
+	for _, r := range res.Rows {
+		if len(r) != 2 {
+			return nil, fmt.Errorf("server: malformed STATS row %q", r)
+		}
+		v, err := strconv.ParseInt(r[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: non-integer STATS value %q for %s", r[1], r[0])
+		}
+		m[r[0]] = v
+	}
+	return m, nil
 }
 
 // unescapeValue reverses the server's row-value escaping (\\ \n \r \t).

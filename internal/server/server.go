@@ -31,14 +31,25 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/executor"
+	"repro/internal/obs"
 	"repro/internal/sqlmini"
 )
 
 // Server serves a shared database over a net.Listener.
 type Server struct {
 	db *executor.DB
+
+	// Server-level metrics, registered on the database's registry so
+	// one STATS scrape covers every layer. Pointers are cached here:
+	// the per-statement path pays one atomic add, never a registry
+	// lookup.
+	sessionsTotal  *obs.Counter
+	sessionsActive *obs.Gauge
+	queriesTotal   *obs.Counter
+	queryLatency   *obs.Histogram
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -48,7 +59,15 @@ type Server struct {
 // New wraps a database. The caller keeps ownership: closing the server
 // does not close the database.
 func New(db *executor.DB) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+	reg := db.Obs()
+	return &Server{
+		db:             db,
+		conns:          make(map[net.Conn]struct{}),
+		sessionsTotal:  reg.Counter("server_sessions_total"),
+		sessionsActive: reg.Gauge("server_sessions_active"),
+		queriesTotal:   reg.Counter("server_queries_total"),
+		queryLatency:   reg.Histogram("server_query_latency"),
+	}
 }
 
 // Serve accepts connections on l until the listener is closed (Shutdown
@@ -113,8 +132,13 @@ func (s *Server) untrack(c net.Conn) {
 }
 
 // session runs one connection: a private sqlmini session over the shared
-// database, one statement per line.
+// database, one statement per line. The protocol verb STATS (not SQL —
+// handled before the parser) dumps the metrics registry in the normal
+// result framing.
 func (s *Server) session(conn net.Conn) {
+	s.sessionsTotal.Inc()
+	s.sessionsActive.Add(1)
+	defer s.sessionsActive.Add(-1)
 	sess := sqlmini.NewSession(s.db)
 	in := bufio.NewScanner(conn)
 	in.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -127,7 +151,17 @@ func (s *Server) session(conn net.Conn) {
 		if line == `\q` || strings.EqualFold(line, "quit") {
 			return
 		}
+		if strings.EqualFold(line, "STATS") {
+			s.writeStats(out)
+			if out.Flush() != nil {
+				return
+			}
+			continue
+		}
+		start := time.Now()
 		res, err := sess.Exec(line)
+		s.queryLatency.Observe(time.Since(start))
+		s.queriesTotal.Inc()
 		if err != nil {
 			writeErr(out, err)
 		} else {
@@ -144,6 +178,21 @@ func (s *Server) session(conn net.Conn) {
 		writeErr(out, err)
 		out.Flush()
 	}
+}
+
+// writeStats answers the STATS verb: every counter, gauge, and expanded
+// histogram of the metrics registry as name/value rows — expvar-style
+// flattened integers, same names and values as SHOW STATS — in the
+// normal result framing, so the Go Client, netcat, and the CI scrape
+// all read it like a SELECT.
+func (s *Server) writeStats(out *bufio.Writer) {
+	fmt.Fprintf(out, "#cols name\tvalue\n")
+	n := 0
+	s.db.Obs().Each(func(name string, value int64) {
+		fmt.Fprintf(out, "row %s\t%d\n", name, value)
+		n++
+	})
+	fmt.Fprintf(out, "OK %d\n", n)
 }
 
 // writeErr emits the failure terminator. Newlines inside the message

@@ -1,0 +1,257 @@
+package sqlmini
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+)
+
+// statsMap flattens a SHOW STATS result for assertions.
+func statsMap(t *testing.T, res *Result) map[string]int64 {
+	t.Helper()
+	if got := strings.Join(res.Columns, ","); got != "name,value" {
+		t.Fatalf("SHOW STATS columns = %q", got)
+	}
+	m := make(map[string]int64, len(res.Rows))
+	for _, row := range res.Rows {
+		m[row[0].S] = row[1].I
+	}
+	return m
+}
+
+func TestShowStatsRegistry(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR, id INT)`)
+	mustExec(t, s, `INSERT INTO w VALUES ('a', 1), ('b', 2), ('c', 3)`)
+	mustExec(t, s, `SELECT * FROM w`)
+	mustExec(t, s, `SELECT * FROM w WHERE id = 2`)
+
+	m := statsMap(t, mustExec(t, s, `SHOW STATS`))
+	if m["exec_select_total"] != 2 {
+		t.Errorf("exec_select_total = %d, want 2", m["exec_select_total"])
+	}
+	if m["exec_insert_total"] != 1 {
+		t.Errorf("exec_insert_total = %d, want 1", m["exec_insert_total"])
+	}
+	if m["exec_tuples_inserted_total"] != 3 {
+		t.Errorf("exec_tuples_inserted_total = %d, want 3", m["exec_tuples_inserted_total"])
+	}
+	// 3 rows unqualified + 1 row filtered.
+	if m["exec_rows_returned_total"] != 4 {
+		t.Errorf("exec_rows_returned_total = %d, want 4", m["exec_rows_returned_total"])
+	}
+	if m["exec_plan_seqscan_total"] < 1 {
+		t.Errorf("exec_plan_seqscan_total = %d, want >= 1", m["exec_plan_seqscan_total"])
+	}
+	// The storage sampler must contribute pool counters even in memory.
+	if _, ok := m["pool_accesses_total"]; !ok {
+		t.Errorf("pool_accesses_total missing from SHOW STATS: %v", m)
+	}
+	if m["pool_open"] < 2 { // catalog + heap
+		t.Errorf("pool_open = %d, want >= 2", m["pool_open"])
+	}
+}
+
+func TestShowStatsTable(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR, id INT)`)
+	mustExec(t, s, `CREATE INDEX w_trie ON w USING spgist (name spgist_trie)`)
+	mustExec(t, s, `INSERT INTO w VALUES ('a', 1), ('b', 2), ('c', 3)`)
+
+	m := statsMap(t, mustExec(t, s, `SHOW STATS w`))
+	if m["rows"] != 3 {
+		t.Errorf("rows = %d, want 3", m["rows"])
+	}
+	if m["heap_pages"] < 2 {
+		t.Errorf("heap_pages = %d, want >= 2", m["heap_pages"])
+	}
+	if m["churn_since_analyze"] != 3 {
+		t.Errorf("churn_since_analyze = %d, want 3", m["churn_since_analyze"])
+	}
+	if m["index_w_trie_entries"] != 3 {
+		t.Errorf("index_w_trie_entries = %d, want 3", m["index_w_trie_entries"])
+	}
+	if m["index_w_trie_pages"] < 2 {
+		t.Errorf("index_w_trie_pages = %d, want >= 2", m["index_w_trie_pages"])
+	}
+
+	if _, err := s.Exec(`SHOW STATS nope`); err == nil {
+		t.Fatal("SHOW STATS on a missing table should fail")
+	}
+}
+
+// TestExplainAnalyzeMatchesPageTrace pins the acceptance criterion: the
+// index_pages number EXPLAIN ANALYZE reports for an index scan must
+// agree with an independent PageTrace of the same scan.
+func TestExplainAnalyzeMatchesPageTrace(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR, id INT)`)
+	mustExec(t, s, `CREATE INDEX w_trie ON w USING spgist (name spgist_trie)`)
+	var vals []string
+	for i := 0; i < 3000; i++ {
+		vals = append(vals, fmt.Sprintf("('word%04d', %d)", i, i))
+	}
+	mustExec(t, s, `INSERT INTO w VALUES `+strings.Join(vals, ", "))
+	mustExec(t, s, `ANALYZE w`)
+
+	res := mustExec(t, s, `EXPLAIN ANALYZE SELECT * FROM w WHERE name = 'word0150'`)
+	if len(res.Columns) != 1 || res.Columns[0] != "QUERY PLAN" {
+		t.Fatalf("EXPLAIN ANALYZE columns = %v", res.Columns)
+	}
+	var out []string
+	for _, row := range res.Rows {
+		out = append(out, row[0].S)
+	}
+	text := strings.Join(out, "\n")
+	if !strings.Contains(out[0], "Index Scan on w using w_trie") {
+		t.Fatalf("selective equality did not run as an index scan:\n%s", text)
+	}
+	if !strings.Contains(out[0], "actual time=") || !strings.Contains(out[0], "rows=1 scanned=1") {
+		t.Errorf("missing actuals in %q", out[0])
+	}
+	if !strings.Contains(text, "Execution Time:") || !strings.Contains(text, "WAL: bytes=") {
+		t.Errorf("missing trailer lines:\n%s", text)
+	}
+	var eaPages int
+	if _, err := fmt.Sscanf(findLine(t, out, "index_pages="), "index_pages=%d", &eaPages); err != nil {
+		t.Fatalf("no index_pages in:\n%s", text)
+	}
+	if eaPages <= 0 {
+		t.Fatalf("index_pages = %d, want > 0", eaPages)
+	}
+
+	// Independent trace of the same scan, through the access-method API.
+	tab, err := s.DB.Table("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := tab.Indexes[0]
+	ix.Idx.StartPageTrace()
+	if err := tab.SelectIndexed(ix, &executor.Pred{Column: 0, Op: "=", Arg: catalog.NewText("word0150")}, func(executor.Row) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if traced := ix.Idx.PageTraceCount(); traced != eaPages {
+		t.Errorf("EXPLAIN ANALYZE index_pages=%d, independent PageTrace=%d", eaPages, traced)
+	}
+}
+
+// findLine returns the whitespace-trimmed token of the first line
+// containing sub, starting at sub.
+func findLine(t *testing.T, lines []string, sub string) string {
+	t.Helper()
+	for _, l := range lines {
+		if i := strings.Index(l, sub); i >= 0 {
+			return l[i:]
+		}
+	}
+	t.Fatalf("no line contains %q in %v", sub, lines)
+	return ""
+}
+
+func TestExplainAnalyzeNN(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE pts (p POINT)`)
+	mustExec(t, s, `CREATE INDEX pts_kd ON pts USING spgist (p)`)
+	mustExec(t, s, `INSERT INTO pts VALUES ('(1,1)'), ('(2,2)'), ('(50,50)'), ('(51,51)'), ('(100,100)')`)
+	res := mustExec(t, s, `EXPLAIN ANALYZE SELECT * FROM pts ORDER BY p <-> '(50,50)' LIMIT 2`)
+	if len(res.Rows) == 0 || !strings.Contains(res.Rows[0][0].S, "rows=2") {
+		t.Fatalf("EXPLAIN ANALYZE NN output: %v", res.Rows)
+	}
+}
+
+func TestExplainAnalyzeNonSelect(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (id INT)`)
+	if _, err := s.Exec(`EXPLAIN ANALYZE INSERT INTO w VALUES (1)`); err == nil {
+		t.Fatal("EXPLAIN ANALYZE of non-SELECT should fail")
+	}
+}
+
+// TestShowTablesConcurrentWithWriters pins the PR 5 data race: SHOW
+// TABLES used to read each heap's row counter after dropping the shared
+// statement lock, racing concurrent writers. Run with -race.
+func TestShowTablesConcurrentWithWriters(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE a (id INT)`)
+	mustExec(t, s, `CREATE TABLE b (id INT)`)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, tbl := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(tbl string) {
+			defer wg.Done()
+			w := NewSession(s.DB)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := w.Exec(fmt.Sprintf(`INSERT INTO %s VALUES (%d)`, tbl, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(tbl)
+	}
+	for i := 0; i < 50; i++ {
+		res := mustExec(t, s, `SHOW TABLES`)
+		if len(res.Rows) != 2 {
+			t.Fatalf("SHOW TABLES returned %d rows", len(res.Rows))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Counts observed under the locks must now be exact.
+	res := mustExec(t, s, `SHOW TABLES`)
+	for _, row := range res.Rows {
+		tab, err := s.DB.Table(row[0].S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[2].I != tab.RowCount() {
+			t.Errorf("table %s: SHOW TABLES rows=%d, RowCount=%d", row[0].S, row[2].I, tab.RowCount())
+		}
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	db, err := executor.Open(executor.Options{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		SlowQueryLog:       &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(db)
+	mustExec(t, s, `CREATE TABLE w (id INT)`)
+	mustExec(t, s, `INSERT INTO w VALUES (1)`)
+	mustExec(t, s, `SELECT * FROM w`)
+	logged := buf.String()
+	if !strings.Contains(logged, "slow query (") || !strings.Contains(logged, "SELECT * FROM w") {
+		t.Fatalf("slow-query log missing entries:\n%s", logged)
+	}
+	if !strings.Contains(logged, "hits=") || !strings.Contains(logged, "misses=") {
+		t.Fatalf("slow-query log missing buffer counters:\n%s", logged)
+	}
+
+	// Zero threshold (the default) logs nothing.
+	buf.Reset()
+	db2, err := executor.Open(executor.Options{SlowQueryLog: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(db2)
+	mustExec(t, s2, `CREATE TABLE w (id INT)`)
+	mustExec(t, s2, `SELECT * FROM w`)
+	if buf.Len() != 0 {
+		t.Fatalf("slow-query log written with zero threshold:\n%s", buf.String())
+	}
+}

@@ -3,6 +3,7 @@ package sqlmini
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/executor"
@@ -32,8 +33,31 @@ type Session struct {
 // NewSession wraps a database.
 func NewSession(db *executor.DB) *Session { return &Session{DB: db} }
 
-// Exec parses and runs one statement.
+// Exec parses and runs one statement. When the database was opened with
+// a slow-query threshold, statements at or over it are logged with their
+// text, duration, and buffer traffic.
 func (s *Session) Exec(sql string) (*Result, error) {
+	threshold, logw := s.DB.SlowQueryConfig()
+	if threshold <= 0 || logw == nil {
+		return s.exec(sql)
+	}
+	before := s.DB.PoolStats()
+	start := time.Now()
+	res, err := s.exec(sql)
+	if elapsed := time.Since(start); elapsed >= threshold {
+		after := s.DB.PoolStats()
+		status := "ok"
+		if err != nil {
+			status = "error: " + err.Error()
+		}
+		fmt.Fprintf(logw, "slow query (%.1f ms, hits=%d misses=%d, %s): %s\n",
+			elapsed.Seconds()*1000, after.Hits-before.Hits,
+			after.Misses-before.Misses, status, strings.TrimSpace(sql))
+	}
+	return res, err
+}
+
+func (s *Session) exec(sql string) (*Result, error) {
 	toks, err := lex(sql)
 	if err != nil {
 		return nil, err
@@ -124,15 +148,21 @@ func (p *parser) statement(s *Session) (*Result, error) {
 		if p.accept(tokIdent, "INDEXES") {
 			return showIndexes(s)
 		}
-		return nil, fmt.Errorf("sql: SHOW must be followed by TABLES or INDEXES")
+		if p.accept(tokIdent, "STATS") {
+			return p.showStats(s)
+		}
+		return nil, fmt.Errorf("sql: SHOW must be followed by TABLES, INDEXES, or STATS")
 	case p.at(tokIdent, "INSERT"):
 		p.i++
 		return p.insert(s)
 	case p.at(tokIdent, "SELECT"):
-		return p.selectStmt(s, false)
+		return p.selectStmt(s, modeExec)
 	case p.at(tokIdent, "EXPLAIN"):
 		p.i++
-		return p.selectStmt(s, true)
+		if p.accept(tokIdent, "ANALYZE") {
+			return p.selectStmt(s, modeAnalyze)
+		}
+		return p.selectStmt(s, modeExplain)
 	case p.at(tokIdent, "DELETE"):
 		p.i++
 		return p.deleteStmt(s)
@@ -312,39 +342,62 @@ func (p *parser) dropIndex(s *Session) (*Result, error) {
 }
 
 // SHOW TABLES: one row per table record of the persistent system
-// catalog — name, column list, live row count, and heap file. The
-// catalog iterates under the shared catalog lock, so no DDL
-// intermediate state is observed; the row counts are read afterwards
-// through Table.RowCount, which takes each table's own shared lock —
-// a concurrent writer on some table holds only that table's writer
-// lock, so reading its heap counter directly would race it.
+// catalog — name, column list, live row count, and heap file. The whole
+// statement runs under the shared catalog lock, so no DDL intermediate
+// state is observed; each row count is read through RowCountShared,
+// which additionally takes that table's own shared lock — a concurrent
+// writer holds only its table's writer lock, so reading the heap
+// counter without it would race the writer's count update.
 func showTables(s *Session) (*Result, error) {
 	s.DB.ShareLock()
+	defer s.DB.ShareUnlock()
 	res := &Result{Columns: []string{"table", "columns", "rows", "file"}}
-	var tables []*executor.Table
 	for _, te := range s.DB.Catalog().Tables() {
 		var cols []string
 		for _, c := range te.Cols {
 			cols = append(cols, fmt.Sprintf("%s %v", c.Name, c.Type))
 		}
-		t, err := s.DB.Table(te.Name)
-		if err != nil {
-			t = nil
+		rows := int64(0)
+		if t, err := s.DB.Table(te.Name); err == nil {
+			rows = t.RowCountShared()
 		}
-		tables = append(tables, t)
 		res.Rows = append(res.Rows, catalog.Tuple{
 			catalog.NewText(te.Name),
 			catalog.NewText(strings.Join(cols, ", ")),
-			catalog.NewInt(0),
+			catalog.NewInt(rows),
 			catalog.NewText(te.File),
 		})
 	}
-	s.DB.ShareUnlock()
-	for i, t := range tables {
-		if t != nil {
-			res.Rows[i][2] = catalog.NewInt(t.RowCount())
+	return res, nil
+}
+
+// SHOW STATS [table]: name/value rows. Bare SHOW STATS renders the whole
+// metrics registry — executor statement and plan counters, buffer-pool
+// and WAL traffic, latency histogram quantiles; with a table name it
+// reports that table's pg_stat-style row (live rows, heap pages, churn
+// since ANALYZE, per-index sizes and scan counts).
+func (p *parser) showStats(s *Session) (*Result, error) {
+	res := &Result{Columns: []string{"name", "value"}}
+	if p.at(tokIdent, "") {
+		tok, _ := p.expect(tokIdent, "")
+		t, err := s.DB.Table(tok.text)
+		if err != nil {
+			return nil, err
 		}
+		stats, err := t.Stats()
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range stats {
+			res.Rows = append(res.Rows, catalog.Tuple{
+				catalog.NewText(st.Name), catalog.NewInt(st.Value)})
+		}
+		return res, nil
 	}
+	s.DB.Obs().Each(func(name string, value int64) {
+		res.Rows = append(res.Rows, catalog.Tuple{
+			catalog.NewText(name), catalog.NewInt(value)})
+	})
 	return res, nil
 }
 
@@ -494,8 +547,42 @@ func (p *parser) where(t *executor.Table) (*executor.Pred, error) {
 	return &executor.Pred{Column: ci, Op: opTok.text, Arg: arg}, nil
 }
 
+// selectMode distinguishes how a SELECT statement runs: executed
+// normally, planned only (EXPLAIN), or executed with instrumentation
+// and only the measurements returned (EXPLAIN ANALYZE).
+type selectMode int
+
+const (
+	modeExec selectMode = iota
+	modeExplain
+	modeAnalyze
+)
+
+// analyzeResult renders EXPLAIN ANALYZE output, one "QUERY PLAN" row
+// per line: the plan with the planner's cost and row estimates next to
+// the actual run, then the buffer, WAL, and timing lines.
+func analyzeResult(plan *executor.Plan, rs *executor.RunStats) *Result {
+	res := &Result{Columns: []string{"QUERY PLAN"}}
+	line := func(format string, args ...any) {
+		res.Rows = append(res.Rows, catalog.Tuple{
+			catalog.NewText(fmt.Sprintf(format, args...))})
+	}
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1000 }
+	line("%s (actual time=%.3f ms rows=%d scanned=%d)",
+		plan.String(), ms(rs.Elapsed), rs.Rows, rs.Scanned)
+	if rs.IndexPages >= 0 {
+		line("  Buffers: hits=%d misses=%d index_pages=%d",
+			rs.PoolHits, rs.PoolMisses, rs.IndexPages)
+	} else {
+		line("  Buffers: hits=%d misses=%d", rs.PoolHits, rs.PoolMisses)
+	}
+	line("  WAL: bytes=%d", rs.WALBytes)
+	line("Execution Time: %.3f ms", ms(rs.Elapsed))
+	return res
+}
+
 // SELECT * FROM t [WHERE ...] [ORDER BY col <-> lit] [LIMIT n]
-func (p *parser) selectStmt(s *Session, explainOnly bool) (*Result, error) {
+func (p *parser) selectStmt(s *Session, mode selectMode) (*Result, error) {
 	if err := p.keyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -582,13 +669,20 @@ func (p *parser) selectStmt(s *Session, explainOnly bool) (*Result, error) {
 		// limit < 0 flows through as "all rows": SelectNN resolves it
 		// against the row count inside its own lock window, so the
 		// statement stays atomic against concurrent writers.
-		if explainOnly {
+		switch mode {
+		case modeExplain:
 			plan, err := t.PlanNN(nnCi, nnArg, limit)
 			if err != nil {
 				return nil, err
 			}
 			res.Plan = plan.String()
 			return res, nil
+		case modeAnalyze:
+			_, plan, rs, err := t.SelectNNAnalyzed(nnCol, nnArg, limit)
+			if err != nil {
+				return nil, err
+			}
+			return analyzeResult(plan, rs), nil
 		}
 		nns, plan, err := t.SelectNN(nnCol, nnArg, limit)
 		if err != nil {
@@ -602,13 +696,27 @@ func (p *parser) selectStmt(s *Session, explainOnly bool) (*Result, error) {
 		return res, nil
 	}
 
-	if explainOnly {
+	switch mode {
+	case modeExplain:
 		plan, err := t.PlanSelect(pred)
 		if err != nil {
 			return nil, err
 		}
 		res.Plan = plan.String()
 		return res, nil
+	case modeAnalyze:
+		// Like PostgreSQL, the statement really executes (LIMIT
+		// included) but the rows are discarded; only the measurements
+		// come back.
+		n := 0
+		plan, rs, err := t.SelectAnalyzed(pred, func(executor.Row) bool {
+			n++
+			return limit < 0 || n < limit
+		})
+		if err != nil {
+			return nil, err
+		}
+		return analyzeResult(plan, rs), nil
 	}
 	// One statement, one lock window: the plan reported is the plan the
 	// scan actually ran (planning it separately could race a writer and

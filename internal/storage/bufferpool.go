@@ -23,11 +23,23 @@ type Page struct {
 
 // PoolStats counts logical page traffic at the buffer-pool level. Logical
 // accesses minus hits equals physical reads triggered by this pool.
+// DirtyWrites counts dirty frames written back to disk, whether by
+// eviction or by an explicit flush.
 type PoolStats struct {
-	Accesses  int64
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Accesses    int64
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	DirtyWrites int64
+}
+
+// add accumulates o into s (Stats sums the per-shard counters).
+func (s *PoolStats) add(o PoolStats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.DirtyWrites += o.DirtyWrites
 }
 
 // maxPoolShards caps the page-table sharding; 16 shards keep read-path
@@ -63,11 +75,6 @@ const minFramesPerShard = 16
 type BufferPool struct {
 	dm     DiskManager
 	shards []poolShard
-
-	accesses  atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
 
 	// walRef holds the attached log writer and record file name. An
 	// atomic pointer rather than a mutex: AttachWAL is called once,
@@ -117,6 +124,29 @@ type poolShard struct {
 	table   map[PageID]int
 	hand    int
 	pending int // frames with imagePending set
+
+	// Traffic counters live per shard, as plain fields under the shard
+	// mutex the hot paths already hold — zero extra atomics per fetch.
+	// Readouts (SHOW STATS) take the same mutex, contending only with
+	// this shard's traffic.
+	accesses    int64
+	hits        int64
+	misses      int64
+	evictions   int64
+	dirtyWrites int64
+}
+
+// snapshot reads the shard's counters.
+func (sh *poolShard) snapshot() PoolStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return PoolStats{
+		Accesses:    sh.accesses,
+		Hits:        sh.hits,
+		Misses:      sh.misses,
+		Evictions:   sh.evictions,
+		DirtyWrites: sh.dirtyWrites,
+	}
 }
 
 type frame struct {
@@ -203,41 +233,52 @@ func (bp *BufferPool) WAL() (*wal.Writer, string) {
 	return nil, ""
 }
 
-// Stats returns a snapshot of the pool counters. Under concurrent
-// traffic the four counters are read at slightly different instants;
-// each is individually exact.
+// Stats returns a snapshot of the pool counters, summed over shards.
+// Under concurrent traffic the counters are read at slightly different
+// instants; each is individually exact.
 func (bp *BufferPool) Stats() PoolStats {
-	return PoolStats{
-		Accesses:  bp.accesses.Load(),
-		Hits:      bp.hits.Load(),
-		Misses:    bp.misses.Load(),
-		Evictions: bp.evictions.Load(),
+	var s PoolStats
+	for si := range bp.shards {
+		s.add(bp.shards[si].snapshot())
 	}
+	return s
+}
+
+// ShardStats returns the counters of one page-table shard (SHOW STATS,
+// tests). Panics if si is out of range.
+func (bp *BufferPool) ShardStats(si int) PoolStats {
+	return bp.shards[si].snapshot()
 }
 
 // ResetStats zeroes the pool counters (the disk counters are separate).
 func (bp *BufferPool) ResetStats() {
-	bp.accesses.Store(0)
-	bp.hits.Store(0)
-	bp.misses.Store(0)
-	bp.evictions.Store(0)
+	for si := range bp.shards {
+		sh := &bp.shards[si]
+		sh.mu.Lock()
+		sh.accesses = 0
+		sh.hits = 0
+		sh.misses = 0
+		sh.evictions = 0
+		sh.dirtyWrites = 0
+		sh.mu.Unlock()
+	}
 }
 
 // Fetch pins the page with the given id, reading it from disk on a miss.
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
-	bp.accesses.Add(1)
 	si := bp.shardOf(id)
 	sh := &bp.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.accesses++
 	if fi, ok := sh.table[id]; ok {
-		bp.hits.Add(1)
+		sh.hits++
 		f := &sh.frames[fi]
 		f.pin.Add(1)
 		f.ref.Store(true)
 		return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
 	}
-	bp.misses.Add(1)
+	sh.misses++
 	fi, err := bp.victimLocked(sh)
 	if err != nil {
 		return nil, err
@@ -269,12 +310,12 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp.accesses.Add(1)
-	bp.misses.Add(1)
 	si := bp.shardOf(id)
 	sh := &bp.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.accesses++
+	sh.misses++
 	fi, err := bp.victimLocked(sh)
 	if err != nil {
 		return nil, err
@@ -590,10 +631,11 @@ func (bp *BufferPool) victimLocked(sh *poolShard) (int, error) {
 			if err := bp.dm.WritePage(f.id, f.data); err != nil {
 				return 0, err
 			}
+			sh.dirtyWrites++
 		}
 		delete(sh.table, f.id)
 		f.valid = false
-		bp.evictions.Add(1)
+		sh.evictions++
 		return i, nil
 	}
 	return 0, fmt.Errorf("storage: buffer pool shard exhausted (%d frames, all pinned or uncommitted)", n)
@@ -683,6 +725,7 @@ func (bp *BufferPool) FlushAll() error {
 				sh.mu.Unlock()
 				return err
 			}
+			sh.dirtyWrites++
 			f.dirty = false
 		}
 		sh.mu.Unlock()

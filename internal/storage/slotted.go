@@ -91,6 +91,17 @@ func setSlotEntry(data []byte, slot int, off, length uint16) {
 	put16(data, base+2, length)
 }
 
+// SlotEntry exposes one raw line-pointer for inspection tools: the
+// record's byte offset and length within the area, and whether the slot
+// is dead. Out-of-range slots report dead with zero offset and length.
+func SlotEntry(data []byte, slot int) (off, length uint16, dead bool) {
+	if slot < 0 || slot >= SlotCount(data) {
+		return 0, 0, true
+	}
+	off, length = slotEntry(data, slot)
+	return off, length, off == deadOffset
+}
+
 // SlotFreeSpace returns the number of payload bytes available for one new
 // record, accounting for the slot-directory entry the record may need and
 // assuming compaction. A record of size <= SlotFreeSpace(data) is

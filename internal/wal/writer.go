@@ -23,13 +23,22 @@ type Options struct {
 	Mode SyncMode
 }
 
-// Stats counts Writer activity.
+// Stats counts Writer activity. GroupCommits counts atomic group
+// appends that carried a commit marker, GroupRecords the records they
+// contained (GroupRecords/GroupCommits is the mean commit batch size),
+// and SyncWaits the committers whose durability was covered by another
+// leader's fsync — the group-commit sharing factor. Recycles counts
+// segment files deleted by checkpoints.
 type Stats struct {
 	Appends       int64
 	AppendedBytes int64
 	Syncs         int64
+	SyncWaits     int64
 	Rotations     int64
 	Checkpoints   int64
+	GroupCommits  int64
+	GroupRecords  int64
+	Recycles      int64
 }
 
 // Writer is the append side of the log. Appends are buffered in memory
@@ -284,6 +293,8 @@ func (w *Writer) appendGroup(g *Group, commit bool) ([]LSN, LSN, error) {
 		if lsn > w.committed {
 			w.committed = lsn
 		}
+		w.stats.GroupCommits++
+		w.stats.GroupRecords += int64(len(lsns))
 	}
 	return lsns, marker, nil
 }
@@ -412,6 +423,7 @@ func (w *Writer) syncLocked(target LSN) error {
 	}
 	for w.err == nil && w.durable < target {
 		if w.syncing {
+			w.stats.SyncWaits++
 			w.cond.Wait() // a leader's in-flight fsync may cover us
 			continue
 		}
@@ -495,6 +507,7 @@ func (w *Writer) Checkpoint() (LSN, error) {
 			if err := os.Remove(s.path); err != nil {
 				return 0, fmt.Errorf("wal: recycle %s: %w", s.path, err)
 			}
+			w.stats.Recycles++
 		}
 	}
 	w.stats.Checkpoints++
