@@ -7,7 +7,7 @@
 //	spgist-bench -exp fig13               # one figure (its group runs)
 //	spgist-bench -exp strings -scale 10   # 10x larger datasets
 //	spgist-bench -exp all -md             # markdown (EXPERIMENTS.md body)
-//	spgist-bench -exp latency -bench6 BENCH_6.json  # latency percentiles
+//	spgist-bench -exp latency -out BENCH_7.json  # latency percentiles
 //
 // Dataset sizes default to roughly 1/100 of the paper's; -scale 100
 // reproduces the original sizes given time and memory. All figure axes
@@ -32,9 +32,13 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload seed")
 		queries = flag.Int("queries", 200, "probes per measurement")
 		md      = flag.Bool("md", false, "emit markdown instead of text tables")
-		bench6  = flag.String("bench6", "", "also write the latency-percentile report (BENCH_6.json shape) to this path")
+		outPath = flag.String("out", "", "also write the latency-percentile report (BENCH_N.json shape) to this path")
+		bench6  = flag.String("bench6", "", "deprecated alias for -out")
 	)
 	flag.Parse()
+	if *outPath == "" {
+		*outPath = *bench6
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
@@ -57,9 +61,9 @@ func main() {
 	for _, e := range exps {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Title)
 		var figs []bench.Figure
-		if e.ID == "latency" && *bench6 != "" {
+		if e.ID == "latency" && *outPath != "" {
 			// The report variant yields the same figures plus the raw
-			// rows for BENCH_6.json, in a single run.
+			// rows for the BENCH_N.json artifact, in a single run.
 			report, rfigs := bench.RunLatencyReport(cfg)
 			figs = rfigs
 			data, err := json.MarshalIndent(report, "", "  ")
@@ -67,11 +71,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			if err := os.WriteFile(*bench6, append(data, '\n'), 0o644); err != nil {
+			if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *bench6)
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
 		} else {
 			figs = e.Run(cfg)
 		}

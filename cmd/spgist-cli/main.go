@@ -216,6 +216,15 @@ func meta(db *repro.DB, dir, line string) bool {
 		if err := pageinspect.Describe(os.Stdout, path, uint32(pageNo), 0); err != nil {
 			fmt.Println("ERROR:", err)
 		}
+	case "\\activity":
+		fmt.Println("id | client | state | wait_event | statement | elapsed_ms")
+		snap := db.Engine().Activity().Snapshot()
+		for _, si := range snap {
+			fmt.Printf("%d | %s | %s | %s | %s | %.3f\n",
+				si.ID, si.Client, si.State, si.WaitEvent, si.Statement,
+				si.StmtElapsed.Seconds()*1000)
+		}
+		fmt.Printf("(%d sessions)\n", len(snap))
 	case "\\wal":
 		w := db.Engine().WAL()
 		if w == nil {
@@ -232,7 +241,7 @@ func meta(db *repro.DB, dir, line string) bool {
 				rs.Records, rs.PagesWritten, rs.FilesTouched, rs.TornTail)
 		}
 	default:
-		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\page <rel> <n> \\wal \\timing \\q")
+		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\page <rel> <n> \\wal \\activity \\timing \\q")
 	}
 	return false
 }

@@ -15,9 +15,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,11 +31,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", "localhost:5433", "TCP listen address")
+	httpAddr := flag.String("http", "", "HTTP observability listen address for /metrics, /activity, /healthz, /debug/pprof (empty disables)")
 	dir := flag.String("dir", "", "database directory (default: in-memory)")
 	useWAL := flag.Bool("wal", false, "enable write-ahead logging and crash recovery (requires -dir)")
 	walLazy := flag.Bool("wal-lazy", false, "sync the log lazily instead of on every commit")
 	poolPages := flag.Int("pool", 0, "buffer-pool pages per file (default 1024)")
 	slowQuery := flag.Duration("slow-query", 0, "log statements at or over this duration to stderr (0 disables)")
+	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON file per statement into this directory (empty disables)")
 	flag.Parse()
 
 	mode := wal.SyncCommit
@@ -42,7 +46,7 @@ func main() {
 	}
 	db, err := executor.Open(executor.Options{
 		Dir: *dir, WAL: *useWAL, WALSync: mode, PoolPages: *poolPages,
-		SlowQueryThreshold: *slowQuery,
+		SlowQueryThreshold: *slowQuery, TraceDir: *traceDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -61,6 +65,21 @@ func main() {
 	}
 	srv := server.New(db)
 
+	var httpL net.Listener
+	if *httpAddr != "" {
+		httpL, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go func() {
+			if serr := http.Serve(httpL, srv.HTTPHandler()); serr != nil && !isClosedErr(serr) {
+				fmt.Fprintln(os.Stderr, serr)
+			}
+		}()
+		fmt.Printf("observability HTTP on %s (/metrics /activity /healthz /debug/pprof)\n", httpL.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -68,6 +87,9 @@ func main() {
 		fmt.Println("\nshutting down")
 		srv.Shutdown()
 		l.Close()
+		if httpL != nil {
+			httpL.Close()
+		}
 	}()
 
 	fmt.Printf("spgist-server listening on %s (db: %s)\n", l.Addr(), dbLabel(*dir))
@@ -75,6 +97,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed)
 }
 
 func dbLabel(dir string) string {

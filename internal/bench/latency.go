@@ -167,11 +167,11 @@ func RunLatencyReport(cfg Config) (*LatencyReport, []Figure) {
 	}
 
 	report := &LatencyReport{
-		PR: 6,
+		PR: 7,
 		Description: fmt.Sprintf(
 			"executor-level latency percentiles: exact-match reads over a %d-row trie-indexed table, 10-NN over a %d-point kd-tree, and a %d-worker mixed 90%%/10%% read/write run",
 			rows, rows, workers),
-		Command: "spgist-bench -exp latency -bench6 BENCH_6.json",
+		Command: "spgist-bench -exp latency -out BENCH_7.json",
 		Environment: map[string]string{
 			"goos":   runtime.GOOS,
 			"goarch": runtime.GOARCH,

@@ -278,7 +278,7 @@ func (t *Table) analyzeInMemory() error {
 // next Open loads the statistics with the schema, so the first plan
 // never scans the heap.
 func (t *Table) Analyze() error {
-	t.db.stmtMu.Lock()
+	t.db.xlockStmt()
 	defer t.db.stmtMu.Unlock()
 	if err := t.db.poisoned(); err != nil {
 		return err

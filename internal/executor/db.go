@@ -97,8 +97,8 @@ type Table struct {
 // catalog lock, a writer holding this table) are charged to the
 // lock-wait counter; the uncontended path reads no clock.
 func (t *Table) lockRead() {
-	rlockTimed(&t.db.stmtMu, t.db.met.lockWaitNs)
-	rlockTimed(&t.mu, t.db.met.lockWaitNs)
+	rlockTimed(&t.db.stmtMu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockCatalog)
+	rlockTimed(&t.mu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockTable)
 }
 
 func (t *Table) unlockRead() {
@@ -110,8 +110,8 @@ func (t *Table) unlockRead() {
 // catalog/DDL lock plus t's exclusive table lock. Concurrent writers on
 // other tables proceed; readers and writers of t wait.
 func (t *Table) lockWrite() {
-	rlockTimed(&t.db.stmtMu, t.db.met.lockWaitNs)
-	lockTimed(&t.mu, t.db.met.lockWaitNs)
+	rlockTimed(&t.db.stmtMu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockCatalog)
+	lockTimed(&t.mu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockTable)
 }
 
 func (t *Table) unlockWrite() {
@@ -178,6 +178,19 @@ type DB struct {
 	// met is the pg_stat layer: always non-nil, created at Open. See
 	// metrics.go.
 	met *execMetrics
+
+	// waits and activity are the wait-event and live-session layer
+	// (pg_stat_activity): both always non-nil, created at Open, shared
+	// by every component that can block — the statement locks here, the
+	// buffer pools' shard mutexes and miss I/O, the WAL writer's group
+	// commit. Immutable after Open.
+	waits    *obs.WaitSet
+	activity *obs.Activity
+
+	// traceDir, when non-empty, makes every statement emit its span
+	// timeline as a Chrome trace-event JSON file there; immutable after
+	// Open.
+	traceDir string
 
 	// slowQueryThreshold/slowQueryLog configure the slow-query log (see
 	// Options); immutable after Open.
@@ -277,6 +290,13 @@ type Options struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog receives slow-query lines; defaults to os.Stderr.
 	SlowQueryLog io.Writer
+	// TraceDir, when non-empty, writes every SQL statement's span
+	// timeline (parse, plan, execute, index descents, page reads, WAL
+	// waits) as one Chrome trace-event JSON file per statement into the
+	// directory — the always-on variant of EXPLAIN (TRACE). Tracing is
+	// armed per statement; with TraceDir empty (the default) the
+	// instrumentation costs one atomic load per potential span site.
+	TraceDir string
 }
 
 // Open creates or opens a database. The persistent system catalog is
@@ -297,6 +317,7 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	activity := obs.NewActivity()
 	db := &DB{
 		dir:                opts.Dir,
 		pageSize:           opts.PageSize,
@@ -304,13 +325,23 @@ func Open(opts Options) (*DB, error) {
 		tables:             make(map[string]*Table),
 		faults:             opts.Faults,
 		met:                newExecMetrics(),
+		activity:           activity,
+		waits:              obs.NewWaitSet(activity),
 		slowQueryThreshold: opts.SlowQueryThreshold,
 		slowQueryLog:       opts.SlowQueryLog,
+		traceDir:           opts.TraceDir,
 	}
 	if db.slowQueryLog == nil {
 		db.slowQueryLog = os.Stderr
 	}
+	if db.traceDir != "" {
+		if err := os.MkdirAll(db.traceDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	db.met.reg.Sample(db.sampleStorage)
+	db.waits.Register(db.met.reg)
+	db.met.reg.OnReset(db.resetStorageStats)
 	if !opts.WAL && opts.Dir != "" && wal.HasLog(filepath.Join(opts.Dir, "wal")) {
 		// Ignoring a leftover log would skip its recovery now and then
 		// replay it over newer (unlogged) data if WAL is re-enabled.
@@ -336,6 +367,7 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 		db.wal = w
+		w.AttachObs(db.waits)
 		if w.CommittedLSN() == 0 {
 			// A fresh log (new database, or a previously-unlogged one
 			// now opened with WAL) has no commit marker yet, which turns
@@ -735,6 +767,27 @@ func (db *DB) ShareLock() { db.stmtMu.RLock() }
 // ShareUnlock releases ShareLock.
 func (db *DB) ShareUnlock() { db.stmtMu.RUnlock() }
 
+// xlockStmt takes the catalog/DDL lock exclusively — the entry point of
+// every DDL/ANALYZE/CHECKPOINT statement — charging any wait to the
+// lock-wait counter and the catalog-lock wait event. Paired with a
+// plain db.stmtMu.Unlock().
+func (db *DB) xlockStmt() {
+	lockTimed(&db.stmtMu, db.met.lockWaitNs, db.waits, obs.WaitLockCatalog)
+}
+
+// Activity exposes the live session table — who is connected, what each
+// session is running, and what it is blocked on (SHOW ACTIVITY, the
+// ACTIVITY server verb, the /activity HTTP endpoint).
+func (db *DB) Activity() *obs.Activity { return db.activity }
+
+// Waits exposes the cumulative wait-event set shared by every blocking
+// point in the engine.
+func (db *DB) Waits() *obs.WaitSet { return db.waits }
+
+// TraceDir returns the per-statement trace output directory, empty when
+// statement tracing to disk is off.
+func (db *DB) TraceDir() string { return db.traceDir }
+
 // Catalog exposes the persistent system catalog (SQL introspection, the
 // CLI's describe commands, tests).
 func (db *DB) Catalog() *syscat.Catalog { return db.cat }
@@ -763,7 +816,7 @@ func OpenMemory() *DB {
 // Close flushes everything, checkpoints the log, and closes the
 // underlying files.
 func (db *DB) Close() error {
-	db.stmtMu.Lock()
+	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -840,7 +893,7 @@ func (db *DB) persistChurnLocked() error {
 // a WAL attached) logs a checkpoint record and recycles old log
 // segments — the role of the CHECKPOINT statement.
 func (db *DB) Checkpoint() error {
-	db.stmtMu.Lock()
+	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -881,7 +934,7 @@ func (db *DB) checkpointLocked() error {
 // Data pages keep only what earlier evictions and flushes wrote; a
 // subsequent Open with WAL enabled must redo the rest from the log.
 func (db *DB) Crash() error {
-	db.stmtMu.Lock()
+	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -928,6 +981,12 @@ func (db *DB) commitPools(t *Table, pools []*storage.BufferPool) error {
 	if err := db.appendPools(pools, true); err != nil {
 		return err
 	}
+	if tr := obs.Current(); tr != nil {
+		sp := tr.StartSpan("commit_wait", "wal")
+		err := db.wal.Commit()
+		sp.End()
+		return err
+	}
 	return db.wal.Commit()
 }
 
@@ -936,6 +995,10 @@ func (db *DB) commitPools(t *Table, pools []*storage.BufferPool) error {
 // set) atomically, and stamps the assigned LSNs back onto the covered
 // frames.
 func (db *DB) appendPools(pools []*storage.BufferPool, commit bool) error {
+	if tr := obs.Current(); tr != nil {
+		sp := tr.StartSpan("wal_append", "wal")
+		defer sp.End()
+	}
 	g := wal.NewGroup()
 	staged := make([][]storage.Staged, len(pools))
 	for i, bp := range pools {
@@ -1045,6 +1108,17 @@ func (db *DB) newPool(fileName string) (*storage.BufferPool, bool, error) {
 		dm = fdm
 	}
 	bp := storage.NewBufferPool(dm, db.poolPages)
+	// Join the pool to the wait-event layer, classifying its miss I/O by
+	// what the file holds (the extension is authoritative: rel<oid>.tbl,
+	// rel<oid>.idx, syscat.dat).
+	ioEv := obs.WaitIOHeapRead
+	switch {
+	case fileName == catalogFile:
+		ioEv = obs.WaitIOCatalogRead
+	case strings.HasSuffix(fileName, ".idx"):
+		ioEv = obs.WaitIOIndexRead
+	}
+	bp.AttachObs(db.waits, ioEv)
 	if db.wal != nil {
 		if !existed {
 			if _, err := db.wal.AppendFileCreate(fileName); err != nil {
@@ -1109,7 +1183,7 @@ func (db *DB) forgetPool(bp *storage.BufferPool) {
 // committed together, so a crash mid-statement leaves neither (the
 // orphaned file, if any, is swept at the next open).
 func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
-	db.stmtMu.Lock()
+	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	if err := db.poisoned(); err != nil {
 		return nil, err
@@ -1309,7 +1383,7 @@ func (db *DB) buildIndex(t *Table, idx am.Index, ci int, bp *storage.BufferPool)
 // at the next Open, which removes the partial index file and rebuilds
 // the index from the heap — a partial build is never reattached.
 func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName string) (*IndexInfo, error) {
-	db.stmtMu.Lock()
+	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	if err := db.poisoned(); err != nil {
 		return nil, err
@@ -1461,7 +1535,7 @@ func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName strin
 // on a relation lock here). Callers must not drop a relation with reads
 // of it in flight.
 func (db *DB) DropIndex(name string) error {
-	db.stmtMu.Lock()
+	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	if err := db.poisoned(); err != nil {
 		return err
@@ -1549,7 +1623,7 @@ func (db *DB) DropIndex(name string) error {
 // linger as junk). As with DropIndex, callers must not drop a table with
 // reads of it in flight — readers are not locked out.
 func (db *DB) DropTable(name string) error {
-	db.stmtMu.Lock()
+	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	if err := db.poisoned(); err != nil {
 		return err

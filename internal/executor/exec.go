@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/trie"
 )
 
@@ -75,6 +76,14 @@ func (t *Table) run(plan *Plan, emit func(Row) bool) (scanned, emitted int64, er
 		m.tuplesRead.Add(scanned)
 		m.rowsReturned.Add(emitted)
 	}()
+	if tr := obs.Current(); tr != nil {
+		sp := tr.StartSpan("execute "+plan.Kind.String(), "exec")
+		defer sp.End()
+		if plan.Kind == IndexScan {
+			isp := tr.StartSpan("index_descent "+plan.Index.Name, "index")
+			defer isp.End()
+		}
+	}
 	var opProc func(l, r catalog.Datum) bool
 	if plan.Pred != nil {
 		op, ok := catalog.LookupOperator(plan.Pred.Op, t.Columns[plan.Pred.Column].Type)

@@ -110,6 +110,26 @@ func (db *DB) sampleStorage(emit func(name string, value int64)) {
 	}
 }
 
+// resetStorageStats is the registry's reset hook (SHOW STATS RESET):
+// the storage-layer counters reach the readout through sampleStorage's
+// component atomics, so resetting the registry's own metrics alone
+// would leave them running. Takes the shared statement lock, like the
+// sampler — do not call while holding ShareLock.
+func (db *DB) resetStorageStats() {
+	db.stmtMu.RLock()
+	pools := append([]*storage.BufferPool(nil), db.pools...)
+	w := db.wal
+	db.stmtMu.RUnlock()
+	for _, bp := range pools {
+		bp.ResetStats()
+		bp.DM().Stats().Reset()
+	}
+	if w != nil {
+		w.ResetStats()
+	}
+	db.waits.Reset()
+}
+
 // PoolStats sums the buffer-pool counters over every open pool. The
 // slow-query log and tests use it for before/after deltas.
 func (db *DB) PoolStats() storage.PoolStats {
@@ -172,7 +192,7 @@ func (t *Table) Stats() ([]TableStat, error) {
 // RowCount would re-enter the shared statement lock, which sync.RWMutex
 // forbids while a writer is queued. Returns 0 for a dropped table.
 func (t *Table) RowCountShared() int64 {
-	rlockTimed(&t.mu, t.db.met.lockWaitNs)
+	rlockTimed(&t.mu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockTable)
 	defer t.mu.RUnlock()
 	if t.checkAttached() != nil {
 		return 0
@@ -180,25 +200,26 @@ func (t *Table) RowCountShared() int64 {
 	return t.Heap.Count()
 }
 
-// rlockTimed takes mu's read lock, charging any wait to c. The
-// uncontended fast path (TryRLock succeeds) reads no clock.
-func rlockTimed(mu *sync.RWMutex, c *obs.Counter) {
+// rlockTimed takes mu's read lock, charging any wait to c and recording
+// it as a wait event (cumulative counts plus the blocked session's live
+// state). The uncontended fast path (TryRLock succeeds) reads no clock.
+func rlockTimed(mu *sync.RWMutex, c *obs.Counter, ws *obs.WaitSet, ev obs.WaitEvent) {
 	if mu.TryRLock() {
 		return
 	}
-	start := time.Now()
+	m := ws.Begin(ev)
 	mu.RLock()
-	c.Add(time.Since(start).Nanoseconds())
+	c.Add(ws.End(m))
 }
 
 // lockTimed is rlockTimed for the write lock.
-func lockTimed(mu *sync.RWMutex, c *obs.Counter) {
+func lockTimed(mu *sync.RWMutex, c *obs.Counter, ws *obs.WaitSet, ev obs.WaitEvent) {
 	if mu.TryLock() {
 		return
 	}
-	start := time.Now()
+	m := ws.Begin(ev)
 	mu.Lock()
-	c.Add(time.Since(start).Nanoseconds())
+	c.Add(ws.End(m))
 }
 
 // RunStats captures the actual execution counters of one analyzed

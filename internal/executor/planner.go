@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 )
 
 // Cost-model constants, after PostgreSQL's defaults. The cost estimation
@@ -149,6 +150,10 @@ func (t *Table) PlanSelect(pred *Pred) (*Plan, error) {
 
 // planSelect is PlanSelect under an already-held statement lock.
 func (t *Table) planSelect(pred *Pred) (*Plan, error) {
+	if tr := obs.Current(); tr != nil {
+		sp := tr.StartSpan("plan", "plan")
+		defer sp.End()
+	}
 	rows := t.Heap.Count()
 	best := &Plan{
 		Kind:      SeqScan,
@@ -207,6 +212,10 @@ func (t *Table) PlanNN(column int, arg catalog.Datum, k int) (*Plan, error) {
 // planNN is PlanNN under an already-held statement lock. k < 0 prices
 // an unlimited query (every row returned).
 func (t *Table) planNN(column int, arg catalog.Datum, k int) (*Plan, error) {
+	if tr := obs.Current(); tr != nil {
+		sp := tr.StartSpan("plan", "plan")
+		defer sp.End()
+	}
 	if k < 0 {
 		k = int(t.Heap.Count())
 	}

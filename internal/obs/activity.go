@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SessionState is a session's instantaneous state in the activity table.
+type SessionState int32
+
+const (
+	// StateIdle: registered, no statement running.
+	StateIdle SessionState = iota
+	// StateActive: executing a statement.
+	StateActive
+	// StateWaiting: executing a statement and currently blocked on a
+	// wait event (see the entry's WaitEvent).
+	StateWaiting
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateActive:
+		return "active"
+	case StateWaiting:
+		return "waiting"
+	}
+	return "unknown"
+}
+
+// SessionEntry is one live session's row in the activity table. Every
+// mutable field is an atomic so scrapers (SHOW ACTIVITY, the /activity
+// endpoint) read a consistent-enough snapshot without taking any lock a
+// statement's hot path would contend on; the statement text in
+// particular is an atomic pointer swap, so a scraper can never observe
+// a torn string.
+type SessionEntry struct {
+	act     *Activity
+	id      int64
+	client  string
+	started time.Time
+
+	state     atomic.Int32
+	stmt      atomic.Pointer[string]
+	stmtStart atomic.Int64 // unix nanos; 0 when idle
+	wait      atomic.Int32
+	gid       atomic.Uint64 // bound goroutine while a statement runs
+}
+
+// ID returns the session's id.
+func (se *SessionEntry) ID() int64 {
+	if se == nil {
+		return 0
+	}
+	return se.id
+}
+
+// Begin marks the start of one statement: the session becomes active,
+// records stmt as its current statement, and binds itself to the calling
+// goroutine so waits observed anywhere below (lock acquisition, buffer
+// I/O, WAL commit) attribute to it. One goid parse per statement.
+func (se *SessionEntry) Begin(stmt string) {
+	if se == nil {
+		return
+	}
+	g := goid()
+	if se.gid.Swap(g) == 0 {
+		se.act.bound.Add(1)
+	}
+	se.act.byGoid.Store(g, se)
+	se.stmt.Store(&stmt)
+	se.stmtStart.Store(time.Now().UnixNano())
+	se.wait.Store(int32(WaitNone))
+	se.state.Store(int32(StateActive))
+}
+
+// End marks the statement finished: the session returns to idle and the
+// goroutine binding is dropped.
+func (se *SessionEntry) End() {
+	if se == nil {
+		return
+	}
+	se.state.Store(int32(StateIdle))
+	se.stmtStart.Store(0)
+	se.wait.Store(int32(WaitNone))
+	if g := se.gid.Swap(0); g != 0 {
+		se.act.byGoid.Delete(g)
+		se.act.bound.Add(-1)
+	}
+}
+
+// Close removes the session from the activity table.
+func (se *SessionEntry) Close() {
+	if se == nil {
+		return
+	}
+	se.End()
+	se.act.mu.Lock()
+	delete(se.act.sessions, se.id)
+	se.act.mu.Unlock()
+}
+
+func (se *SessionEntry) setWait(ev WaitEvent) {
+	se.wait.Store(int32(ev))
+	se.state.Store(int32(StateWaiting))
+}
+
+func (se *SessionEntry) clearWait() {
+	se.wait.Store(int32(WaitNone))
+	se.state.Store(int32(StateActive))
+}
+
+// Activity is the live session table — this engine's pg_stat_activity.
+// Registration and removal take its mutex (cold, per connection); the
+// per-statement path touches only the entry's atomics plus one sync.Map
+// store/delete for the goroutine binding.
+type Activity struct {
+	mu       sync.Mutex
+	nextID   int64
+	sessions map[int64]*SessionEntry
+	byGoid   sync.Map // goroutine id → *SessionEntry
+	// bound counts goroutines currently in byGoid, so current() can skip
+	// the goid parse entirely when nothing is bound — the case for code
+	// driving the executor directly (benchmarks, embedded use) rather
+	// than through sessions.
+	bound atomic.Int64
+}
+
+// NewActivity returns an empty activity table.
+func NewActivity() *Activity {
+	return &Activity{sessions: make(map[int64]*SessionEntry)}
+}
+
+// Register adds a session for the given client label ("local" for
+// embedded sessions, the remote address for server connections) and
+// returns its entry. Nil-receiver safe: returns a nil entry whose
+// methods no-op.
+func (a *Activity) Register(client string) *SessionEntry {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	a.nextID++
+	se := &SessionEntry{act: a, id: a.nextID, client: client, started: time.Now()}
+	a.sessions[se.id] = se
+	a.mu.Unlock()
+	return se
+}
+
+// current resolves the calling goroutine's bound session, or nil. Cold
+// path only — called when a wait has already blocked.
+func (a *Activity) current() *SessionEntry {
+	if a == nil || a.bound.Load() == 0 {
+		return nil
+	}
+	if v, ok := a.byGoid.Load(goid()); ok {
+		return v.(*SessionEntry)
+	}
+	return nil
+}
+
+// SessionInfo is one row of an activity snapshot.
+type SessionInfo struct {
+	ID          int64         `json:"id"`
+	Client      string        `json:"client"`
+	State       string        `json:"state"`
+	WaitEvent   string        `json:"wait_event"`
+	Statement   string        `json:"statement"`
+	SessionAge  time.Duration `json:"session_age_ns"`
+	StmtElapsed time.Duration `json:"stmt_elapsed_ns"`
+}
+
+// Snapshot reads every live session, ordered by id. The per-entry reads
+// are individually atomic, not mutually: a session finishing its
+// statement mid-snapshot may read as idle with a statement text — fine
+// for a monitoring surface.
+func (a *Activity) Snapshot() []SessionInfo {
+	if a == nil {
+		return nil
+	}
+	now := time.Now()
+	a.mu.Lock()
+	entries := make([]*SessionEntry, 0, len(a.sessions))
+	for _, se := range a.sessions {
+		entries = append(entries, se)
+	}
+	a.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]SessionInfo, 0, len(entries))
+	for _, se := range entries {
+		info := SessionInfo{
+			ID:         se.id,
+			Client:     se.client,
+			State:      SessionState(se.state.Load()).String(),
+			WaitEvent:  WaitEvent(se.wait.Load()).String(),
+			SessionAge: now.Sub(se.started),
+		}
+		if p := se.stmt.Load(); p != nil {
+			info.Statement = *p
+		}
+		if s := se.stmtStart.Load(); s > 0 {
+			info.StmtElapsed = now.Sub(time.Unix(0, s))
+		}
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package obs
+
+import "runtime"
+
+// goid returns the current goroutine's id, parsed from the first line of
+// a runtime.Stack dump ("goroutine 123 [running]:"). There is no cheap
+// public API for this, so the rule throughout the package is that goid
+// is only ever called on cold paths: binding a session or tracer to a
+// goroutine once per statement, or attributing a wait that has already
+// blocked (where the caller is about to sleep on a mutex anyway). Hot
+// paths gate every goid lookup behind a single atomic load.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

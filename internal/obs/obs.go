@@ -93,6 +93,17 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sum.Add(int64(d))
 }
 
+// Reset zeroes the histogram (SHOW STATS RESET). Not atomic against
+// concurrent Observe — a sample landing mid-reset may survive or vanish,
+// which is fine for a monitoring reset.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -173,6 +184,9 @@ type Registry struct {
 	// elsewhere (e.g. the buffer pool's own atomics) without adding a
 	// second increment to their hot paths.
 	samplers []func(emit func(name string, value int64))
+	// resetHooks run on Reset so components behind samplers (buffer
+	// pools, the WAL writer, the wait set) zero their own counters too.
+	resetHooks []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -230,6 +244,38 @@ func (r *Registry) Sample(fn func(emit func(name string, value int64))) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.samplers = append(r.samplers, fn)
+}
+
+// OnReset registers a callback invoked by Reset, after the registry's
+// own metrics are zeroed. Components whose counters reach the readout
+// through a sampler register one to participate in SHOW STATS RESET.
+func (r *Registry) OnReset(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resetHooks = append(r.resetHooks, fn)
+}
+
+// Reset zeroes every cumulative metric — counters and histograms — and
+// runs the registered reset hooks, so experiments can measure deltas
+// against a running server without restarting it (SHOW STATS RESET, the
+// STATS RESET server verb). Gauges are left alone: they are
+// instantaneous values (active sessions, open pools) whose truth does
+// not reset. Hooks run outside the registry mutex; they may take
+// component locks of their own (the storage hook takes the shared
+// statement lock), so do not call Reset while holding ShareLock.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		h.Reset()
+	}
+	hooks := r.resetHooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Each calls fn for every metric in sorted name order. Histograms

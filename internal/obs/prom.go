@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4) for the /metrics endpoint. Counters and sampler
+// values whose names end in _total are typed counter, other scalars
+// gauge; histograms are exposed as native Prometheus histograms under
+// <name>_seconds, with the registry's power-of-two nanosecond buckets
+// converted to cumulative le-labelled buckets in seconds.
+func WritePrometheus(w io.Writer, r *Registry) {
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Load()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Load()
+	}
+	type histDump struct {
+		buckets [histNumBkts + 1]int64
+		count   int64
+		sumNs   int64
+	}
+	hists := make(map[string]histDump, len(r.histograms))
+	for name, h := range r.histograms {
+		var d histDump
+		for i := range h.buckets {
+			d.buckets[i] = h.buckets[i].Load()
+		}
+		d.count = h.count.Load()
+		d.sumNs = h.sum.Load()
+		hists[name] = d
+	}
+	samplers := r.samplers
+	r.mu.Unlock()
+
+	// Sampler values fold into the scalar maps by name convention.
+	for _, s := range samplers {
+		s(func(name string, value int64) {
+			if strings.HasSuffix(name, "_total") {
+				counters[name] = value
+			} else {
+				gauges[name] = value
+			}
+		})
+	}
+
+	scalar := func(m map[string]int64, typ string) {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, m[name])
+		}
+	}
+	scalar(counters, "counter")
+	scalar(gauges, "gauge")
+
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		d := hists[name]
+		pname := name + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pname)
+		cum := int64(0)
+		for i := 0; i <= histNumBkts; i++ {
+			cum += d.buckets[i]
+			if i == histNumBkts {
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pname, cum)
+			} else {
+				le := float64(BucketUpper(i)) / 1e9
+				fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", pname, le, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", pname, float64(d.sumNs)/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", pname, d.count)
+	}
+}

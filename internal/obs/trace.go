@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects the span timeline of one statement — parse, plan,
+// execute, index descents, page reads, WAL appends, commit waits — for
+// EXPLAIN (TRACE) and executor.Options.TraceDir. It renders either as a
+// human-readable tree (nesting inferred from time containment) or as
+// Chrome trace-event JSON loadable in chrome://tracing / Perfetto.
+//
+// Arming is per statement and per goroutine: Arm binds the tracer to the
+// calling goroutine in a process-global table and bumps a global armed
+// count. Instrumentation sites everywhere below (buffer pool, WAL,
+// executor) call Current(), which is one atomic load plus a branch when
+// nothing is armed — tracing is fully off unless a statement asked for
+// it, which is what keeps the hot path at PR 6 cost.
+type Tracer struct {
+	t0 time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one completed span, with times relative to the tracer's start.
+type Span struct {
+	Name  string
+	Cat   string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+var (
+	armedCount   atomic.Int64
+	armedTracers sync.Map // goroutine id → *Tracer
+)
+
+// NewTracer starts a tracer with its clock origin at now.
+func NewTracer() *Tracer { return &Tracer{t0: time.Now()} }
+
+// NewTracerStarted starts a tracer whose clock origin is t0 — used when
+// work to be recorded (lexing, say) happened before the decision to
+// trace was parsed out of the statement itself.
+func NewTracerStarted(t0 time.Time) *Tracer { return &Tracer{t0: t0} }
+
+// Arm binds the tracer to the calling goroutine and returns a disarm
+// function that restores the previous binding (tracers can nest; the
+// innermost wins, as with EXPLAIN (TRACE) under a TraceDir).
+func (tr *Tracer) Arm() func() {
+	g := goid()
+	prev, hadPrev := armedTracers.Load(g)
+	armedTracers.Store(g, tr)
+	armedCount.Add(1)
+	return func() {
+		armedCount.Add(-1)
+		if hadPrev {
+			armedTracers.Store(g, prev)
+		} else {
+			armedTracers.Delete(g)
+		}
+	}
+}
+
+// Current returns the tracer armed on the calling goroutine, or nil.
+// With no tracer armed anywhere in the process this is one atomic load.
+func Current() *Tracer {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	if v, ok := armedTracers.Load(goid()); ok {
+		return v.(*Tracer)
+	}
+	return nil
+}
+
+// SpanMark is an open span; End completes and records it. The zero value
+// (from a nil tracer) no-ops, so call sites need no nil branch of their
+// own.
+type SpanMark struct {
+	tr    *Tracer
+	name  string
+	cat   string
+	start time.Time
+}
+
+// StartSpan opens a span. Nil-receiver safe.
+func (tr *Tracer) StartSpan(name, cat string) SpanMark {
+	if tr == nil {
+		return SpanMark{}
+	}
+	return SpanMark{tr: tr, name: name, cat: cat, start: time.Now()}
+}
+
+// End completes the span and records it on its tracer.
+func (m SpanMark) End() {
+	if m.tr == nil {
+		return
+	}
+	m.tr.AddRange(m.name, m.cat, m.start, time.Now())
+}
+
+// AddRange records a completed span from explicit wall-clock endpoints.
+func (tr *Tracer) AddRange(name, cat string, start, end time.Time) {
+	if tr == nil {
+		return
+	}
+	s := start.Sub(tr.t0)
+	if s < 0 {
+		s = 0
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, Span{Name: name, Cat: cat, Start: s, Dur: d})
+	tr.mu.Unlock()
+}
+
+// Finish records the root span, covering everything from the tracer's
+// origin to now, under the given name.
+func (tr *Tracer) Finish(rootName string) {
+	if tr == nil {
+		return
+	}
+	tr.AddRange(rootName, "statement", tr.t0, time.Now())
+}
+
+// Spans returns a copy of the recorded spans, ordered by start time with
+// longer (enclosing) spans first at equal starts.
+func (tr *Tracer) Spans() []Span {
+	tr.mu.Lock()
+	out := append([]Span(nil), tr.spans...)
+	tr.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Dur > out[j].Dur
+	})
+	return out
+}
+
+// chromeEvent is one Chrome trace-event ("ph":"X" complete event, times
+// in microseconds).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// ChromeJSON renders the spans in Chrome trace-event format:
+// {"traceEvents": [...]} with complete ("ph":"X") events, microsecond
+// timestamps relative to the statement start.
+func (tr *Tracer) ChromeJSON() []byte {
+	spans := tr.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat,
+			Ph:   "X",
+			Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		})
+	}
+	out, _ := json.Marshal(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+	return out
+}
+
+// TraceLine is one row of the rendered span tree.
+type TraceLine struct {
+	Depth int
+	Name  string
+	Cat   string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Tree renders the spans as an indented tree, inferring parent/child
+// structure from time containment (spans come from one goroutine's
+// nested call frames, so containment is nesting).
+func (tr *Tracer) Tree() []TraceLine {
+	spans := tr.Spans()
+	out := make([]TraceLine, 0, len(spans))
+	type open struct{ end time.Duration }
+	var stack []open
+	for _, sp := range spans {
+		for len(stack) > 0 && sp.Start >= stack[len(stack)-1].end {
+			stack = stack[:len(stack)-1]
+		}
+		out = append(out, TraceLine{
+			Depth: len(stack),
+			Name:  sp.Name,
+			Cat:   sp.Cat,
+			Start: sp.Start,
+			Dur:   sp.Dur,
+		})
+		stack = append(stack, open{end: sp.Start + sp.Dur})
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// mkTracer builds a tracer with a deterministic span layout:
+//
+//	statement [0, 100ms)
+//	  parse   [0, 10ms)
+//	  plan    [10, 20ms)
+//	  execute [20, 90ms)
+//	    page_read [30, 40ms)
+func mkTracer() *Tracer {
+	t0 := time.Unix(1000, 0)
+	tr := NewTracerStarted(t0)
+	at := func(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+	tr.AddRange("parse", "sql", at(0), at(10))
+	tr.AddRange("plan", "plan", at(10), at(20))
+	tr.AddRange("execute", "exec", at(20), at(90))
+	tr.AddRange("page_read", "io", at(30), at(40))
+	tr.AddRange("statement", "statement", at(0), at(100))
+	return tr
+}
+
+func TestTracerTreeNesting(t *testing.T) {
+	lines := mkTracer().Tree()
+	want := []struct {
+		name  string
+		depth int
+	}{
+		{"statement", 0},
+		{"parse", 1},
+		{"plan", 1},
+		{"execute", 1},
+		{"page_read", 2},
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("Tree returned %d lines, want %d: %+v", len(lines), len(want), lines)
+	}
+	for i, w := range want {
+		if lines[i].Name != w.name || lines[i].Depth != w.depth {
+			t.Errorf("line %d = %q depth %d, want %q depth %d",
+				i, lines[i].Name, lines[i].Depth, w.name, w.depth)
+		}
+	}
+}
+
+// TestChromeJSON checks the trace renders as loadable Chrome trace-event
+// format: a traceEvents array of complete ("ph":"X") events with
+// microsecond timestamps, parse/plan/execute contained in the root.
+func TestChromeJSON(t *testing.T) {
+	data := mkTracer().ChromeJSON()
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("ChromeJSON does not parse: %v\n%s", err, data)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("traceEvents has %d events, want 5", len(doc.TraceEvents))
+	}
+	byName := map[string][2]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		byName[ev.Name] = [2]float64{ev.Ts, ev.Ts + ev.Dur}
+	}
+	root := byName["statement"]
+	for _, child := range []string{"parse", "plan", "execute"} {
+		c, ok := byName[child]
+		if !ok {
+			t.Fatalf("missing %q event", child)
+		}
+		if c[0] < root[0] || c[1] > root[1] {
+			t.Errorf("%q [%g, %g] not contained in statement [%g, %g]",
+				child, c[0], c[1], root[0], root[1])
+		}
+	}
+	if exec := byName["execute"]; exec[0] != 20000 || exec[1] != 90000 {
+		t.Errorf("execute = [%g, %g] us, want [20000, 90000]", exec[0], exec[1])
+	}
+}
+
+func TestArmCurrentDisarm(t *testing.T) {
+	if Current() != nil {
+		t.Fatal("Current() != nil with nothing armed")
+	}
+	tr := NewTracer()
+	disarm := tr.Arm()
+	if Current() != tr {
+		t.Fatal("Current() did not return the armed tracer")
+	}
+	// Nested arming: innermost wins, disarm restores.
+	inner := NewTracer()
+	disarmInner := inner.Arm()
+	if Current() != inner {
+		t.Fatal("Current() did not return the inner tracer")
+	}
+	disarmInner()
+	if Current() != tr {
+		t.Fatal("disarming the inner tracer did not restore the outer")
+	}
+	disarm()
+	if Current() != nil {
+		t.Fatal("Current() != nil after disarm")
+	}
+}
+
+func TestSpanMarkZeroValueNoops(t *testing.T) {
+	var tr *Tracer
+	m := tr.StartSpan("x", "y") // nil tracer
+	m.End()                     // must not panic
+	tr.Finish("root")
+	tr.AddRange("a", "b", time.Now(), time.Now())
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWaitSetChargesEvents(t *testing.T) {
+	ws := NewWaitSet(nil)
+	m := ws.Begin(WaitLockTable)
+	time.Sleep(time.Millisecond)
+	ns := ws.End(m)
+	if ns <= 0 {
+		t.Fatalf("End returned %d ns, want > 0", ns)
+	}
+	count, total := ws.Count(WaitLockTable)
+	if count != 1 || total != ns {
+		t.Fatalf("Count = (%d, %d), want (1, %d)", count, total, ns)
+	}
+	if c, _ := ws.Count(WaitBufShard); c != 0 {
+		t.Fatalf("unrelated event charged: %d", c)
+	}
+	ws.Reset()
+	if c, n := ws.Count(WaitLockTable); c != 0 || n != 0 {
+		t.Fatalf("after Reset Count = (%d, %d), want zeros", c, n)
+	}
+}
+
+func TestWaitSetNilSafe(t *testing.T) {
+	var ws *WaitSet
+	m := ws.Begin(WaitWALFsync)
+	if got := ws.End(m); got != 0 {
+		t.Fatalf("nil WaitSet End = %d, want 0", got)
+	}
+	ws.Reset()
+	if c, n := ws.Count(WaitWALFsync); c != 0 || n != 0 {
+		t.Fatalf("nil WaitSet Count = (%d, %d)", c, n)
+	}
+}
+
+func TestWaitSetRegister(t *testing.T) {
+	ws := NewWaitSet(nil)
+	r := NewRegistry()
+	ws.Register(r)
+	ws.End(ws.Begin(WaitIOHeapRead))
+	m := make(map[string]int64)
+	r.Each(func(name string, value int64) { m[name] = value })
+	if m["wait_io_heap_read_total"] != 1 {
+		t.Fatalf("wait_io_heap_read_total = %d, want 1", m["wait_io_heap_read_total"])
+	}
+	if _, ok := m["wait_lock_catalog_total"]; !ok {
+		t.Fatal("wait_lock_catalog_total missing from readout")
+	}
+	for name := range m {
+		if strings.Contains(name, "wait_none") {
+			t.Fatalf("WaitNone leaked into readout as %q", name)
+		}
+	}
+}
+
+// TestWaitAttributesToSession binds a session to the calling goroutine
+// and checks an in-progress wait shows up in the activity snapshot with
+// the right event, then clears.
+func TestWaitAttributesToSession(t *testing.T) {
+	act := NewActivity()
+	ws := NewWaitSet(act)
+	se := act.Register("test-client")
+	se.Begin("SELECT 1")
+
+	m := ws.Begin(WaitWALCommitWait)
+	snap := act.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d sessions, want 1", len(snap))
+	}
+	if snap[0].State != "waiting" || snap[0].WaitEvent != "wal_commit_wait" {
+		t.Fatalf("mid-wait snapshot = state %q wait %q", snap[0].State, snap[0].WaitEvent)
+	}
+	ws.End(m)
+	snap = act.Snapshot()
+	if snap[0].State != "active" || snap[0].WaitEvent != "none" {
+		t.Fatalf("post-wait snapshot = state %q wait %q", snap[0].State, snap[0].WaitEvent)
+	}
+
+	se.End()
+	if s := act.Snapshot(); s[0].State != "idle" {
+		t.Fatalf("post-statement state = %q, want idle", s[0].State)
+	}
+	se.Close()
+	if s := act.Snapshot(); len(s) != 0 {
+		t.Fatalf("after Close snapshot has %d sessions, want 0", len(s))
+	}
+}
+
+// TestWaitOtherGoroutineNotAttributed: a wait on a goroutine with no
+// bound session charges the WaitSet but touches no session entry.
+func TestWaitOtherGoroutineNotAttributed(t *testing.T) {
+	act := NewActivity()
+	ws := NewWaitSet(act)
+	se := act.Register("c1")
+	se.Begin("INSERT ...")
+	defer se.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ws.End(ws.Begin(WaitBufShard))
+	}()
+	wg.Wait()
+
+	if c, _ := ws.Count(WaitBufShard); c != 1 {
+		t.Fatalf("WaitBufShard count = %d, want 1", c)
+	}
+	snap := act.Snapshot()
+	if snap[0].WaitEvent != "none" || snap[0].State != "active" {
+		t.Fatalf("unrelated goroutine's wait leaked onto session: state %q wait %q",
+			snap[0].State, snap[0].WaitEvent)
+	}
+}
+
+func TestActivitySnapshotFields(t *testing.T) {
+	act := NewActivity()
+	a := act.Register("addr-a")
+	b := act.Register("addr-b")
+	defer a.Close()
+	defer b.Close()
+	b.Begin("SELECT * FROM t")
+	defer b.End()
+
+	snap := act.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d sessions, want 2", len(snap))
+	}
+	if snap[0].ID >= snap[1].ID {
+		t.Fatalf("snapshot not ordered by id: %d, %d", snap[0].ID, snap[1].ID)
+	}
+	if snap[0].Client != "addr-a" || snap[0].State != "idle" || snap[0].Statement != "" {
+		t.Fatalf("idle session row = %+v", snap[0])
+	}
+	if snap[1].Statement != "SELECT * FROM t" || snap[1].State != "active" {
+		t.Fatalf("active session row = %+v", snap[1])
+	}
+	if snap[1].StmtElapsed <= 0 {
+		t.Fatalf("active session StmtElapsed = %v, want > 0", snap[1].StmtElapsed)
+	}
+}

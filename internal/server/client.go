@@ -6,14 +6,16 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Client is a minimal client for the line protocol, used by the demo,
 // the tests, and anyone scripting against spgist-server from Go.
 type Client struct {
-	conn net.Conn
-	in   *bufio.Scanner
-	out  *bufio.Writer
+	conn    net.Conn
+	in      *bufio.Scanner
+	out     *bufio.Writer
+	timeout time.Duration
 }
 
 // Response is one statement's parsed reply.
@@ -35,9 +37,21 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// SetTimeout bounds every subsequent Exec (and the verbs built on it)
+// to d of wall-clock time for the complete round trip: if the server
+// stalls — accepts the connection but never answers, or trickles a
+// response — the in-flight read or write fails with a net timeout error
+// instead of hanging the caller forever. d <= 0 restores the default of
+// no deadline.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
 // Exec sends one statement and reads its full response. A server-side
 // statement failure comes back as an error (the ERR line's message).
 func (c *Client) Exec(stmt string) (*Response, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if _, err := fmt.Fprintf(c.out, "%s\n", strings.ReplaceAll(stmt, "\n", " ")); err != nil {
 		return nil, err
 	}
@@ -92,6 +106,51 @@ func (c *Client) Stats() (map[string]int64, error) {
 		m[r[0]] = v
 	}
 	return m, nil
+}
+
+// StatsReset runs the STATS RESET protocol verb, zeroing the server's
+// cumulative counters and histograms.
+func (c *Client) StatsReset() error {
+	_, err := c.Exec("STATS RESET")
+	return err
+}
+
+// SessionInfo is one row of the server's live session table.
+type SessionInfo struct {
+	ID        int64
+	Client    string
+	State     string
+	WaitEvent string
+	Statement string
+	ElapsedMS float64
+}
+
+// Activity runs the ACTIVITY protocol verb and returns the server's
+// live session table (every connected session, including this one).
+func (c *Client) Activity() ([]SessionInfo, error) {
+	res, err := c.Exec("ACTIVITY")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SessionInfo, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		if len(r) != 6 {
+			return nil, fmt.Errorf("server: malformed ACTIVITY row %q", r)
+		}
+		id, err := strconv.ParseInt(r[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: non-integer ACTIVITY id %q", r[0])
+		}
+		ms, err := strconv.ParseFloat(r[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: non-numeric ACTIVITY elapsed_ms %q", r[5])
+		}
+		out = append(out, SessionInfo{
+			ID: id, Client: r[1], State: r[2], WaitEvent: r[3],
+			Statement: r[4], ElapsedMS: ms,
+		})
+	}
+	return out, nil
 }
 
 // unescapeValue reverses the server's row-value escaping (\\ \n \r \t).

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// HTTPHandler returns the observability sidecar: an http.Handler the
+// caller mounts on its own listener (spgist-server's -http flag),
+// deliberately separate from the SQL port so scraping never competes
+// with query traffic for the accept loop.
+//
+//	/metrics       Prometheus text exposition of the metrics registry
+//	/activity      live session table as JSON (pg_stat_activity-style)
+//	/healthz       liveness probe, "ok" when the process serves
+//	/debug/pprof/  the standard Go profiler endpoints
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, s.db.Obs())
+	})
+	mux.HandleFunc("/activity", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.db.Activity().Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	// net/http/pprof only self-registers on http.DefaultServeMux; wire
+	// its handlers onto this mux explicitly so the sidecar works without
+	// touching the process-global mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

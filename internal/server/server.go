@@ -139,7 +139,8 @@ func (s *Server) session(conn net.Conn) {
 	s.sessionsTotal.Inc()
 	s.sessionsActive.Add(1)
 	defer s.sessionsActive.Add(-1)
-	sess := sqlmini.NewSession(s.db)
+	sess := sqlmini.NewSessionWithClient(s.db, conn.RemoteAddr().String())
+	defer sess.Close()
 	in := bufio.NewScanner(conn)
 	in.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	out := bufio.NewWriter(conn)
@@ -151,8 +152,23 @@ func (s *Server) session(conn net.Conn) {
 		if line == `\q` || strings.EqualFold(line, "quit") {
 			return
 		}
+		if strings.EqualFold(line, "STATS RESET") {
+			s.db.Obs().Reset()
+			fmt.Fprintf(out, "OK STATS RESET\n")
+			if out.Flush() != nil {
+				return
+			}
+			continue
+		}
 		if strings.EqualFold(line, "STATS") {
 			s.writeStats(out)
+			if out.Flush() != nil {
+				return
+			}
+			continue
+		}
+		if strings.EqualFold(line, "ACTIVITY") {
+			s.writeActivity(out)
 			if out.Flush() != nil {
 				return
 			}
@@ -193,6 +209,22 @@ func (s *Server) writeStats(out *bufio.Writer) {
 		n++
 	})
 	fmt.Fprintf(out, "OK %d\n", n)
+}
+
+// writeActivity answers the ACTIVITY verb: the live session table — one
+// row per connected session with its state, wait event, and current
+// statement — in the normal result framing. Statement text goes through
+// escapeValue like any row value, so multi-line SQL cannot tear the
+// framing.
+func (s *Server) writeActivity(out *bufio.Writer) {
+	fmt.Fprintf(out, "#cols id\tclient\tstate\twait_event\tstatement\telapsed_ms\n")
+	snap := s.db.Activity().Snapshot()
+	for _, si := range snap {
+		fmt.Fprintf(out, "row %d\t%s\t%s\t%s\t%s\t%.3f\n",
+			si.ID, escapeValue.Replace(si.Client), si.State, si.WaitEvent,
+			escapeValue.Replace(si.Statement), si.StmtElapsed.Seconds()*1000)
+	}
+	fmt.Fprintf(out, "OK %d\n", len(snap))
 }
 
 // writeErr emits the failure terminator. Newlines inside the message

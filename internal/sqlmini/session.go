@@ -2,11 +2,14 @@ package sqlmini
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/executor"
+	"repro/internal/obs"
 )
 
 // Result is the outcome of one statement.
@@ -23,20 +26,41 @@ type Result struct {
 	Affected int
 	// Msg is a human-readable confirmation for DDL.
 	Msg string
+	// TraceJSON carries the statement's span timeline in Chrome
+	// trace-event format (EXPLAIN (TRACE) only).
+	TraceJSON []byte
 }
 
-// Session executes SQL against a database.
+// Session executes SQL against a database. Every session registers in
+// the database's live activity table (SHOW ACTIVITY); callers that open
+// many sessions should Close them so their entries are removed.
 type Session struct {
-	DB *executor.DB
+	DB    *executor.DB
+	entry *obs.SessionEntry
 }
 
-// NewSession wraps a database.
-func NewSession(db *executor.DB) *Session { return &Session{DB: db} }
+// NewSession wraps a database as a local (embedded) session.
+func NewSession(db *executor.DB) *Session { return NewSessionWithClient(db, "local") }
 
-// Exec parses and runs one statement. When the database was opened with
-// a slow-query threshold, statements at or over it are logged with their
-// text, duration, and buffer traffic.
+// NewSessionWithClient wraps a database, labelling the session's
+// activity entry with the client's identity (the server passes the
+// connection's remote address).
+func NewSessionWithClient(db *executor.DB, client string) *Session {
+	return &Session{DB: db, entry: db.Activity().Register(client)}
+}
+
+// Close removes the session from the activity table. Using the session
+// after Close is fine — it just no longer appears in SHOW ACTIVITY.
+func (s *Session) Close() { s.entry.Close() }
+
+// Exec parses and runs one statement. The session's activity entry
+// tracks it live (statement text, active/waiting state, wait event) for
+// the duration. When the database was opened with a slow-query
+// threshold, statements at or over it are logged with their text,
+// duration, and buffer traffic.
 func (s *Session) Exec(sql string) (*Result, error) {
+	s.entry.Begin(sql)
+	defer s.entry.End()
 	threshold, logw := s.DB.SlowQueryConfig()
 	if threshold <= 0 || logw == nil {
 		return s.exec(sql)
@@ -58,11 +82,21 @@ func (s *Session) Exec(sql string) (*Result, error) {
 }
 
 func (s *Session) exec(sql string) (*Result, error) {
+	start := time.Now()
+	var tr *obs.Tracer
+	if s.DB.TraceDir() != "" {
+		// TraceDir traces every statement: arm before lexing so the
+		// parse span lands on the timeline like any other.
+		tr = obs.NewTracerStarted(start)
+		defer s.writeTrace(tr)
+		defer tr.Arm()()
+	}
 	toks, err := lex(sql)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	tr.AddRange("parse", "sql", start, time.Now())
+	p := &parser{toks: toks, stmtStart: start, lexEnd: time.Now()}
 	res, err := p.statement(s)
 	if err != nil {
 		return nil, err
@@ -75,9 +109,23 @@ func (s *Session) exec(sql string) (*Result, error) {
 	return res, nil
 }
 
+// writeTrace finishes tr and writes its Chrome trace-event JSON as one
+// file in the database's TraceDir. Best effort: a write failure loses
+// the trace, never the statement.
+func (s *Session) writeTrace(tr *obs.Tracer) {
+	tr.Finish("statement")
+	name := fmt.Sprintf("trace_%d_%d.json", s.entry.ID(), time.Now().UnixNano())
+	os.WriteFile(filepath.Join(s.DB.TraceDir(), name), tr.ChromeJSON(), 0o644)
+}
+
 type parser struct {
 	toks []token
 	i    int
+	// stmtStart/lexEnd bracket the lexing phase, recorded by exec so
+	// EXPLAIN (TRACE) — which only learns it should trace after parsing
+	// its prefix — can backfill the parse span onto its tracer.
+	stmtStart time.Time
+	lexEnd    time.Time
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -151,7 +199,10 @@ func (p *parser) statement(s *Session) (*Result, error) {
 		if p.accept(tokIdent, "STATS") {
 			return p.showStats(s)
 		}
-		return nil, fmt.Errorf("sql: SHOW must be followed by TABLES, INDEXES, or STATS")
+		if p.accept(tokIdent, "ACTIVITY") {
+			return showActivity(s)
+		}
+		return nil, fmt.Errorf("sql: SHOW must be followed by TABLES, INDEXES, STATS, or ACTIVITY")
 	case p.at(tokIdent, "INSERT"):
 		p.i++
 		return p.insert(s)
@@ -159,6 +210,15 @@ func (p *parser) statement(s *Session) (*Result, error) {
 		return p.selectStmt(s, modeExec)
 	case p.at(tokIdent, "EXPLAIN"):
 		p.i++
+		if p.accept(tokPunct, "(") {
+			if err := p.keyword("TRACE"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return p.explainTrace(s)
+		}
 		if p.accept(tokIdent, "ANALYZE") {
 			return p.selectStmt(s, modeAnalyze)
 		}
@@ -378,6 +438,15 @@ func showTables(s *Session) (*Result, error) {
 // since ANALYZE, per-index sizes and scan counts).
 func (p *parser) showStats(s *Session) (*Result, error) {
 	res := &Result{Columns: []string{"name", "value"}}
+	if p.accept(tokIdent, "RESET") {
+		// SHOW STATS RESET: zero every cumulative metric — registry
+		// counters and histograms plus, via the reset hooks, the
+		// buffer-pool, disk, WAL, and wait-event counters behind the
+		// storage sampler — so experiments measure deltas against a
+		// running server without restarting it.
+		s.DB.Obs().Reset()
+		return &Result{Msg: "STATS RESET"}, nil
+	}
 	if p.at(tokIdent, "") {
 		tok, _ := p.expect(tokIdent, "")
 		t, err := s.DB.Table(tok.text)
@@ -398,6 +467,54 @@ func (p *parser) showStats(s *Session) (*Result, error) {
 		res.Rows = append(res.Rows, catalog.Tuple{
 			catalog.NewText(name), catalog.NewInt(value)})
 	})
+	return res, nil
+}
+
+// SHOW ACTIVITY: the live session table — one row per registered
+// session with its client, state (idle/active/waiting), current wait
+// event, current statement, and statement elapsed time. Lock-free on
+// the statement path: the snapshot reads per-entry atomics, so it never
+// blocks (and is never blocked by) running statements.
+func showActivity(s *Session) (*Result, error) {
+	res := &Result{Columns: []string{"id", "client", "state", "wait_event", "statement", "elapsed_ms"}}
+	for _, si := range s.DB.Activity().Snapshot() {
+		res.Rows = append(res.Rows, catalog.Tuple{
+			catalog.NewInt(si.ID),
+			catalog.NewText(si.Client),
+			catalog.NewText(si.State),
+			catalog.NewText(si.WaitEvent),
+			catalog.NewText(si.Statement),
+			catalog.NewFloat(si.StmtElapsed.Seconds() * 1000),
+		})
+	}
+	return res, nil
+}
+
+// EXPLAIN (TRACE) <stmt>: really execute the inner statement (rows
+// discarded, like EXPLAIN ANALYZE) with a tracer armed, then render its
+// span timeline — parse, plan, execute, index descents, page reads, WAL
+// append, commit wait — as an indented tree. The raw Chrome trace-event
+// JSON rides on Result.TraceJSON for programmatic use (and lands in
+// TraceDir too, when configured).
+func (p *parser) explainTrace(s *Session) (*Result, error) {
+	tr := obs.NewTracerStarted(p.stmtStart)
+	// Lexing happened before the EXPLAIN (TRACE) prefix was parsed;
+	// backfill it as the parse span.
+	tr.AddRange("parse", "sql", p.stmtStart, p.lexEnd)
+	disarm := tr.Arm()
+	_, err := p.statement(s)
+	disarm()
+	if err != nil {
+		return nil, err
+	}
+	tr.Finish("statement")
+	res := &Result{Columns: []string{"TRACE"}, TraceJSON: tr.ChromeJSON()}
+	for _, ln := range tr.Tree() {
+		res.Rows = append(res.Rows, catalog.Tuple{catalog.NewText(fmt.Sprintf(
+			"%s%-24s start=%.3f ms dur=%.3f ms",
+			strings.Repeat("  ", ln.Depth), ln.Name,
+			ln.Start.Seconds()*1000, ln.Dur.Seconds()*1000))})
+	}
 	return res, nil
 }
 

@@ -1,0 +1,220 @@
+package sqlmini
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/executor"
+)
+
+// chromeDoc is the Chrome trace-event envelope used by the assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+// TestExplainTrace runs EXPLAIN (TRACE) over an index scan and checks
+// the acceptance contract: the emitted JSON loads as valid Chrome
+// trace-event format with parse, plan, and execute spans nested inside
+// the statement root.
+func TestExplainTrace(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE w (name VARCHAR, id INT)`)
+	mustExec(t, s, `CREATE INDEX w_trie ON w USING spgist (name spgist_trie)`)
+	// Enough rows that the planner prefers the index over a seq scan.
+	for base := 0; base < 2000; base += 500 {
+		var vals []string
+		for i := base; i < base+500; i++ {
+			vals = append(vals, fmt.Sprintf("('word%04d', %d)", i, i))
+		}
+		mustExec(t, s, `INSERT INTO w VALUES `+strings.Join(vals, ", "))
+	}
+	mustExec(t, s, `ANALYZE w`)
+	if plan := mustExec(t, s, `EXPLAIN SELECT * FROM w WHERE name = 'word0007'`).Plan; !strings.Contains(plan, "Index Scan") {
+		t.Fatalf("setup did not produce an index plan: %s", plan)
+	}
+
+	res := mustExec(t, s, `EXPLAIN (TRACE) SELECT * FROM w WHERE name = 'word0007'`)
+	if res.TraceJSON == nil {
+		t.Fatal("EXPLAIN (TRACE) returned no TraceJSON")
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("EXPLAIN (TRACE) returned no tree rows")
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(res.TraceJSON, &doc); err != nil {
+		t.Fatalf("TraceJSON does not parse as Chrome trace-event JSON: %v\n%s", err, res.TraceJSON)
+	}
+	spans := map[string][2]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Errorf("event %q has negative ts/dur: %g/%g", ev.Name, ev.Ts, ev.Dur)
+		}
+		if _, dup := spans[ev.Name]; !dup {
+			spans[ev.Name] = [2]float64{ev.Ts, ev.Ts + ev.Dur}
+		}
+	}
+	root, ok := spans["statement"]
+	if !ok {
+		t.Fatalf("no statement root span; have %v", spans)
+	}
+	for _, name := range []string{"parse", "plan"} {
+		c, ok := spans[name]
+		if !ok {
+			t.Fatalf("missing %q span; have %v", name, spans)
+		}
+		if c[0] < root[0] || c[1] > root[1]+1 { // +1us slack for float rounding
+			t.Errorf("%q [%g, %g] not inside statement [%g, %g]", name, c[0], c[1], root[0], root[1])
+		}
+	}
+	var exec [2]float64
+	execFound := false
+	for name, iv := range spans {
+		if strings.HasPrefix(name, "execute") {
+			exec, execFound = iv, true
+		}
+	}
+	if !execFound {
+		t.Fatalf("missing execute span; have %v", spans)
+	}
+	if exec[0] < root[0] || exec[1] > root[1]+1 {
+		t.Errorf("execute [%g, %g] not inside statement [%g, %g]", exec[0], exec[1], root[0], root[1])
+	}
+	// The index scan must have left a descent span.
+	descent := false
+	for name := range spans {
+		if strings.HasPrefix(name, "index_descent") {
+			descent = true
+		}
+	}
+	if !descent {
+		t.Errorf("indexed EXPLAIN (TRACE) recorded no index_descent span; have %v", spans)
+	}
+	// Plan ordering: parse ends before execute begins.
+	if p := spans["parse"]; p[1] > exec[0]+1 {
+		t.Errorf("parse ends at %g after execute begins at %g", p[1], exec[0])
+	}
+}
+
+// TestTraceDir checks executor.Options.TraceDir writes one Chrome JSON
+// file per statement without the statement asking for it.
+func TestTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	db, err := executor.Open(executor.Options{TraceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := NewSession(db)
+	defer s.Close()
+	mustExec(t, s, `CREATE TABLE w (id INT)`)
+	mustExec(t, s, `INSERT INTO w VALUES (1), (2)`)
+	mustExec(t, s, `SELECT * FROM w`)
+
+	files, err := filepath.Glob(filepath.Join(dir, "trace_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("TraceDir holds %d trace files, want 3", len(files))
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc chromeDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s does not parse: %v", f, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Errorf("%s has no trace events", f)
+		}
+	}
+}
+
+func TestShowActivity(t *testing.T) {
+	s := newSession(t)
+	defer s.Close()
+	res := mustExec(t, s, `SHOW ACTIVITY`)
+	if got := strings.Join(res.Columns, ","); got != "id,client,state,wait_event,statement,elapsed_ms" {
+		t.Fatalf("SHOW ACTIVITY columns = %q", got)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("SHOW ACTIVITY returned %d rows, want 1 (this session)", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[1].S != "local" {
+		t.Errorf("client = %q, want local", row[1].S)
+	}
+	// The session observes itself mid-statement: active, running SHOW
+	// ACTIVITY.
+	if row[2].S != "active" {
+		t.Errorf("state = %q, want active", row[2].S)
+	}
+	if row[4].S != "SHOW ACTIVITY" {
+		t.Errorf("statement = %q, want SHOW ACTIVITY", row[4].S)
+	}
+
+	// A second session appears; closing it removes the row.
+	s2 := NewSessionWithClient(s.DB, "peer")
+	if n := len(mustExec(t, s, `SHOW ACTIVITY`).Rows); n != 2 {
+		t.Fatalf("with peer registered got %d rows, want 2", n)
+	}
+	s2.Close()
+	if n := len(mustExec(t, s, `SHOW ACTIVITY`).Rows); n != 1 {
+		t.Fatalf("after peer close got %d rows, want 1", n)
+	}
+}
+
+func TestShowStatsReset(t *testing.T) {
+	s := newSession(t)
+	defer s.Close()
+	mustExec(t, s, `CREATE TABLE w (id INT)`)
+	mustExec(t, s, `INSERT INTO w VALUES (1), (2), (3)`)
+	mustExec(t, s, `SELECT * FROM w`)
+
+	before := statsMap(t, mustExec(t, s, `SHOW STATS`))
+	if before["exec_select_total"] == 0 || before["exec_tuples_inserted_total"] != 3 {
+		t.Fatalf("pre-reset stats unexpectedly empty: %v", before)
+	}
+
+	res := mustExec(t, s, `SHOW STATS RESET`)
+	if res.Msg != "STATS RESET" {
+		t.Fatalf("SHOW STATS RESET msg = %q", res.Msg)
+	}
+
+	after := statsMap(t, mustExec(t, s, `SHOW STATS`))
+	if after["exec_tuples_inserted_total"] != 0 {
+		t.Errorf("exec_tuples_inserted_total = %d after reset, want 0", after["exec_tuples_inserted_total"])
+	}
+	// The SHOW STATS RESET + SHOW STATS statements themselves run after
+	// the zeroing, so select/other counters restart from ~0, not the old
+	// values.
+	if after["exec_select_total"] >= before["exec_select_total"]+1 {
+		t.Errorf("exec_select_total = %d after reset (before %d): counters did not restart",
+			after["exec_select_total"], before["exec_select_total"])
+	}
+	// Storage-side sampler counters reset through the OnReset hook: the
+	// pool accesses accumulated by the pre-reset traffic are gone (only
+	// the post-reset SHOW statements, which touch no pool, remain).
+	if before["pool_accesses_total"] == 0 {
+		t.Fatalf("pre-reset pool_accesses_total = 0, traffic not counted")
+	}
+	if after["pool_accesses_total"] >= before["pool_accesses_total"] {
+		t.Errorf("pool_accesses_total = %d after reset (before %d): pool stats did not reset",
+			after["pool_accesses_total"], before["pool_accesses_total"])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -82,6 +83,16 @@ type BufferPool struct {
 	// eviction reads it — a lock here would be a pool-global
 	// serialization point inside the per-shard critical sections.
 	walRef atomic.Pointer[walAttachment]
+
+	// waits joins the pool to the engine's wait-event layer (AttachObs,
+	// once, before the pool is shared; nil for standalone pools). Shard
+	// mutex acquisitions charge waitShard only after a TryLock failed —
+	// the uncontended path pays one predictable branch and reads no
+	// clock — while miss disk reads always charge waitIO: next to a real
+	// disk read the two clock reads are noise, and the I/O time is the
+	// number the wait profile exists to expose.
+	waits  *obs.WaitSet
+	waitIO obs.WaitEvent // miss-read classification (heap/index/catalog)
 
 	// ops holds the statement's deferred logical records (heap inserts,
 	// deletes, batch inserts): instead of appending to the log during
@@ -223,6 +234,26 @@ func (bp *BufferPool) AttachWAL(w *wal.Writer, fileName string) {
 	bp.walRef.Store(&walAttachment{w: w, file: fileName})
 }
 
+// AttachObs joins the pool to a wait-event set: shard-mutex contention
+// is charged to buf_shard and miss disk reads to ioEvent (heap, index,
+// or catalog reads, per the file this pool caches). Like AttachWAL, it
+// must be called before the pool is shared.
+func (bp *BufferPool) AttachObs(ws *obs.WaitSet, ioEvent obs.WaitEvent) {
+	bp.waits = ws
+	bp.waitIO = ioEvent
+}
+
+// lockShard acquires sh.mu, charging a blocked acquisition to the
+// buf_shard wait event. The uncontended fast path is one TryLock.
+func (bp *BufferPool) lockShard(sh *poolShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	m := bp.waits.Begin(obs.WaitBufShard)
+	sh.mu.Lock()
+	bp.waits.End(m)
+}
+
 // WAL returns the attached log writer and record file name (nil, "" when
 // logging is disabled). Structures that log logical records instead of
 // page images (the heap) reach the writer through this.
@@ -268,7 +299,7 @@ func (bp *BufferPool) ResetStats() {
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	si := bp.shardOf(id)
 	sh := &bp.shards[si]
-	sh.mu.Lock()
+	bp.lockShard(sh)
 	defer sh.mu.Unlock()
 	sh.accesses++
 	if fi, ok := sh.table[id]; ok {
@@ -287,10 +318,17 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	// The disk read happens under the shard lock: misses on pages of the
 	// same shard serialize, misses on other shards proceed. Simple and
 	// correct; a concurrent fetch of this page blocks here rather than
-	// reading the page into a second frame.
-	if err := bp.dm.ReadPage(id, f.data); err != nil {
+	// reading the page into a second frame. The read is charged to the
+	// pool's I/O wait event, and — when the statement above armed a
+	// tracer — recorded as a page_read span on its timeline.
+	iw := bp.waits.Begin(bp.waitIO)
+	sp := obs.Current().StartSpan("page_read", "io")
+	rerr := bp.dm.ReadPage(id, f.data)
+	sp.End()
+	bp.waits.End(iw)
+	if rerr != nil {
 		f.valid = false
-		return nil, err
+		return nil, rerr
 	}
 	f.id = id
 	f.pin.Store(1)
@@ -312,7 +350,7 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	}
 	si := bp.shardOf(id)
 	sh := &bp.shards[si]
-	sh.mu.Lock()
+	bp.lockShard(sh)
 	defer sh.mu.Unlock()
 	sh.accesses++
 	sh.misses++
@@ -353,7 +391,7 @@ func (bp *BufferPool) Unpin(p *Page, dirty bool) {
 		f.pin.Add(-1)
 		return
 	}
-	sh.mu.Lock()
+	bp.lockShard(sh)
 	defer sh.mu.Unlock()
 	f := bp.unpinLocked(sh, p)
 	f.dirty = true
@@ -385,7 +423,7 @@ func (bp *BufferPool) Unpin(p *Page, dirty bool) {
 // image is logged; the frame's WAL-before-data horizon advances to lsn.
 func (bp *BufferPool) UnpinLSN(p *Page, lsn wal.LSN) {
 	sh := &bp.shards[p.shard]
-	sh.mu.Lock()
+	bp.lockShard(sh)
 	defer sh.mu.Unlock()
 	f := bp.unpinLocked(sh, p)
 	f.dirty = true
@@ -400,7 +438,7 @@ func (bp *BufferPool) UnpinLSN(p *Page, lsn wal.LSN) {
 // until ResolvePending assigns the record's LSN at the commit point.
 func (bp *BufferPool) UnpinDeferredOp(p *Page) {
 	sh := &bp.shards[p.shard]
-	sh.mu.Lock()
+	bp.lockShard(sh)
 	defer sh.mu.Unlock()
 	f := bp.unpinLocked(sh, p)
 	f.dirty = true

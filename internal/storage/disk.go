@@ -40,6 +40,13 @@ func (s *IOStats) Snapshot() (reads, writes, allocs int64) {
 	return s.Reads.Load(), s.Writes.Load(), s.Allocs.Load()
 }
 
+// Reset zeroes the counters (SHOW STATS RESET).
+func (s *IOStats) Reset() {
+	s.Reads.Store(0)
+	s.Writes.Store(0)
+	s.Allocs.Store(0)
+}
+
 // DiskManager reads and writes fixed-size pages by PageID.
 type DiskManager interface {
 	// PageSize returns the fixed page size in bytes.

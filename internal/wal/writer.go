@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // DefaultSegmentBytes is the soft size limit of one segment file.
@@ -69,6 +71,14 @@ type Writer struct {
 	err       error // sticky I/O error; the log is unusable once set
 
 	stats Stats
+
+	// waits joins group commit to the engine's wait-event layer
+	// (AttachObs, once, before the writer is shared; nil when the WAL
+	// runs standalone): the leader's write+fsync is charged to
+	// wal_fsync, a follower parked on the leader's fsync to
+	// wal_commit_wait. Both sites already block — the timestamps cost
+	// nothing the group commit had not already paid.
+	waits *obs.WaitSet
 }
 
 // OpenWriter opens (creating if necessary) the log in dir and positions
@@ -165,6 +175,17 @@ func (w *Writer) Stats() Stats {
 	defer w.mu.Unlock()
 	return w.stats
 }
+
+// ResetStats zeroes the writer counters (SHOW STATS RESET).
+func (w *Writer) ResetStats() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stats = Stats{}
+}
+
+// AttachObs joins group commit to a wait-event set. Must be called
+// before the writer is shared across goroutines.
+func (w *Writer) AttachObs(ws *obs.WaitSet) { w.waits = ws }
 
 // Segments returns the number of segment files currently on disk.
 func (w *Writer) Segments() int {
@@ -424,7 +445,12 @@ func (w *Writer) syncLocked(target LSN) error {
 	for w.err == nil && w.durable < target {
 		if w.syncing {
 			w.stats.SyncWaits++
-			w.cond.Wait() // a leader's in-flight fsync may cover us
+			// A follower: the leader's in-flight fsync may cover us.
+			// The park is charged to wal_commit_wait — the group-commit
+			// sharing factor, seen as time instead of a count.
+			fm := w.waits.Begin(obs.WaitWALCommitWait)
+			w.cond.Wait()
+			w.waits.End(fm)
 			continue
 		}
 		w.syncing = true
@@ -433,6 +459,11 @@ func (w *Writer) syncLocked(target LSN) error {
 		w.buf = nil
 		f := w.f
 		w.mu.Unlock()
+		// The leader's write+fsync covers every record appended so far;
+		// its duration is the wal_fsync wait event and — when the leading
+		// statement is traced — a wal_fsync span on its timeline.
+		lm := w.waits.Begin(obs.WaitWALFsync)
+		sp := obs.Current().StartSpan("wal_fsync", "wal")
 		var err error
 		var n int
 		if len(buf) > 0 {
@@ -441,6 +472,8 @@ func (w *Writer) syncLocked(target LSN) error {
 		if err == nil {
 			err = f.Sync()
 		}
+		sp.End()
+		w.waits.End(lm)
 		w.mu.Lock()
 		w.syncing = false
 		w.segWritten += int64(n)
