@@ -38,6 +38,7 @@ func main() {
 	poolPages := flag.Int("pool", 0, "buffer-pool pages per file (default 1024)")
 	slowQuery := flag.Duration("slow-query", 0, "log statements at or over this duration to stderr (0 disables)")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON file per statement into this directory (empty disables)")
+	idleTxn := flag.Duration("idle-txn-timeout", 0, "roll back and disconnect sessions idle in an open transaction this long (0 disables)")
 	flag.Parse()
 
 	mode := wal.SyncCommit
@@ -64,6 +65,9 @@ func main() {
 		os.Exit(1)
 	}
 	srv := server.New(db)
+	if *idleTxn > 0 {
+		srv.SetIdleTxnTimeout(*idleTxn)
+	}
 
 	var httpL net.Listener
 	if *httpAddr != "" {

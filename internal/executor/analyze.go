@@ -57,7 +57,13 @@ func (t *Table) sampleHeap() ([]catalog.Tuple, error) {
 		j := i + rng.Intn(dataPages-i)
 		pi := at(j)
 		swapped[j] = at(i)
-		err := t.Heap.ScanPage(storage.PageID(pi+1), func(_ heap.RID, rec []byte) bool {
+		err := t.Heap.ScanPageVersions(storage.PageID(pi+1), func(_ heap.RID, h heap.TupleHeader, rec []byte) bool {
+			// Sample only versions a fresh snapshot could see: dead
+			// versions (aborted inserts, deleted rows awaiting VACUUM)
+			// would skew the statistics toward vanished data.
+			if h.Flags&heap.FlagXminAborted != 0 || h.Xmax != 0 {
+				return true
+			}
 			tup, err := catalog.DecodeTuple(rec)
 			if err != nil {
 				derr = err
@@ -235,7 +241,7 @@ func (t *Table) computeStats() (syscat.Stats, error) {
 	}
 	s := syscat.Stats{
 		TableOID:   t.oid,
-		Rows:       t.Heap.Count(),
+		Rows:       t.visibleCountLocked(),
 		SampleRows: int64(len(sample)),
 		Cols:       make([]catalog.ColumnStats, len(t.Columns)),
 	}

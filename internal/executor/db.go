@@ -79,43 +79,42 @@ type Table struct {
 	// statsOnce gates the lazy sampling run by ensureStats.
 	statsOnce sync.Once
 
-	// mu is the per-table statement lock, the second level of the lock
-	// hierarchy (below db.stmtMu, which every statement holds at least
-	// shared): readers of this table hold it shared, DML writers hold
-	// it exclusive. Writers on *different* tables therefore overlap —
-	// each holds db.stmtMu shared plus its own table's mu — and their
-	// commits meet in the write-ahead log's group-commit fsync. DDL
-	// needs no table locks: it takes db.stmtMu exclusive, which excludes
-	// every reader and writer at once.
+	// mu is the per-table *logical* write lock, the second level of the
+	// lock hierarchy (below db.stmtMu, which every statement holds at
+	// least shared). A transaction — implicit or explicit — acquires it
+	// through TxnManager.lockTable on first touch and keeps it until
+	// COMMIT/ROLLBACK, so two write transactions on one table never
+	// interleave, while writers on *different* tables overlap and meet
+	// in the write-ahead log's group-commit fsync. Readers never take
+	// it: they hold phys shared and filter versions through a snapshot.
+	// DDL needs no table locks either — it takes db.stmtMu exclusive,
+	// which excludes every statement at once (and refuses tables whose
+	// mu an open transaction owns; see TxnManager.lockedBy).
 	mu sync.RWMutex
+
+	// phys is the physical page latch, the third level: readers hold it
+	// shared for their whole plan+scan window, a writing transaction
+	// takes it exclusive only around actual page mutation — so a SELECT
+	// proceeds while a write transaction on the same table is open, and
+	// a scan never observes a torn page or a half-applied statement's
+	// in-flight slot writes. Always acquired after mu, never before.
+	phys sync.RWMutex
 
 	db *DB
 }
 
 // lockRead takes the locks of a read statement against t: the shared
-// catalog/DDL lock plus t's shared table lock. Waits (a DDL holding the
-// catalog lock, a writer holding this table) are charged to the
+// catalog/DDL lock plus t's shared physical latch. A writer transaction
+// on the same table blocks this only while it is actually mutating
+// pages, never for its full transaction. Waits are charged to the
 // lock-wait counter; the uncontended path reads no clock.
 func (t *Table) lockRead() {
 	rlockTimed(&t.db.stmtMu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockCatalog)
-	rlockTimed(&t.mu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockTable)
+	rlockTimed(&t.phys, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockTable)
 }
 
 func (t *Table) unlockRead() {
-	t.mu.RUnlock()
-	t.db.stmtMu.RUnlock()
-}
-
-// lockWrite takes the locks of a DML statement against t: the shared
-// catalog/DDL lock plus t's exclusive table lock. Concurrent writers on
-// other tables proceed; readers and writers of t wait.
-func (t *Table) lockWrite() {
-	rlockTimed(&t.db.stmtMu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockCatalog)
-	lockTimed(&t.mu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockTable)
-}
-
-func (t *Table) unlockWrite() {
-	t.mu.Unlock()
+	t.phys.RUnlock()
 	t.db.stmtMu.RUnlock()
 }
 
@@ -174,6 +173,14 @@ type DB struct {
 	catPool *storage.BufferPool // the catalog heap's own pool
 	rebuilt []string            // indexes rebuilt during Open (recorded invalid)
 	faults  FaultInjection
+
+	// tm is the transaction layer (txn.go): xid allocation, snapshots,
+	// the active-transaction set, and table-lock ownership. Always
+	// non-nil after Open.
+	tm *TxnManager
+	// lockTimeout bounds how long a DML statement polls for a table
+	// lock owned by another open transaction (Options.LockTimeout).
+	lockTimeout time.Duration
 
 	// met is the pg_stat layer: always non-nil, created at Open. See
 	// metrics.go.
@@ -262,6 +269,14 @@ type FaultInjection struct {
 	// commit — a crash here must recover with none of the statement
 	// visible. stmt names the statement, e.g. "INSERT t 1000".
 	BeforeDMLCommit func(stmt string) error
+	// BetweenDMLChunks runs inside an oversized DML statement after
+	// each pool-bounded chunk's records were appended to the log
+	// (under a plain marker, without the statement's transaction
+	// commit record). A crash here must recover with *none* of the
+	// statement visible — the chunks carry one uncommitted xid, and
+	// recovery's abort fixup hides them. stmt names the statement,
+	// chunksDone counts the appended chunks.
+	BetweenDMLChunks func(stmt string, chunksDone int) error
 }
 
 // Options configure a database.
@@ -283,6 +298,10 @@ type Options struct {
 	WALSync wal.SyncMode
 	// Faults injects test-only crash points into DDL statements.
 	Faults FaultInjection
+	// LockTimeout bounds how long a DML statement waits for a table
+	// write lock held by another open transaction before failing;
+	// defaults to DefaultLockTimeout.
+	LockTimeout time.Duration
 	// SlowQueryThreshold enables the slow-query log: a SQL statement
 	// whose execution exceeds it is written to SlowQueryLog with its
 	// text, duration, and buffer counters. Zero (the default) disables
@@ -317,6 +336,9 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	if opts.LockTimeout <= 0 {
+		opts.LockTimeout = DefaultLockTimeout
+	}
 	activity := obs.NewActivity()
 	db := &DB{
 		dir:                opts.Dir,
@@ -324,6 +346,7 @@ func Open(opts Options) (*DB, error) {
 		poolPages:          opts.PoolPages,
 		tables:             make(map[string]*Table),
 		faults:             opts.Faults,
+		lockTimeout:        opts.LockTimeout,
 		met:                newExecMetrics(),
 		activity:           activity,
 		waits:              obs.NewWaitSet(activity),
@@ -385,6 +408,9 @@ func Open(opts Options) (*DB, error) {
 		db.abandon()
 		return nil, err
 	}
+	// The transaction manager seeds its xid counter from the catalog's
+	// persisted high-water mark, so it comes up only after the catalog.
+	db.tm = newTxnManager(db)
 	if err := db.loadSchema(); err != nil {
 		db.abandon()
 		return nil, err
@@ -830,6 +856,17 @@ func (db *DB) Close() error {
 		db.discardAll()
 		return fmt.Errorf("executor: close discarded in-memory state poisoned by a failed DDL compensation: %w", db.broken)
 	}
+	// Roll back whatever transactions are still open: their versions are
+	// compensated in place, their abort records close their trails, and
+	// the checkpoint below no longer has live uncommitted xids to fear.
+	if db.tm != nil {
+		for _, tx := range db.tm.activeTxns() {
+			if err := db.rollbackTxn(tx); err != nil {
+				return err
+			}
+			db.met.txnRollback.Inc()
+		}
+	}
 	for _, t := range db.tables {
 		for _, ix := range t.Indexes {
 			if err := ix.Idx.Flush(); err != nil {
@@ -903,6 +940,13 @@ func (db *DB) Checkpoint() error {
 func (db *DB) checkpointLocked() error {
 	if err := db.poisoned(); err != nil {
 		return err
+	}
+	// A checkpoint recycles log segments, destroying the records that
+	// recovery's abort fixup would need to hide an open transaction's
+	// versions after a crash — refuse while any logged transaction is
+	// still in flight.
+	if db.wal != nil && db.tm != nil && db.tm.anyLoggedActive() {
+		return fmt.Errorf("executor: cannot checkpoint with an open transaction that has logged changes")
 	}
 	for _, t := range db.tables {
 		for _, ix := range t.Indexes {
@@ -995,6 +1039,19 @@ func (db *DB) commitPools(t *Table, pools []*storage.BufferPool) error {
 // set) atomically, and stamps the assigned LSNs back onto the covered
 // frames.
 func (db *DB) appendPools(pools []*storage.BufferPool, commit bool) error {
+	return db.appendPoolsXid(pools, commit, 0, 0)
+}
+
+// appendPoolsXid is appendPools with a transaction-boundary record
+// riding in the same atomic group: commitXid != 0 appends the
+// transaction's commit record (wal.RecTxnCommit) after the staged
+// records, abortXid != 0 its abort record. The boundary record and the
+// data records land under one marker, so recovery either sees the
+// transaction resolved together with its final records or not at all.
+func (db *DB) appendPoolsXid(pools []*storage.BufferPool, commit bool, commitXid, abortXid uint64) error {
+	if db.wal == nil {
+		return nil
+	}
 	if tr := obs.Current(); tr != nil {
 		sp := tr.StartSpan("wal_append", "wal")
 		defer sp.End()
@@ -1003,6 +1060,12 @@ func (db *DB) appendPools(pools []*storage.BufferPool, commit bool) error {
 	staged := make([][]storage.Staged, len(pools))
 	for i, bp := range pools {
 		staged[i] = bp.StagePending(g)
+	}
+	if commitXid != 0 {
+		g.AddTxnCommit(commitXid)
+	}
+	if abortXid != 0 {
+		g.AddTxnAbort(abortXid)
 	}
 	var lsns []wal.LSN
 	var err error
@@ -1020,6 +1083,14 @@ func (db *DB) appendPools(pools []*storage.BufferPool, commit bool) error {
 	return nil
 }
 
+// newAbortGroup builds the single-record group closing an aborted
+// transaction's trail in the log.
+func newAbortGroup(xid uint64) *wal.Group {
+	g := wal.NewGroup()
+	g.AddTxnAbort(xid)
+	return g
+}
+
 // tablePools lists the pools a DML statement against t can touch.
 func tablePools(t *Table) []*storage.BufferPool {
 	pools := make([]*storage.BufferPool, 0, 1+len(t.Indexes))
@@ -1028,24 +1099,6 @@ func tablePools(t *Table) []*storage.BufferPool {
 		pools = append(pools, ix.pool)
 	}
 	return pools
-}
-
-// abortTable cleans up after a DML statement that failed *after*
-// mutating pages (an index insert error, a pool exhausted mid-batch).
-// The already-applied mutations cannot be taken back — there is no undo
-// — so their deferred records are appended WITHOUT a marker: they ride
-// under the next statement's commit exactly as the per-row path's
-// eagerly-appended records always did, and the covered frames resolve
-// so the pool is not left holding unevictable ghosts that would wedge
-// every later statement. Skipped for injected faults (the test is about
-// to Crash() and the ops must vanish with the frames) and best-effort
-// otherwise: an append failure here is a sticky log error the next
-// statement reports.
-func (db *DB) abortTable(t *Table) {
-	if db.wal == nil {
-		return
-	}
-	db.appendPools(tablePools(t), false)
 }
 
 // commitWAL commits a statement that may have touched any pool — the
@@ -1335,8 +1388,13 @@ func (db *DB) attachIndex(t *Table, name string, column int, oc *catalog.Operato
 func (db *DB) buildIndex(t *Table, idx am.Index, ci int, bp *storage.BufferPool) (int, error) {
 	rows := 0
 	var err error
-	serr := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
-		tup, derr := catalog.DecodeTuple(rec)
+	serr := t.Heap.ScanVersions(func(rid heap.RID, h heap.TupleHeader, payload []byte) bool {
+		if h.Flags&heap.FlagXminAborted != 0 {
+			// A rolled-back insert: invisible to every snapshot and about
+			// to be vacuumed — indexing it would only leave a dead entry.
+			return true
+		}
+		tup, derr := catalog.DecodeTuple(payload)
 		if derr != nil {
 			err = derr
 			return false
@@ -1402,6 +1460,9 @@ func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName strin
 	}
 	if idxName == "" {
 		return nil, fmt.Errorf("executor: index needs a name")
+	}
+	if err := db.refuseLockedByTxn(t, "CREATE INDEX"); err != nil {
+		return nil, err
 	}
 	if _, dup := db.cat.GetIndex(idxName); dup {
 		return nil, fmt.Errorf("executor: index %q already exists", idxName)
@@ -1564,6 +1625,9 @@ func (db *DB) DropIndex(name string) error {
 		}
 	}
 	db.mu.Unlock()
+	if err := db.refuseLockedByTxn(t, "DROP INDEX"); err != nil {
+		return err
+	}
 	if err := db.cat.RemoveIndex(name); err != nil {
 		return err
 	}
@@ -1633,6 +1697,9 @@ func (db *DB) DropTable(name string) error {
 	db.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("executor: unknown table %q", name)
+	}
+	if err := db.refuseLockedByTxn(t, "DROP TABLE"); err != nil {
+		return err
 	}
 	// Remove every *cataloged* index of the table, not just the attached
 	// ones: a failed CREATE INDEX can leave a cataloged entry with no
@@ -1723,6 +1790,21 @@ func (db *DB) DropTable(name string) error {
 	return firstErr
 }
 
+// refuseLockedByTxn rejects DDL against a table whose write lock an
+// open transaction owns — dropping or rebuilding a relation under a
+// transaction that still holds undo references into it would tear the
+// rug out from its ROLLBACK. (PostgreSQL would queue on the relation
+// lock; this engine refuses immediately instead.)
+func (db *DB) refuseLockedByTxn(t *Table, stmt string) error {
+	if t == nil || db.tm == nil {
+		return nil
+	}
+	if tx := db.tm.lockedBy(t); tx != nil {
+		return fmt.Errorf("executor: %s: table %q is locked by open transaction %d", stmt, t.Name, tx.Xid())
+	}
+	return nil
+}
+
 // validateTuple checks one tuple against the table schema.
 func (t *Table) validateTuple(tup catalog.Tuple) error {
 	if len(tup) != len(t.Columns) {
@@ -1735,105 +1817,6 @@ func (t *Table) validateTuple(tup catalog.Tuple) error {
 		}
 	}
 	return nil
-}
-
-// Insert adds a row, maintaining all indexes, and returns its RID. It
-// holds the table's writer lock: inserts into other tables proceed
-// concurrently and their commits share one log fsync.
-func (t *Table) Insert(tup catalog.Tuple) (heap.RID, error) {
-	t.lockWrite()
-	defer t.unlockWrite()
-	if err := t.checkAttached(); err != nil {
-		return heap.InvalidRID, err
-	}
-	if err := t.validateTuple(tup); err != nil {
-		return heap.InvalidRID, err
-	}
-	rid, err := t.Heap.Insert(catalog.EncodeTuple(tup))
-	if err != nil {
-		t.db.abortTable(t)
-		return heap.InvalidRID, err
-	}
-	for _, ix := range t.Indexes {
-		if err := ix.Idx.Insert(tup[ix.Column], rid); err != nil {
-			t.db.abortTable(t)
-			return heap.InvalidRID, fmt.Errorf("executor: index %s: %w", ix.Name, err)
-		}
-	}
-	if err := t.db.commitTable(t); err != nil {
-		return heap.InvalidRID, err
-	}
-	t.bumpChurn(1)
-	t.db.met.stmtInsert.Inc()
-	t.db.met.tuplesInserted.Inc()
-	return rid, nil
-}
-
-// InsertBatch adds every row of tups as ONE batched statement — the
-// executor half of multi-row INSERT. All tuples are validated and
-// encoded up front, the heap fills each data page to capacity under a
-// single pin and covers it with a single batch log record, and index
-// maintenance is grouped (keys sorted so consecutive inserts descend
-// through the same just-decoded nodes; see am.InsertBatch). The batch
-// commits under one marker and one (group-shared) fsync and is
-// crash-atomic: a crash before the commit point recovers with none of
-// the batch visible. Two bounds on that guarantee: a batch larger than
-// insertChunkRows commits in pool-bounded chunks (each chunk
-// all-or-nothing), and a statement that *fails* — rather than crashes —
-// after mutating pages may leave a partially-applied prefix, exactly
-// like the per-row path (there is no undo; see abortTable). The
-// returned RIDs parallel tups.
-func (t *Table) InsertBatch(tups []catalog.Tuple) ([]heap.RID, error) {
-	if len(tups) == 0 {
-		return nil, nil
-	}
-	// Validate and encode before taking any lock or touching any page,
-	// so a malformed row fails the statement with nothing applied.
-	encoded := make([][]byte, len(tups))
-	for i, tup := range tups {
-		if err := t.validateTuple(tup); err != nil {
-			return nil, fmt.Errorf("executor: row %d: %w", i, err)
-		}
-		encoded[i] = catalog.EncodeTuple(tup)
-	}
-	t.lockWrite()
-	defer t.unlockWrite()
-	if err := t.checkAttached(); err != nil {
-		return nil, err
-	}
-	if f := t.db.faults.BeforeDMLCommit; f != nil {
-		// The crash point: nothing of the statement has reached the log.
-		if err := f(fmt.Sprintf("INSERT %s %d", t.Name, len(tups))); err != nil {
-			return nil, faultErr{err}
-		}
-	}
-	chunk := t.db.insertChunkRows()
-	rids := make([]heap.RID, 0, len(tups))
-	for base := 0; base < len(tups); base += chunk {
-		end := base + chunk
-		if end > len(tups) {
-			end = len(tups)
-		}
-		crids, err := t.Heap.InsertBatch(encoded[base:end])
-		if err != nil {
-			t.db.abortTable(t)
-			return nil, err
-		}
-		for _, ix := range t.Indexes {
-			if err := am.InsertBatch(ix.Idx, ix.Column, tups[base:end], crids); err != nil {
-				t.db.abortTable(t)
-				return nil, fmt.Errorf("executor: index %s: %w", ix.Name, err)
-			}
-		}
-		if err := t.db.commitTable(t); err != nil {
-			return nil, err
-		}
-		rids = append(rids, crids...)
-	}
-	t.bumpChurn(len(tups))
-	t.db.met.stmtInsert.Inc()
-	t.db.met.tuplesInserted.Add(int64(len(tups)))
-	return rids, nil
 }
 
 // checkAttached verifies, under the statement lock, that t is still the
@@ -1853,75 +1836,48 @@ func (t *Table) checkAttached() error {
 	return nil
 }
 
-// Get fetches a row by RID (a shared-lock read).
+// Get fetches the row at rid as the latest committed snapshot sees it
+// (a shared-latch read); nil for a missing, deleted, or uncommitted
+// version.
 func (t *Table) Get(rid heap.RID) (catalog.Tuple, error) {
+	return t.GetTx(nil, rid)
+}
+
+// GetTx is Get inside a transaction: tx's own writes are visible,
+// other transactions' uncommitted versions are not. tx may be nil.
+func (t *Table) GetTx(tx *Txn, rid heap.RID) (catalog.Tuple, error) {
 	t.lockRead()
 	defer t.unlockRead()
 	if err := t.checkAttached(); err != nil {
 		return nil, err
 	}
-	return t.get(rid)
+	snap := t.db.tm.snapshot(tx)
+	defer t.db.tm.release(snap)
+	return t.getVisible(snap, rid)
 }
 
-// get is Get without the statement lock, for callers that already hold
-// it (shared or exclusive).
-func (t *Table) get(rid heap.RID) (catalog.Tuple, error) {
-	rec, err := t.Heap.Get(rid)
-	if err != nil || rec == nil {
+// getVisible fetches the tuple at rid if snap can see its version.
+// Callers hold the statement lock and t.phys (shared or exclusive).
+func (t *Table) getVisible(snap *Snapshot, rid heap.RID) (catalog.Tuple, error) {
+	h, payload, err := t.Heap.GetVersion(rid)
+	if err != nil || payload == nil {
 		return nil, err
 	}
-	return catalog.DecodeTuple(rec)
+	if !snap.Visible(h) {
+		return nil, nil
+	}
+	return catalog.DecodeTuple(payload)
 }
 
-// RowCount returns the table's live row count under the shared table
-// lock. (Reaching for t.Heap.Count() directly is not concurrency-safe:
-// the heap's counter is maintained by writers under the table's writer
-// lock.)
+// RowCount returns the table's snapshot-visible live row count under
+// the shared latches — dead versions awaiting VACUUM and other
+// transactions' uncommitted rows are excluded. (Reaching for
+// t.Heap.Count() directly reports raw versions, not live rows.)
 func (t *Table) RowCount() int64 {
 	t.lockRead()
 	defer t.unlockRead()
 	if t.checkAttached() != nil {
 		return 0
 	}
-	return t.Heap.Count()
-}
-
-// DeleteRow removes one row by RID, maintaining all indexes. Like
-// Insert, it serializes only against statements on the same table.
-func (t *Table) DeleteRow(rid heap.RID) error {
-	t.lockWrite()
-	defer t.unlockWrite()
-	if err := t.checkAttached(); err != nil {
-		return err
-	}
-	if err := t.deleteRowLocked(rid); err != nil {
-		t.db.abortTable(t)
-		return err
-	}
-	if err := t.db.commitTable(t); err != nil {
-		return err
-	}
-	t.bumpChurn(1)
-	t.db.met.stmtDelete.Inc()
-	t.db.met.tuplesDeleted.Inc()
-	return nil
-}
-
-// deleteRowLocked removes one row under an already-held writer lock
-// without committing — the caller commits, so a multi-row DELETE
-// statement closes under a single marker.
-func (t *Table) deleteRowLocked(rid heap.RID) error {
-	tup, err := t.get(rid)
-	if err != nil {
-		return err
-	}
-	if tup == nil {
-		return nil
-	}
-	for _, ix := range t.Indexes {
-		if _, err := ix.Idx.Delete(tup[ix.Column], rid); err != nil {
-			return fmt.Errorf("executor: index %s: %w", ix.Name, err)
-		}
-	}
-	return t.Heap.Delete(rid)
+	return t.visibleCountLocked()
 }

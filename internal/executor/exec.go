@@ -19,27 +19,38 @@ type Row struct {
 // Select plans and runs `SELECT * FROM t [WHERE pred]`, emitting rows
 // until emit returns false. Index hits are rechecked against the heap
 // tuple, so lossy access methods (R-tree MBRs, B+-tree wildcard prefix
-// ranges) never produce false positives. Select takes the shared
-// catalog lock plus this table's shared lock: any number of Selects run
-// concurrently, excluded only by writers on the same table.
+// ranges) never produce false positives. The statement reads through a
+// fresh READ COMMITTED snapshot: any number of Selects run
+// concurrently — with each other AND with writers on the same table,
+// whose uncommitted versions the snapshot simply does not admit. Only
+// the page mutation window (a writer's physical latch) excludes a
+// reader, never a transaction's think time.
 func (t *Table) Select(pred *Pred, emit func(Row) bool) (*Plan, error) {
-	t.lockRead()
-	defer t.unlockRead()
-	t.db.met.stmtSelect.Inc()
-	return t.selectLocked(pred, emit)
+	return t.SelectTx(nil, pred, emit)
 }
 
-// selectLocked is Select under an already-held statement lock (shared or
-// exclusive).
-func (t *Table) selectLocked(pred *Pred, emit func(Row) bool) (*Plan, error) {
+// SelectTx is Select inside transaction tx (nil for autocommit): the
+// snapshot additionally admits tx's own uncommitted writes.
+func (t *Table) SelectTx(tx *Txn, pred *Pred, emit func(Row) bool) (*Plan, error) {
+	t.lockRead()
+	defer t.unlockRead()
 	if err := t.checkAttached(); err != nil {
 		return nil, err
 	}
+	t.db.met.stmtSelect.Inc()
+	snap := t.db.tm.snapshot(tx)
+	defer t.db.tm.release(snap)
+	return t.selectLocked(snap, pred, emit)
+}
+
+// selectLocked is Select through an existing snapshot, under an
+// already-held statement lock (shared or exclusive).
+func (t *Table) selectLocked(snap *Snapshot, pred *Pred, emit func(Row) bool) (*Plan, error) {
 	plan, err := t.planSelect(pred)
 	if err != nil {
 		return nil, err
 	}
-	_, _, err = t.run(plan, emit)
+	_, _, err = t.run(snap, plan, emit)
 	return plan, err
 }
 
@@ -47,8 +58,8 @@ func (t *Table) selectLocked(pred *Pred, emit func(Row) bool) (*Plan, error) {
 // cost-based access-path choice — the moral equivalent of PostgreSQL's
 // enable_seqscan=off. Tests and demos use it to prove a particular index
 // structure answers correctly (e.g. after crash recovery) even when the
-// planner would prefer a sequential scan on a small table. Shared locks,
-// like Select.
+// planner would prefer a sequential scan on a small table. Snapshot
+// reads, like Select.
 func (t *Table) SelectIndexed(ix *IndexInfo, pred *Pred, emit func(Row) bool) error {
 	if pred == nil || pred.Column != ix.Column {
 		return fmt.Errorf("executor: SelectIndexed needs a predicate on the indexed column")
@@ -62,15 +73,22 @@ func (t *Table) SelectIndexed(ix *IndexInfo, pred *Pred, emit func(Row) bool) er
 		return err
 	}
 	t.db.met.stmtSelect.Inc()
-	_, _, err := t.run(&Plan{Kind: IndexScan, Table: t, Index: ix, Pred: pred, Recheck: true}, emit)
+	snap := t.db.tm.snapshot(nil)
+	defer t.db.tm.release(snap)
+	_, _, err := t.run(snap, &Plan{Kind: IndexScan, Table: t, Index: ix, Pred: pred, Recheck: true}, emit)
 	return err
 }
 
-// run executes a SeqScan or IndexScan plan, returning how many tuples
-// it read (pre-filter) and emitted. Tuple counts accumulate locally and
-// reach the cumulative counters in one Add per statement, keeping the
+// run executes a SeqScan or IndexScan plan through snap, returning how
+// many tuples it read (post-visibility, pre-filter) and emitted. Both
+// paths apply MVCC visibility: the seq scan filters versions against
+// the snapshot inline, and the index path rechecks every RID against
+// the heap version — index entries are never removed by DELETE or
+// UPDATE, so a pointer to a dead or not-yet-committed version is
+// normal and simply skipped. Tuple counts accumulate locally and reach
+// the cumulative counters in one Add per statement, keeping the
 // per-row path free of shared-cacheline traffic.
-func (t *Table) run(plan *Plan, emit func(Row) bool) (scanned, emitted int64, err error) {
+func (t *Table) run(snap *Snapshot, plan *Plan, emit func(Row) bool) (scanned, emitted int64, err error) {
 	m := t.db.met
 	defer func() {
 		m.tuplesRead.Add(scanned)
@@ -104,7 +122,10 @@ func (t *Table) run(plan *Plan, emit func(Row) bool) (scanned, emitted int64, er
 	case SeqScan:
 		m.planSeqScan.Inc()
 		var derr error
-		err := t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+		err := t.Heap.ScanVersions(func(rid heap.RID, h heap.TupleHeader, rec []byte) bool {
+			if !snap.Visible(h) {
+				return true
+			}
 			tup, e := catalog.DecodeTuple(rec)
 			if e != nil {
 				derr = e
@@ -121,13 +142,13 @@ func (t *Table) run(plan *Plan, emit func(Row) bool) (scanned, emitted int64, er
 		plan.Index.scans.Inc()
 		var ierr error
 		err := plan.Index.Idx.Scan(plan.Pred.Op, plan.Pred.Arg, func(rid heap.RID) bool {
-			tup, e := t.get(rid)
+			tup, e := t.getVisible(snap, rid)
 			if e != nil {
 				ierr = e
 				return false
 			}
 			if tup == nil {
-				return true // index points at a vacuumed row; skip
+				return true // dead or invisible version; skip
 			}
 			return accept(rid, tup)
 		})
@@ -148,9 +169,10 @@ type NNResult struct {
 
 // SelectNN plans and runs `SELECT * FROM t ORDER BY col <-> arg LIMIT k`
 // via the incremental NN search when an index provides it, falling back
-// to scan-and-sort. k < 0 means "all rows", resolved against the row
-// count inside this statement's lock window so an unlimited query stays
-// atomic against concurrent inserts. Shared locks, like Select.
+// to scan-and-sort. k < 0 means "all rows", resolved against the heap's
+// version count inside this statement's lock window (an upper bound on
+// visible rows, which is all a LIMIT needs). Snapshot reads, like
+// Select.
 func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, *Plan, error) {
 	ci, err := t.colIndex(colName)
 	if err != nil {
@@ -162,6 +184,8 @@ func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, 
 		return nil, nil, err
 	}
 	t.db.met.stmtNN.Inc()
+	snap := t.db.tm.snapshot(nil)
+	defer t.db.tm.release(snap)
 	if k < 0 {
 		k = int(t.Heap.Count())
 	}
@@ -182,12 +206,12 @@ func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, 
 			if !ok {
 				break
 			}
-			tup, err := t.get(rid)
+			tup, err := t.getVisible(snap, rid)
 			if err != nil {
 				return nil, nil, err
 			}
 			if tup == nil {
-				continue
+				continue // dead or invisible version; skip
 			}
 			out = append(out, NNResult{Row: Row{RID: rid, Tuple: tup}, Distance: dist})
 		}
@@ -198,7 +222,10 @@ func (t *Table) SelectNN(colName string, arg catalog.Datum, k int) ([]NNResult, 
 	t.db.met.planSeqScan.Inc()
 	var all []NNResult
 	var derr error
-	err = t.Heap.Scan(func(rid heap.RID, rec []byte) bool {
+	err = t.Heap.ScanVersions(func(rid heap.RID, h heap.TupleHeader, rec []byte) bool {
+		if !snap.Visible(h) {
+			return true
+		}
 		tup, e := catalog.DecodeTuple(rec)
 		if e != nil {
 			derr = e
@@ -243,54 +270,4 @@ func Distance(l, r catalog.Datum) (float64, error) {
 	default:
 		return 0, fmt.Errorf("executor: no distance between %v and %v", l.Typ, r.Typ)
 	}
-}
-
-// DeleteWhere removes every row matching pred (all rows when pred is
-// nil), returning how many were removed. The whole statement — the
-// qualifying scan and the row deletions — runs under this table's
-// writer lock, so no reader observes its intermediate states, and
-// deletes on one table no longer block reads or writes on any other
-// table (only the catalog lock is held shared). Deletes up to
-// deleteChunkRows commit under a single marker — all rows back, or all
-// gone, across a crash; larger deletes commit in pool-bounded chunks
-// (every dirtied page is unevictable until its records append, so an
-// unbounded single-marker statement could exhaust the buffer pool).
-func (t *Table) DeleteWhere(pred *Pred) (int, error) {
-	t.lockWrite()
-	defer t.unlockWrite()
-	if err := t.checkAttached(); err != nil {
-		return 0, err
-	}
-	var rids []heap.RID
-	if _, err := t.selectLocked(pred, func(r Row) bool {
-		rids = append(rids, r.RID)
-		return true
-	}); err != nil {
-		return 0, err
-	}
-	if f := t.db.faults.BeforeDMLCommit; f != nil {
-		// The crash point: nothing of the statement has reached the log.
-		if err := f(fmt.Sprintf("DELETE %s %d", t.Name, len(rids))); err != nil {
-			return 0, faultErr{err}
-		}
-	}
-	chunk := t.db.deleteChunkRows()
-	for i, rid := range rids {
-		if err := t.deleteRowLocked(rid); err != nil {
-			t.db.abortTable(t)
-			return 0, err
-		}
-		if (i+1)%chunk == 0 {
-			if err := t.db.commitTable(t); err != nil {
-				return 0, err
-			}
-		}
-	}
-	if err := t.db.commitTable(t); err != nil {
-		return 0, err
-	}
-	t.bumpChurn(len(rids))
-	t.db.met.stmtDelete.Inc()
-	t.db.met.tuplesDeleted.Add(int64(len(rids)))
-	return len(rids), nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/heap"
 	"repro/internal/obs"
 	"repro/internal/storage"
 )
@@ -22,11 +23,18 @@ type execMetrics struct {
 	stmtNN     *obs.Counter
 	stmtInsert *obs.Counter
 	stmtDelete *obs.Counter
+	stmtUpdate *obs.Counter
+
+	txnBegin    *obs.Counter
+	txnCommit   *obs.Counter
+	txnRollback *obs.Counter
 
 	rowsReturned   *obs.Counter
 	tuplesRead     *obs.Counter
 	tuplesInserted *obs.Counter
 	tuplesDeleted  *obs.Counter
+	tuplesUpdated  *obs.Counter
+	tuplesVacuumed *obs.Counter
 
 	planSeqScan   *obs.Counter
 	planIndexScan *obs.Counter
@@ -43,10 +51,16 @@ func newExecMetrics() *execMetrics {
 		stmtNN:         reg.Counter("exec_select_nn_total"),
 		stmtInsert:     reg.Counter("exec_insert_total"),
 		stmtDelete:     reg.Counter("exec_delete_total"),
+		stmtUpdate:     reg.Counter("exec_update_total"),
+		txnBegin:       reg.Counter("exec_txn_begin_total"),
+		txnCommit:      reg.Counter("exec_txn_commit_total"),
+		txnRollback:    reg.Counter("exec_txn_rollback_total"),
 		rowsReturned:   reg.Counter("exec_rows_returned_total"),
 		tuplesRead:     reg.Counter("exec_tuples_read_total"),
 		tuplesInserted: reg.Counter("exec_tuples_inserted_total"),
 		tuplesDeleted:  reg.Counter("exec_tuples_deleted_total"),
+		tuplesUpdated:  reg.Counter("exec_tuples_updated_total"),
+		tuplesVacuumed: reg.Counter("exec_tuples_vacuumed_total"),
 		planSeqScan:    reg.Counter("exec_plan_seqscan_total"),
 		planIndexScan:  reg.Counter("exec_plan_indexscan_total"),
 		planNNScan:     reg.Counter("exec_plan_nnscan_total"),
@@ -171,7 +185,8 @@ func (t *Table) Stats() ([]TableStat, error) {
 	}
 	t.statsMu.Unlock()
 	out := []TableStat{
-		{"rows", t.Heap.Count()},
+		{"rows", t.visibleCountLocked()},
+		{"heap_versions", t.Heap.Count()},
 		{"heap_pages", int64(t.Heap.NumPages())},
 		{"churn_since_analyze", churn},
 		{"analyzed", analyzed},
@@ -187,17 +202,35 @@ func (t *Table) Stats() ([]TableStat, error) {
 	return out, nil
 }
 
-// RowCountShared reads the live row count while the caller already
-// holds ShareLock: it takes only this table's own shared lock, because
-// RowCount would re-enter the shared statement lock, which sync.RWMutex
-// forbids while a writer is queued. Returns 0 for a dropped table.
+// RowCountShared reads the snapshot-visible live row count while the
+// caller already holds ShareLock: it takes only this table's physical
+// latch, because RowCount would re-enter the shared statement lock,
+// which sync.RWMutex forbids while a writer is queued. Unlike the raw
+// heap record count, dead versions — committed deletes not yet
+// vacuumed, rolled-back inserts, another transaction's uncommitted
+// rows — are excluded. Returns 0 for a dropped table.
 func (t *Table) RowCountShared() int64 {
-	rlockTimed(&t.mu, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockTable)
-	defer t.mu.RUnlock()
+	rlockTimed(&t.phys, t.db.met.lockWaitNs, t.db.waits, obs.WaitLockTable)
+	defer t.phys.RUnlock()
 	if t.checkAttached() != nil {
 		return 0
 	}
-	return t.Heap.Count()
+	return t.visibleCountLocked()
+}
+
+// visibleCountLocked counts the heap versions visible to a fresh
+// snapshot. Caller holds t.phys (shared or exclusive).
+func (t *Table) visibleCountLocked() int64 {
+	snap := t.db.tm.snapshot(nil)
+	defer t.db.tm.release(snap)
+	var n int64
+	t.Heap.ScanVersions(func(_ heap.RID, h heap.TupleHeader, _ []byte) bool {
+		if snap.Visible(h) {
+			n++
+		}
+		return true
+	})
+	return n
 }
 
 // rlockTimed takes mu's read lock, charging any wait to c and recording
@@ -278,8 +311,10 @@ func (t *Table) SelectAnalyzed(pred *Pred, emit func(Row) bool) (*Plan, *RunStat
 	if traced {
 		plan.Index.Idx.StartPageTrace()
 	}
+	snap := t.db.tm.snapshot(nil)
+	defer t.db.tm.release(snap)
 	start := time.Now()
-	scanned, emitted, err := t.run(plan, emit)
+	scanned, emitted, err := t.run(snap, plan, emit)
 	rs.Elapsed = time.Since(start)
 	rs.Scanned, rs.Rows = scanned, emitted
 	if traced {

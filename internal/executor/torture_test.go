@@ -30,7 +30,13 @@ import (
 //     index exists *rebuilt and valid* after recovery;
 //   - statistics are whole: either the pre-crash record or the new one,
 //     with exactly the row count the model predicts — never torn;
-//   - no ghost records, no partial index files, no orphaned data files.
+//   - no ghost records, no partial index files, no orphaned data files;
+//   - a statement (INSERT batch, DELETE, UPDATE) that crashed at its
+//     commit point — or at a chunk boundary mid-statement — applies
+//     NOTHING: recovery's abort fixup hides every version its xid wrote;
+//   - an explicit BEGIN...COMMIT block is all-or-nothing across all its
+//     statements: a crash or ROLLBACK anywhere inside leaves the state
+//     exactly as it was before BEGIN.
 
 var errTortureCrash = errors.New("torture: injected crash")
 
@@ -69,6 +75,34 @@ type tortureModel struct {
 
 func tortureCols() []executor.Column {
 	return []executor.Column{{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int}}
+}
+
+// modelDeletePrefix mirrors DELETE WHERE name #= prefix on a model
+// multiset (keys are "name|id", so a name prefix is a key prefix).
+func modelDeletePrefix(rows map[string]int, prefix string) {
+	for k := range rows {
+		if strings.HasPrefix(k, prefix) {
+			delete(rows, k)
+		}
+	}
+}
+
+// modelUpdatePrefix mirrors UPDATE SET name = newWord WHERE name #=
+// prefix: matching is decided against the statement's snapshot first,
+// then every matched key is rewritten — so a newWord that itself bears
+// the prefix is not re-matched, same as the engine.
+func modelUpdatePrefix(rows map[string]int, prefix, newWord string) {
+	var matched []string
+	for k := range rows {
+		if strings.HasPrefix(k, prefix) {
+			matched = append(matched, k)
+		}
+	}
+	for _, k := range matched {
+		c := rows[k]
+		delete(rows, k)
+		rows[newWord+k[strings.LastIndex(k, "|"):]] += c
+	}
 }
 
 // verifyTorture opens the database cleanly and checks every consistency
@@ -216,6 +250,7 @@ func runTorture(t *testing.T, seed int64, steps int) {
 		BeforeDDLCommit:  func(string) error { return arm.hook() },
 		DuringIndexBuild: func(int) error { return arm.hook() },
 		BeforeDMLCommit:  func(string) error { return arm.hook() },
+		BetweenDMLChunks: func(string, int) error { return arm.hook() },
 	}
 	open := func() *executor.DB {
 		db, err := executor.Open(executor.Options{Dir: dir, WAL: true, PoolPages: 16, WALSync: wal.SyncCommit, Faults: faults})
@@ -261,7 +296,7 @@ func runTorture(t *testing.T, seed int64, steps int) {
 		}
 		sort.Strings(live)
 
-		switch op := rng.Intn(10); {
+		switch op := rng.Intn(12); {
 		case op == 0 && len(live) < len(tableNames): // CREATE TABLE
 			var name string
 			for _, n := range tableNames {
@@ -381,14 +416,27 @@ func runTorture(t *testing.T, seed int64, steps int) {
 				t.Fatalf("seed %d step %d: %v", seed, step, err)
 			}
 			n := 1 + rng.Intn(8)
+			hitCrash := false
 			for i := 0; i < n; i++ {
 				word := fmt.Sprintf("w%c%c%02d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))
 				id := mt.nextID
 				mt.nextID++
-				if _, err := tb.Insert(catalog.Tuple{catalog.NewText(word), catalog.NewInt(int64(id))}); err != nil {
+				_, err := tb.Insert(catalog.Tuple{catalog.NewText(word), catalog.NewInt(int64(id))})
+				if errors.Is(err, errTortureCrash) {
+					// Each per-row INSERT is its own implicit transaction:
+					// earlier rows of this step committed and stay, the
+					// crashed one vanishes.
+					crashed(step)
+					hitCrash = true
+					break
+				}
+				if err != nil {
 					t.Fatalf("seed %d step %d: insert: %v", seed, step, err)
 				}
 				mt.rows[fmt.Sprintf("%s|%d", word, id)]++
+			}
+			if hitCrash {
+				continue
 			}
 
 		case op == 8 && len(live) > 0: // multi-row INSERT (one batched statement)
@@ -440,9 +488,109 @@ func runTorture(t *testing.T, seed int64, steps int) {
 			if err != nil {
 				t.Fatalf("seed %d step %d: delete: %v", seed, step, err)
 			}
-			for k := range mt.rows {
-				if strings.HasPrefix(k, prefix) {
-					delete(mt.rows, k)
+			modelDeletePrefix(mt.rows, prefix)
+
+		case op == 10 && len(live) > 0: // UPDATE SET name = w... WHERE name #= prefix
+			name := live[rng.Intn(len(live))]
+			mt := model.tables[name]
+			tb, err := db.Table(name)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			prefix := fmt.Sprintf("w%c", 'a'+rng.Intn(6))
+			newWord := fmt.Sprintf("w%c%c%02d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))
+			_, err = tb.UpdateWhere(&executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText(prefix)},
+				[]executor.ColUpdate{{Column: 0, Value: catalog.NewText(newWord)}})
+			if errors.Is(err, errTortureCrash) {
+				// One statement, one commit marker: a crash anywhere inside
+				// (old-version stamping, successor insert, chunk boundary)
+				// recovers with every row at its pre-UPDATE value.
+				crashed(step)
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d step %d: update: %v", seed, step, err)
+			}
+			modelUpdatePrefix(mt.rows, prefix, newWord)
+
+		case op == 11 && len(live) > 0: // explicit BEGIN; 1-3 DML; COMMIT or ROLLBACK
+			name := live[rng.Intn(len(live))]
+			mt := model.tables[name]
+			tb, err := db.Table(name)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			tx, err := db.Begin()
+			if err != nil {
+				t.Fatalf("seed %d step %d: begin: %v", seed, step, err)
+			}
+			// The transaction's statements see their own prior writes, so
+			// stage the model changes on a scratch copy and merge only on
+			// COMMIT. IDs are uniqueness tokens: advance mt.nextID even
+			// when the transaction never lands.
+			staged := make(map[string]int, len(mt.rows))
+			for k, c := range mt.rows {
+				staged[k] = c
+			}
+			hitCrash := false
+			for s, nStmt := 0, 1+rng.Intn(3); s < nStmt && !hitCrash; s++ {
+				switch rng.Intn(3) {
+				case 0: // batch insert, sometimes big enough to chunk
+					n := 1 + rng.Intn(80)
+					tups := make([]catalog.Tuple, 0, n)
+					keys := make([]string, 0, n)
+					for i := 0; i < n; i++ {
+						word := fmt.Sprintf("w%c%c%02d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))
+						id := mt.nextID
+						mt.nextID++
+						tups = append(tups, catalog.Tuple{catalog.NewText(word), catalog.NewInt(int64(id))})
+						keys = append(keys, fmt.Sprintf("%s|%d", word, id))
+					}
+					_, err = tb.InsertBatchTx(tx, tups)
+					if err == nil {
+						for _, k := range keys {
+							staged[k]++
+						}
+					}
+				case 1: // delete prefix
+					prefix := fmt.Sprintf("w%c", 'a'+rng.Intn(6))
+					_, err = tb.DeleteWhereTx(tx, &executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText(prefix)})
+					if err == nil {
+						modelDeletePrefix(staged, prefix)
+					}
+				default: // update prefix
+					prefix := fmt.Sprintf("w%c", 'a'+rng.Intn(6))
+					newWord := fmt.Sprintf("w%c%c%02d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))
+					_, err = tb.UpdateWhereTx(tx, &executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText(prefix)},
+						[]executor.ColUpdate{{Column: 0, Value: catalog.NewText(newWord)}})
+					if err == nil {
+						modelUpdatePrefix(staged, prefix, newWord)
+					}
+				}
+				if errors.Is(err, errTortureCrash) {
+					// Crash mid-transaction: no commit record ever reaches
+					// the log, so recovery hides the WHOLE block — earlier
+					// statements of this transaction included. The stale
+					// tx handle is abandoned with the crashed database.
+					crashed(step)
+					hitCrash = true
+					break
+				}
+				if err != nil {
+					t.Fatalf("seed %d step %d: txn stmt: %v", seed, step, err)
+				}
+			}
+			if hitCrash {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				if err := tx.Commit(); err != nil {
+					t.Fatalf("seed %d step %d: commit: %v", seed, step, err)
+				}
+				mt.rows = staged
+			} else {
+				if err := tx.Rollback(); err != nil {
+					t.Fatalf("seed %d step %d: rollback: %v", seed, step, err)
 				}
 			}
 		}
@@ -515,21 +663,32 @@ func concurrentPhase(t *testing.T, db *executor.DB, name string, mt *modelTable,
 			}
 		}(g)
 	}
-	// The writer half: a burst of inserts and prefix deletes, tracked in
-	// the model exactly like the sequential ops.
+	// The writer half: a burst of inserts, prefix deletes, and prefix
+	// updates, tracked in the model exactly like the sequential ops.
+	// The readers run against live MVCC versions of the same table the
+	// whole time — each of their scans is one snapshot over rows the
+	// writer is concurrently stamping dead and superseding.
 	for i, n := 0, 5+rng.Intn(10); i < n; i++ {
-		if rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
 			prefix := fmt.Sprintf("w%c", 'a'+rng.Intn(6))
 			if _, err := tb.DeleteWhere(&executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText(prefix)}); err != nil {
 				close(stop)
 				wg.Wait()
 				t.Fatalf("concurrent phase: delete: %v", err)
 			}
-			for k := range mt.rows {
-				if strings.HasPrefix(k, prefix) {
-					delete(mt.rows, k)
-				}
+			modelDeletePrefix(mt.rows, prefix)
+			continue
+		case 1:
+			prefix := fmt.Sprintf("w%c", 'a'+rng.Intn(6))
+			newWord := fmt.Sprintf("w%c%c%02d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))
+			if _, err := tb.UpdateWhere(&executor.Pred{Column: 0, Op: "#=", Arg: catalog.NewText(prefix)},
+				[]executor.ColUpdate{{Column: 0, Value: catalog.NewText(newWord)}}); err != nil {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("concurrent phase: update: %v", err)
 			}
+			modelUpdatePrefix(mt.rows, prefix, newWord)
 			continue
 		}
 		word := fmt.Sprintf("w%c%c%02d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))

@@ -49,6 +49,58 @@ func RIDFromBytes(b []byte) RID {
 // RIDSize is the encoded size of a RID.
 const RIDSize = 6
 
+// Every heap record is prefixed by a fixed MVCC version header, the
+// xmin/xmax/infomask triple of a PostgreSQL heap tuple:
+//
+//	+--------+--------+---------+----------- - -
+//	| xmin:8 | xmax:8 | flags:2 | payload ...
+//	+--------+--------+---------+----------- - -
+//
+// xmin is the inserting transaction, xmax the deleting one (0 = not
+// deleted). xmin 0 is the frozen transaction: such tuples predate the
+// MVCC machinery (system-catalog records, the legacy Insert API) and
+// are visible to every snapshot.
+const (
+	// TupleHeaderSize is the fixed per-record MVCC header size.
+	TupleHeaderSize = 18
+	// FlagXminAborted marks a tuple whose inserting transaction rolled
+	// back (or was judged aborted by crash recovery): invisible to every
+	// snapshot, reclaimable by VACUUM.
+	FlagXminAborted uint16 = 0x1
+)
+
+// TupleHeader is the decoded MVCC version header of one heap record.
+type TupleHeader struct {
+	Xmin  uint64
+	Xmax  uint64
+	Flags uint16
+}
+
+// EncodeTuple prepends h to payload, producing the on-page record bytes.
+func EncodeTuple(h TupleHeader, payload []byte) []byte {
+	rec := make([]byte, TupleHeaderSize+len(payload))
+	binary.LittleEndian.PutUint64(rec[0:], h.Xmin)
+	binary.LittleEndian.PutUint64(rec[8:], h.Xmax)
+	binary.LittleEndian.PutUint16(rec[16:], h.Flags)
+	copy(rec[TupleHeaderSize:], payload)
+	return rec
+}
+
+// ParseTuple splits on-page record bytes into the version header and the
+// payload (aliasing rec, not copying). Records shorter than the header —
+// impossible through this package's insert paths — parse as frozen with
+// the whole record as payload.
+func ParseTuple(rec []byte) (TupleHeader, []byte) {
+	if len(rec) < TupleHeaderSize {
+		return TupleHeader{}, rec
+	}
+	return TupleHeader{
+		Xmin:  binary.LittleEndian.Uint64(rec[0:]),
+		Xmax:  binary.LittleEndian.Uint64(rec[8:]),
+		Flags: binary.LittleEndian.Uint16(rec[16:]),
+	}, rec[TupleHeaderSize:]
+}
+
 // Heap file metadata page layout (page 0).
 const (
 	metaMagic   = 0x48454150 // "HEAP"
@@ -182,8 +234,17 @@ func (f *File) unpinBatchLogged(p *storage.Page, slots []uint16, recs [][]byte) 
 	return nil
 }
 
-// Insert appends rec and returns its RID.
-func (f *File) Insert(rec []byte) (RID, error) {
+// Insert appends payload as a frozen tuple (xmin 0, visible to every
+// snapshot) and returns its RID — the legacy single-row API, used by the
+// system catalog and version-agnostic callers.
+func (f *File) Insert(payload []byte) (RID, error) {
+	return f.InsertTx(payload, 0)
+}
+
+// InsertTx appends payload as a new tuple version created by transaction
+// xmin and returns its RID.
+func (f *File) InsertTx(payload []byte, xmin uint64) (RID, error) {
+	rec := EncodeTuple(TupleHeader{Xmin: xmin}, payload)
 	if len(rec) > storage.SlotCapacity(f.bp.DM().PageSize()) {
 		return InvalidRID, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(rec))
 	}
@@ -226,14 +287,23 @@ func (f *File) Insert(rec []byte) (RID, error) {
 // capacity under a single pin (instead of re-pinning per record the way
 // per-row Insert does) and covering each filled page with one batch log
 // record rather than one record per tuple. The returned RIDs parallel
-// recs. The heap metadata is saved once for the whole batch. recs
-// slices are retained until the statement commits; callers pass freshly
-// encoded tuples.
-func (f *File) InsertBatch(recs [][]byte) ([]RID, error) {
+// recs. The heap metadata is saved once for the whole batch. The frozen
+// (xmin 0) twin of InsertBatchTx.
+func (f *File) InsertBatch(payloads [][]byte) ([]RID, error) {
+	return f.InsertBatchTx(payloads, 0)
+}
+
+// InsertBatchTx appends every payload as a new tuple version created by
+// transaction xmin. The encoded records are retained until the statement
+// commits (they are freshly allocated here, so callers may reuse their
+// payload slices).
+func (f *File) InsertBatchTx(payloads [][]byte, xmin uint64) ([]RID, error) {
 	capacity := storage.SlotCapacity(f.bp.DM().PageSize())
-	for _, rec := range recs {
-		if len(rec) > capacity {
-			return nil, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(rec))
+	recs := make([][]byte, len(payloads))
+	for i, payload := range payloads {
+		recs[i] = EncodeTuple(TupleHeader{Xmin: xmin}, payload)
+		if len(recs[i]) > capacity {
+			return nil, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(recs[i]))
 		}
 	}
 	rids := make([]RID, 0, len(recs))
@@ -282,24 +352,117 @@ func (f *File) InsertBatch(recs [][]byte) ([]RID, error) {
 	return rids, f.saveMeta()
 }
 
-// Get returns a copy of the record at rid, or nil if it does not exist.
+// Get returns a copy of the record payload at rid (version header
+// stripped), or nil if no record exists there. Version-blind: callers
+// that honor snapshots use GetVersion.
 func (f *File) Get(rid RID) ([]byte, error) {
+	_, payload, err := f.GetVersion(rid)
+	return payload, err
+}
+
+// GetVersion returns the version header and a copy of the payload of the
+// record at rid, or a nil payload if no record exists there.
+func (f *File) GetVersion(rid RID) (TupleHeader, []byte, error) {
 	if !rid.Valid() || uint32(rid.Page) >= f.NumPages() {
-		return nil, nil
+		return TupleHeader{}, nil, nil
 	}
 	p, err := f.bp.Fetch(rid.Page)
 	if err != nil {
-		return nil, err
+		return TupleHeader{}, nil, err
 	}
 	defer f.bp.Unpin(p, false)
 	rec := storage.SlotRead(p.Data, int(rid.Slot))
 	if rec == nil {
-		return nil, nil
+		return TupleHeader{}, nil, nil
 	}
-	out := make([]byte, len(rec))
-	copy(out, rec)
-	return out, nil
+	h, payload := ParseTuple(rec)
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return h, out, nil
 }
+
+// headerOp discriminates the three version-header mutations.
+type headerOp int
+
+const (
+	opSetXmax headerOp = iota
+	opClearXmax
+	opMarkAborted
+)
+
+// setHeader rewrites part of the version header of the record at rid in
+// place and logs it. Mutating a non-existent record is a no-op, like
+// Delete. Logging follows unpinLogged's discipline: deferred under a
+// marker-bearing log, eager otherwise.
+func (f *File) setHeader(rid RID, op headerOp, xid uint64) error {
+	if !rid.Valid() || uint32(rid.Page) >= f.NumPages() {
+		return nil
+	}
+	p, err := f.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	rec := storage.SlotRead(p.Data, int(rid.Slot))
+	if rec == nil || len(rec) < TupleHeaderSize {
+		f.bp.Unpin(p, false)
+		return nil
+	}
+	switch op {
+	case opSetXmax:
+		binary.LittleEndian.PutUint64(rec[8:], xid)
+	case opClearXmax:
+		binary.LittleEndian.PutUint64(rec[8:], 0)
+	case opMarkAborted:
+		binary.LittleEndian.PutUint16(rec[16:],
+			binary.LittleEndian.Uint16(rec[16:])|FlagXminAborted)
+	}
+	w, name := f.bp.WAL()
+	if w == nil {
+		f.bp.Unpin(p, true)
+		return nil
+	}
+	if w.CommittedLSN() > 0 {
+		switch op {
+		case opSetXmax:
+			f.bp.DeferHeapSetXmax(p.ID, rid.Slot, xid)
+		case opClearXmax:
+			f.bp.DeferHeapClearXmax(p.ID, rid.Slot)
+		case opMarkAborted:
+			f.bp.DeferHeapMarkAborted(p.ID, rid.Slot)
+		}
+		f.bp.UnpinDeferredOp(p)
+		return nil
+	}
+	var lsn wal.LSN
+	switch op {
+	case opSetXmax:
+		lsn, err = w.AppendHeapSetXmax(name, uint32(p.ID), rid.Slot, xid)
+	case opClearXmax:
+		lsn, err = w.AppendHeapClearXmax(name, uint32(p.ID), rid.Slot)
+	case opMarkAborted:
+		lsn, err = w.AppendHeapMarkAborted(name, uint32(p.ID), rid.Slot)
+	}
+	if err != nil {
+		f.bp.Unpin(p, true)
+		return err
+	}
+	storage.SetPageLSN(p.Data, uint64(lsn))
+	f.bp.UnpinLSN(p, lsn)
+	return nil
+}
+
+// SetXmax stamps xid as the deleting transaction of the tuple at rid —
+// the MVCC delete: the version stays in place for snapshots that predate
+// the deleter.
+func (f *File) SetXmax(rid RID, xid uint64) error { return f.setHeader(rid, opSetXmax, xid) }
+
+// ClearXmax zeroes the xmax of the tuple at rid — the undo of SetXmax,
+// applied when the deleting transaction rolls back.
+func (f *File) ClearXmax(rid RID) error { return f.setHeader(rid, opClearXmax, 0) }
+
+// MarkAborted sets the aborted flag on the tuple at rid, hiding it from
+// every snapshot — the undo of an insert whose transaction rolled back.
+func (f *File) MarkAborted(rid RID) error { return f.setHeader(rid, opMarkAborted, 0) }
 
 // Delete removes the record at rid. Deleting a non-existent record is a
 // no-op.
@@ -325,9 +488,19 @@ func (f *File) Delete(rid RID) error {
 }
 
 // ScanPage calls fn for every live record of one data page — the unit
-// of ANALYZE's block sampling. The rec slice is only valid during the
-// call. Scanning a page outside the file is a no-op.
+// of ANALYZE's block sampling — with the version header stripped. The
+// rec slice is only valid during the call. Scanning a page outside the
+// file is a no-op. Version-blind: snapshot readers use ScanPageVersions.
 func (f *File) ScanPage(pid storage.PageID, fn func(rid RID, rec []byte) bool) error {
+	return f.ScanPageVersions(pid, func(rid RID, _ TupleHeader, payload []byte) bool {
+		return fn(rid, payload)
+	})
+}
+
+// ScanPageVersions calls fn for every live record of one data page with
+// its decoded version header. The payload slice is only valid during the
+// call.
+func (f *File) ScanPageVersions(pid storage.PageID, fn func(rid RID, h TupleHeader, payload []byte) bool) error {
 	if uint32(pid) == 0 || uint32(pid) >= f.NumPages() {
 		return nil
 	}
@@ -336,15 +509,27 @@ func (f *File) ScanPage(pid storage.PageID, fn func(rid RID, rec []byte) bool) e
 		return err
 	}
 	storage.SlotForEach(p.Data, func(slot int, rec []byte) bool {
-		return fn(RID{Page: pid, Slot: uint16(slot)}, rec)
+		h, payload := ParseTuple(rec)
+		return fn(RID{Page: pid, Slot: uint16(slot)}, h, payload)
 	})
 	f.bp.Unpin(p, false)
 	return nil
 }
 
-// Scan calls fn for every live record in file order. The rec slice is
-// only valid during the call. Scanning stops early if fn returns false.
+// Scan calls fn for every live record in file order with the version
+// header stripped. The rec slice is only valid during the call. Scanning
+// stops early if fn returns false. Version-blind: snapshot readers use
+// ScanVersions.
 func (f *File) Scan(fn func(rid RID, rec []byte) bool) error {
+	return f.ScanVersions(func(rid RID, _ TupleHeader, payload []byte) bool {
+		return fn(rid, payload)
+	})
+}
+
+// ScanVersions calls fn for every live record in file order with its
+// decoded version header. The payload slice is only valid during the
+// call. Scanning stops early if fn returns false.
+func (f *File) ScanVersions(fn func(rid RID, h TupleHeader, payload []byte) bool) error {
 	n := f.NumPages()
 	for pid := storage.PageID(1); uint32(pid) < n; pid++ {
 		p, err := f.bp.Fetch(pid)
@@ -353,7 +538,8 @@ func (f *File) Scan(fn func(rid RID, rec []byte) bool) error {
 		}
 		stop := false
 		storage.SlotForEach(p.Data, func(slot int, rec []byte) bool {
-			if !fn(RID{Page: pid, Slot: uint16(slot)}, rec) {
+			h, payload := ParseTuple(rec)
+			if !fn(RID{Page: pid, Slot: uint16(slot)}, h, payload) {
 				stop = true
 				return false
 			}

@@ -4,7 +4,10 @@
 // pg_filedump) read relation files. It understands every page file the
 // engine writes:
 //
-//	heap files    (rel<oid>.tbl, magic "HEAP"): slotted tuple pages
+//	heap files    (rel<oid>.tbl, magic "HEAP"): slotted tuple pages;
+//	              each tuple opens with the 18-byte MVCC header
+//	              [xmin:8][xmax:8][infomask:2] (PR 8) — records shorter
+//	              than the header decode as frozen pre-MVCC tuples
 //	B+-tree files (rel<oid>.idx, magic "BTRE"): one node per page
 //	SP-GiST files (rel<oid>.idx, magic "SPGS"): slotted node-record pages
 //	R-tree files  (rel<oid>.idx, magic "RTRE"): one node per page
@@ -191,11 +194,26 @@ func describeSlotted(w io.Writer, p []byte, rec func(w io.Writer, slot int, rec 
 	}
 }
 
-// describeHeapTuple renders one heap record: the raw bytes and, since
-// tuples are self-describing, the decoded datums.
+// describeHeapTuple renders one heap record: the MVCC version header
+// ([xmin u64][xmax u64][flags u16] since the tuple-versioning change),
+// the raw bytes, and — since tuple payloads are self-describing — the
+// decoded datums. Versions no snapshot can ever see again are flagged
+// DEAD the way they would be to VACUUM.
 func describeHeapTuple(w io.Writer, _ int, rec []byte) {
+	h, payload := heap.ParseTuple(rec)
+	xmin := "frozen"
+	if h.Xmin != 0 {
+		xmin = fmt.Sprintf("%d", h.Xmin)
+	}
+	dead := ""
+	if h.Flags&heap.FlagXminAborted != 0 {
+		dead = " DEAD (insert aborted)"
+	} else if h.Xmax != 0 {
+		dead = " DEAD (deleted)"
+	}
+	fmt.Fprintf(w, "    header: xmin=%s xmax=%d infomask=%#04x%s\n", xmin, h.Xmax, h.Flags, dead)
 	hexdump(w, "    ", rec)
-	if tup, err := catalog.DecodeTuple(rec); err == nil {
+	if tup, err := catalog.DecodeTuple(payload); err == nil {
 		vals := make([]string, len(tup))
 		for i, d := range tup {
 			vals[i] = d.String()

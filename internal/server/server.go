@@ -51,6 +51,15 @@ type Server struct {
 	queriesTotal   *obs.Counter
 	queryLatency   *obs.Histogram
 
+	// idleTxnTimeout, when > 0, bounds how long a connection may sit
+	// idle with an open transaction. An open transaction holds its
+	// tables' write locks, so one stalled client could otherwise block
+	// every writer (and all DDL) on those tables forever — the same
+	// failure mode PostgreSQL's idle_in_transaction_session_timeout
+	// exists for. On expiry the transaction is rolled back and the
+	// connection closed with an ERR terminator.
+	idleTxnTimeout time.Duration
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  bool
@@ -69,6 +78,11 @@ func New(db *executor.DB) *Server {
 		queryLatency:   reg.Histogram("server_query_latency"),
 	}
 }
+
+// SetIdleTxnTimeout bounds how long a connection may idle inside an
+// open transaction before the server rolls it back and disconnects it
+// (0 disables, the default). Set before Serve.
+func (s *Server) SetIdleTxnTimeout(d time.Duration) { s.idleTxnTimeout = d }
 
 // Serve accepts connections on l until the listener is closed (Shutdown
 // or an external Close), running each connection's session on its own
@@ -144,7 +158,20 @@ func (s *Server) session(conn net.Conn) {
 	in := bufio.NewScanner(conn)
 	in.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	out := bufio.NewWriter(conn)
-	for in.Scan() {
+	for {
+		// The idle-in-transaction clock runs only while waiting for the
+		// client's next line with a transaction open — execution time and
+		// idle time outside transactions are unbounded as before.
+		if s.idleTxnTimeout > 0 {
+			deadline := time.Time{}
+			if sess.InTxn() {
+				deadline = time.Now().Add(s.idleTxnTimeout)
+			}
+			conn.SetReadDeadline(deadline)
+		}
+		if !in.Scan() {
+			break
+		}
 		line := strings.TrimSpace(in.Text())
 		if line == "" {
 			continue
@@ -191,6 +218,14 @@ func (s *Server) session(conn net.Conn) {
 	// still owes the client its terminator line — without it the client
 	// cannot distinguish "statement rejected" from "server died".
 	if err := in.Err(); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() && sess.InTxn() {
+			// Idle-in-transaction expiry: the deferred sess.Close rolls
+			// the transaction back; tell the client why it was cut off.
+			writeErr(out, fmt.Errorf("idle-in-transaction timeout (%s): transaction rolled back", s.idleTxnTimeout))
+			out.Flush()
+			return
+		}
 		writeErr(out, err)
 		out.Flush()
 	}

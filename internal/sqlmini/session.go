@@ -34,9 +34,17 @@ type Result struct {
 // Session executes SQL against a database. Every session registers in
 // the database's live activity table (SHOW ACTIVITY); callers that open
 // many sessions should Close them so their entries are removed.
+//
+// A session holds at most one open transaction (BEGIN ... COMMIT /
+// ROLLBACK); DML and SELECT statements between BEGIN and COMMIT run
+// through the executor's *Tx entry points, so their changes stay
+// invisible to every other session until COMMIT. A Session is not safe
+// for concurrent use by multiple goroutines (the server gives each
+// connection its own).
 type Session struct {
 	DB    *executor.DB
 	entry *obs.SessionEntry
+	tx    *executor.Txn
 }
 
 // NewSession wraps a database as a local (embedded) session.
@@ -49,9 +57,20 @@ func NewSessionWithClient(db *executor.DB, client string) *Session {
 	return &Session{DB: db, entry: db.Activity().Register(client)}
 }
 
-// Close removes the session from the activity table. Using the session
-// after Close is fine — it just no longer appears in SHOW ACTIVITY.
-func (s *Session) Close() { s.entry.Close() }
+// Close rolls back any open transaction and removes the session from
+// the activity table. Using the session after Close is fine — it just
+// no longer appears in SHOW ACTIVITY.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Rollback()
+		s.tx = nil
+	}
+	s.entry.Close()
+}
+
+// InTxn reports whether the session has an open explicit transaction.
+// The server uses it to arm the idle-in-transaction timeout.
+func (s *Session) InTxn() bool { return s.tx != nil }
 
 // Exec parses and runs one statement. The session's activity entry
 // tracks it live (statement text, active/waiting state, wait event) for
@@ -168,23 +187,88 @@ func (p *parser) keyword(words ...string) error {
 	return nil
 }
 
+// noTxn rejects statements that cannot run inside an explicit
+// transaction: DDL and maintenance take the exclusive statement lock
+// and commit under their own markers, which a surrounding transaction's
+// COMMIT/ROLLBACK could not undo.
+func noTxn(s *Session, stmt string) error {
+	if s.tx != nil {
+		return fmt.Errorf("sql: %s cannot run inside a transaction", stmt)
+	}
+	return nil
+}
+
 func (p *parser) statement(s *Session) (*Result, error) {
 	switch {
+	case p.at(tokIdent, "BEGIN"):
+		p.i++
+		if !p.atStatementEnd() {
+			return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+		}
+		if s.tx != nil {
+			return nil, fmt.Errorf("sql: already in a transaction")
+		}
+		tx, err := s.DB.Begin()
+		if err != nil {
+			return nil, err
+		}
+		s.tx = tx
+		return &Result{Msg: "BEGIN"}, nil
+	case p.at(tokIdent, "COMMIT"):
+		p.i++
+		if !p.atStatementEnd() {
+			return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+		}
+		if s.tx == nil {
+			return nil, fmt.Errorf("sql: no transaction in progress")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "COMMIT"}, nil
+	case p.at(tokIdent, "ROLLBACK"):
+		p.i++
+		if !p.atStatementEnd() {
+			return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+		}
+		if s.tx == nil {
+			return nil, fmt.Errorf("sql: no transaction in progress")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Rollback(); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "ROLLBACK"}, nil
 	case p.at(tokIdent, "CREATE"):
 		p.i++
 		if p.accept(tokIdent, "TABLE") {
+			if err := noTxn(s, "CREATE TABLE"); err != nil {
+				return nil, err
+			}
 			return p.createTable(s)
 		}
 		if p.accept(tokIdent, "INDEX") {
+			if err := noTxn(s, "CREATE INDEX"); err != nil {
+				return nil, err
+			}
 			return p.createIndex(s)
 		}
 		return nil, fmt.Errorf("sql: CREATE must be followed by TABLE or INDEX")
 	case p.at(tokIdent, "DROP"):
 		p.i++
 		if p.accept(tokIdent, "TABLE") {
+			if err := noTxn(s, "DROP TABLE"); err != nil {
+				return nil, err
+			}
 			return p.dropTable(s)
 		}
 		if p.accept(tokIdent, "INDEX") {
+			if err := noTxn(s, "DROP INDEX"); err != nil {
+				return nil, err
+			}
 			return p.dropIndex(s)
 		}
 		return nil, fmt.Errorf("sql: DROP must be followed by TABLE or INDEX")
@@ -226,11 +310,26 @@ func (p *parser) statement(s *Session) (*Result, error) {
 	case p.at(tokIdent, "DELETE"):
 		p.i++
 		return p.deleteStmt(s)
+	case p.at(tokIdent, "UPDATE"):
+		p.i++
+		return p.updateStmt(s)
+	case p.at(tokIdent, "VACUUM"):
+		p.i++
+		if err := noTxn(s, "VACUUM"); err != nil {
+			return nil, err
+		}
+		return p.vacuum(s)
 	case p.at(tokIdent, "ANALYZE"):
 		p.i++
+		if err := noTxn(s, "ANALYZE"); err != nil {
+			return nil, err
+		}
 		return p.analyze(s)
 	case p.at(tokIdent, "CHECKPOINT"):
 		p.i++
+		if err := noTxn(s, "CHECKPOINT"); err != nil {
+			return nil, err
+		}
 		if err := s.DB.Checkpoint(); err != nil {
 			return nil, err
 		}
@@ -618,7 +717,7 @@ func (p *parser) insert(s *Session) (*Result, error) {
 	if !p.atStatementEnd() {
 		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
 	}
-	if _, err := t.InsertBatch(tups); err != nil {
+	if _, err := t.InsertBatchTx(s.tx, tups); err != nil {
 		return nil, err
 	}
 	return &Result{Affected: len(tups), Msg: fmt.Sprintf("INSERT %d", len(tups))}, nil
@@ -837,8 +936,10 @@ func (p *parser) selectStmt(s *Session, mode selectMode) (*Result, error) {
 	}
 	// One statement, one lock window: the plan reported is the plan the
 	// scan actually ran (planning it separately could race a writer and
-	// report a different access path than the one executed).
-	plan, err := t.Select(pred, func(r executor.Row) bool {
+	// report a different access path than the one executed). Inside an
+	// open transaction the scan reads through the transaction's snapshot,
+	// so its own uncommitted writes are visible to it.
+	plan, err := t.SelectTx(s.tx, pred, func(r executor.Row) bool {
 		res.Rows = append(res.Rows, r.Tuple)
 		return limit < 0 || len(res.Rows) < limit
 	})
@@ -866,9 +967,86 @@ func (p *parser) deleteStmt(s *Session) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, err := t.DeleteWhere(pred)
+	n, err := t.DeleteWhereTx(s.tx, pred)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Affected: n, Msg: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+// UPDATE t SET col = lit [, col = lit ...] [WHERE ...]
+func (p *parser) updateStmt(s *Session) (*Result, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.DB.Table(name.text)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("SET"); err != nil {
+		return nil, err
+	}
+	var sets []executor.ColUpdate
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ci := -1
+		for i, c := range t.Columns {
+			if strings.EqualFold(c.Name, col.text) {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q", col.text)
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		lit := p.peek()
+		if lit.kind != tokString && lit.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected literal, found %q", lit.text)
+		}
+		p.i++
+		val, err := catalog.ParseLiteral(t.Columns[ci].Type, lit.text)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, executor.ColUpdate{Column: ci, Value: val})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	pred, err := p.where(t)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.UpdateWhereTx(s.tx, pred, sets)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Msg: fmt.Sprintf("UPDATE %d", n)}, nil
+}
+
+// VACUUM [table]: reclaim dead tuple versions (committed deletes and
+// rolled-back inserts no snapshot can see) and their index entries;
+// bare VACUUM covers every table.
+func (p *parser) vacuum(s *Session) (*Result, error) {
+	name := ""
+	if p.at(tokIdent, "") {
+		tok, _ := p.expect(tokIdent, "")
+		name = tok.text
+	}
+	if !p.atStatementEnd() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	n, err := s.DB.Vacuum(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Msg: fmt.Sprintf("VACUUM %d", n)}, nil
 }

@@ -117,6 +117,7 @@ type deferredOp struct {
 	rec   []byte   // RecHeapInsert
 	slots []uint16 // RecHeapBatchInsert
 	recs  [][]byte // RecHeapBatchInsert
+	xid   uint64   // RecHeapSetXmax
 }
 
 // walAttachment pairs the log writer with the file name used in WAL
@@ -471,6 +472,30 @@ func (bp *BufferPool) DeferHeapBatchInsert(page PageID, slots []uint16, recs [][
 	bp.opsMu.Unlock()
 }
 
+// DeferHeapSetXmax stages a set-xmax record (MVCC delete) for the commit
+// point. Pair with UnpinDeferredOp on the mutated page.
+func (bp *BufferPool) DeferHeapSetXmax(page PageID, slot uint16, xid uint64) {
+	bp.opsMu.Lock()
+	bp.ops = append(bp.ops, deferredOp{typ: wal.RecHeapSetXmax, page: page, slot: slot, xid: xid})
+	bp.opsMu.Unlock()
+}
+
+// DeferHeapClearXmax stages a clear-xmax record (SetXmax undo) for the
+// commit point. Pair with UnpinDeferredOp on the mutated page.
+func (bp *BufferPool) DeferHeapClearXmax(page PageID, slot uint16) {
+	bp.opsMu.Lock()
+	bp.ops = append(bp.ops, deferredOp{typ: wal.RecHeapClearXmax, page: page, slot: slot})
+	bp.opsMu.Unlock()
+}
+
+// DeferHeapMarkAborted stages a mark-aborted record (insert undo) for the
+// commit point. Pair with UnpinDeferredOp on the mutated page.
+func (bp *BufferPool) DeferHeapMarkAborted(page PageID, slot uint16) {
+	bp.opsMu.Lock()
+	bp.ops = append(bp.ops, deferredOp{typ: wal.RecHeapMarkAborted, page: page, slot: slot})
+	bp.opsMu.Unlock()
+}
+
 // Staged names one record a StagePending call added to a wal.Group: the
 // page it covers and its index into the LSNs AppendGroup(Commit)
 // returns. ResolvePending consumes it.
@@ -528,6 +553,12 @@ func stageOps(g *wal.Group, file string, ops []deferredOp) []Staged {
 			idx = g.AddHeapDelete(file, uint32(op.page), op.slot)
 		case wal.RecHeapBatchInsert:
 			idx = g.AddHeapBatchInsert(file, uint32(op.page), op.slots, op.recs)
+		case wal.RecHeapSetXmax:
+			idx = g.AddHeapSetXmax(file, uint32(op.page), op.slot, op.xid)
+		case wal.RecHeapClearXmax:
+			idx = g.AddHeapClearXmax(file, uint32(op.page), op.slot)
+		case wal.RecHeapMarkAborted:
+			idx = g.AddHeapMarkAborted(file, uint32(op.page), op.slot)
 		}
 		staged = append(staged, Staged{Page: op.page, Index: idx})
 	}

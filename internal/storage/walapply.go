@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -15,10 +16,73 @@ type RecoveryStats struct {
 	HeapInserts   int64 // logical heap inserts applied (batch rows included)
 	HeapDeletes   int64 // logical heap deletes applied
 	HeapBatches   int64 // batch-insert records applied
+	HeapXmaxOps   int64 // set/clear-xmax and mark-aborted records applied
 	SkippedByLSN  int64 // logical records skipped because pageLSN was newer
 	TailDiscarded int64 // records after the last commit marker, not replayed
 	FilesTouched  int   // distinct data files opened by redo
 	PagesWritten  int64 // physical page writes performed by redo
+	AbortFixups   int64 // tuples of uncommitted transactions flagged aborted
+	XmaxFixups    int64 // stamped xmaxes of uncommitted transactions cleared
+}
+
+// Versioned heap tuples carry an 18-byte [xmin:8][xmax:8][flags:2]
+// header (heap.TupleHeader; the constants are mirrored here because heap
+// builds on storage, not the reverse). Recovery reads xids out of logged
+// tuple bytes to judge, after replay, which tuples belong to
+// transactions that never committed.
+const (
+	tupleHeaderSize  = 18
+	flagXminAborted  = 0x1
+	tupleXmaxOffset  = 8
+	tupleFlagsOffset = 16
+)
+
+// fixupKey addresses one heap slot across the replayed log.
+type fixupKey struct {
+	file string
+	page uint32
+	slot uint16
+}
+
+// txnFixups tracks, across the whole replay, the *last* transactional
+// write to every heap slot plus the set of committed transactions. After
+// replay, slots whose last writer never committed are repaired in place:
+// inserted tuples get the aborted flag, stamped xmaxes are cleared. The
+// last-writer-per-slot rule (not per-transaction lists) makes slot reuse
+// safe: if aborted transaction X's tuple at (p,s) was vacuumed away and
+// transaction Y's tuple now lives there, the map holds Y, not X.
+type txnFixups struct {
+	lastInsert  map[fixupKey]uint64 // slot -> xmin of last inserted tuple
+	lastXmaxSet map[fixupKey]uint64 // slot -> last stamped (uncleared) xmax
+	committed   map[uint64]bool     // xids with a RecTxnCommit in the log
+}
+
+func newTxnFixups() *txnFixups {
+	return &txnFixups{
+		lastInsert:  make(map[fixupKey]uint64),
+		lastXmaxSet: make(map[fixupKey]uint64),
+		committed:   make(map[uint64]bool),
+	}
+}
+
+// noteInsert records that a tuple with the given raw bytes now occupies
+// key. A frozen (xid 0) or unversioned tuple clears the slot's history —
+// whatever was there before has been overwritten.
+func (fx *txnFixups) noteInsert(key fixupKey, rec []byte) {
+	delete(fx.lastXmaxSet, key) // a fresh tuple's xmax is whatever rec carries
+	if len(rec) >= tupleHeaderSize {
+		if xid := binary.LittleEndian.Uint64(rec); xid != 0 {
+			fx.lastInsert[key] = xid
+			return
+		}
+	}
+	delete(fx.lastInsert, key)
+}
+
+// noteDelete records that key's slot no longer holds a tuple.
+func (fx *txnFixups) noteDelete(key fixupKey) {
+	delete(fx.lastInsert, key)
+	delete(fx.lastXmaxSet, key)
 }
 
 // RecoverDir replays the write-ahead log in walDir into the data files
@@ -78,10 +142,38 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 	}
 
 	buf := make([]byte, pageSize)
+	fx := newTxnFixups()
 	rs, err := wal.Replay(walDir, func(r *wal.Record) error {
 		if lastMarker != 0 && r.LSN > lastMarker {
 			st.TailDiscarded++
 			return nil
+		}
+		// Transaction bookkeeping happens for every surviving record —
+		// including ones the pageLSN guard will skip below, because a
+		// skipped record's effect is already on the page and still needs
+		// judging against the commit set.
+		switch r.Type {
+		case wal.RecTxnCommit:
+			fx.committed[r.Xid] = true
+			return nil
+		case wal.RecTxnAbort:
+			// Informational: the compensating records precede it, and an
+			// absent commit record already means aborted.
+			return nil
+		case wal.RecHeapInsert:
+			fx.noteInsert(fixupKey{r.File, r.Page, r.Slot}, r.Data)
+		case wal.RecHeapBatchInsert:
+			for i, slot := range r.Slots {
+				fx.noteInsert(fixupKey{r.File, r.Page, slot}, r.Recs[i])
+			}
+		case wal.RecHeapDelete:
+			fx.noteDelete(fixupKey{r.File, r.Page, r.Slot})
+		case wal.RecHeapSetXmax:
+			if r.Xid != 0 {
+				fx.lastXmaxSet[fixupKey{r.File, r.Page, r.Slot}] = r.Xid
+			}
+		case wal.RecHeapClearXmax:
+			delete(fx.lastXmaxSet, fixupKey{r.File, r.Page, r.Slot})
 		}
 		switch r.Type {
 		case wal.RecCheckpoint, wal.RecCommit:
@@ -110,7 +202,8 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 			st.PageImages++
 			st.PagesWritten++
 			return nil
-		case wal.RecHeapInsert, wal.RecHeapDelete, wal.RecHeapBatchInsert:
+		case wal.RecHeapInsert, wal.RecHeapDelete, wal.RecHeapBatchInsert,
+			wal.RecHeapSetXmax, wal.RecHeapClearXmax, wal.RecHeapMarkAborted:
 			dm, err := open(r.File)
 			if err != nil {
 				return err
@@ -144,6 +237,24 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 				}
 				st.HeapInserts += int64(len(r.Slots))
 				st.HeapBatches++
+			case wal.RecHeapSetXmax, wal.RecHeapClearXmax, wal.RecHeapMarkAborted:
+				// Header rewrites of a tuple already on the page. A
+				// missing or short tuple means the log and page disagree
+				// in a way replay of later records will repair (or the
+				// slot was physically deleted) — skip, like heap.Delete
+				// of a non-existent record.
+				if rec := SlotRead(buf, int(r.Slot)); rec != nil && len(rec) >= tupleHeaderSize {
+					switch r.Type {
+					case wal.RecHeapSetXmax:
+						binary.LittleEndian.PutUint64(rec[tupleXmaxOffset:], r.Xid)
+					case wal.RecHeapClearXmax:
+						binary.LittleEndian.PutUint64(rec[tupleXmaxOffset:], 0)
+					case wal.RecHeapMarkAborted:
+						binary.LittleEndian.PutUint16(rec[tupleFlagsOffset:],
+							binary.LittleEndian.Uint16(rec[tupleFlagsOffset:])|flagXminAborted)
+					}
+				}
+				st.HeapXmaxOps++
 			default:
 				SlotDelete(buf, int(r.Slot))
 				st.HeapDeletes++
@@ -161,6 +272,80 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 	st.ReplayStats = rs
 	if err != nil {
 		return st, fmt.Errorf("storage: recovery: %w", err)
+	}
+	// Abort fixup: replay restored every surviving record, including the
+	// tuples of transactions that never reached a commit record (a crash
+	// mid-transaction, or mid-statement between the chunks of an
+	// oversized DML). There is no undo log; instead, each such tuple is
+	// repaired in place — inserted versions get the aborted flag,
+	// stamped xmaxes are cleared — so no snapshot ever sees the
+	// transaction's effects. Idempotent: re-recovering reapplies the
+	// same repairs onto already-repaired pages.
+	type pageKey struct {
+		file string
+		page uint32
+	}
+	fixPages := make(map[pageKey]bool)
+	abortSlots := make(map[pageKey][]uint16)
+	clearSlots := make(map[pageKey]map[uint16]uint64)
+	for key, xid := range fx.lastInsert {
+		if !fx.committed[xid] {
+			pk := pageKey{key.file, key.page}
+			abortSlots[pk] = append(abortSlots[pk], key.slot)
+			fixPages[pk] = true
+		}
+	}
+	for key, xid := range fx.lastXmaxSet {
+		if !fx.committed[xid] {
+			pk := pageKey{key.file, key.page}
+			if clearSlots[pk] == nil {
+				clearSlots[pk] = make(map[uint16]uint64)
+			}
+			clearSlots[pk][key.slot] = xid
+			fixPages[pk] = true
+		}
+	}
+	for pk := range fixPages {
+		dm, err := open(pk.file)
+		if err != nil {
+			return st, fmt.Errorf("storage: recovery: %w", err)
+		}
+		if dm.NumPages() <= pk.page {
+			continue
+		}
+		if err := dm.ReadPage(PageID(pk.page), buf); err != nil {
+			return st, fmt.Errorf("storage: recovery: %w", err)
+		}
+		changed := false
+		for _, slot := range abortSlots[pk] {
+			rec := SlotRead(buf, int(slot))
+			if rec == nil || len(rec) < tupleHeaderSize {
+				continue
+			}
+			flags := binary.LittleEndian.Uint16(rec[tupleFlagsOffset:])
+			if flags&flagXminAborted == 0 {
+				binary.LittleEndian.PutUint16(rec[tupleFlagsOffset:], flags|flagXminAborted)
+				changed = true
+				st.AbortFixups++
+			}
+		}
+		for slot, xid := range clearSlots[pk] {
+			rec := SlotRead(buf, int(slot))
+			if rec == nil || len(rec) < tupleHeaderSize {
+				continue
+			}
+			if binary.LittleEndian.Uint64(rec[tupleXmaxOffset:]) == xid {
+				binary.LittleEndian.PutUint64(rec[tupleXmaxOffset:], 0)
+				changed = true
+				st.XmaxFixups++
+			}
+		}
+		if changed {
+			if err := dm.WritePage(PageID(pk.page), buf); err != nil {
+				return st, fmt.Errorf("storage: recovery: %w", err)
+			}
+			st.PagesWritten++
+		}
 	}
 	for name, dm := range files {
 		if serr := dm.Sync(); serr != nil {

@@ -98,6 +98,14 @@ const (
 	recTable   byte = 'T'
 	recIndex   byte = 'I'
 	recStats   byte = 'S'
+	// recXid is the transaction-ID high-water record: every xid at or
+	// below its value may have been handed out. The executor persists it
+	// in strides ahead of use, so a crash can never lead to a transaction
+	// ID being reissued (which would let a new transaction alias the WAL
+	// records — and the on-page xmin/xmax stamps — of an old one). A
+	// catalog without the record (databases from before MVCC landed)
+	// reads as high-water 0.
+	recXid byte = 'X'
 )
 
 // Catalog is an open system catalog over a heap file.
@@ -111,6 +119,9 @@ type Catalog struct {
 
 	nextOID    uint64
 	counterRID heap.RID
+
+	xidHigh uint64
+	xidRID  heap.RID
 }
 
 type tableSlot struct {
@@ -138,6 +149,7 @@ func New(hf *heap.File, fresh bool) (*Catalog, error) {
 		indexes:    make(map[string]*indexSlot),
 		stats:      make(map[uint64]*statsSlot),
 		counterRID: heap.InvalidRID,
+		xidRID:     heap.InvalidRID,
 	}
 	if fresh {
 		c.nextOID = 1
@@ -177,6 +189,18 @@ func (c *Catalog) load() error {
 			if v > c.nextOID {
 				c.nextOID = v
 				c.counterRID = rid
+			}
+		case recXid:
+			v, err := decodeXid(rec)
+			if err != nil {
+				derr = err
+				return false
+			}
+			// Like the OID counter: the highest record wins, so a stale
+			// duplicate left by a failed rewrite is harmless.
+			if v > c.xidHigh || !c.xidRID.Valid() {
+				c.xidHigh = v
+				c.xidRID = rid
 			}
 		case recTable:
 			t, err := decodeTable(rec)
@@ -596,11 +620,47 @@ func (c *Catalog) NextOID() uint64 {
 	return c.nextOID
 }
 
+// XidHigh returns the persisted transaction-ID high-water mark: every
+// xid at or below it may already have been handed out. 0 means no
+// transaction was ever allocated (or the catalog predates MVCC).
+func (c *Catalog) XidHigh() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.xidHigh
+}
+
+// SetXidHigh persists a new transaction-ID high-water mark. Like alloc's
+// counter rewrite, the advanced record is inserted *before* the old one
+// is deleted: if both survive a failure, load takes the maximum. The
+// caller (the executor's transaction manager) serializes calls and
+// commits the records; the mark must be durable before any xid it covers
+// is used.
+func (c *Catalog) SetXidHigh(v uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v <= c.xidHigh && c.xidRID.Valid() {
+		return nil
+	}
+	rid, err := c.heap.Insert(encodeXid(v))
+	if err != nil {
+		return fmt.Errorf("syscat: rewrite xid high-water: %w", err)
+	}
+	old := c.xidRID
+	c.xidHigh = v
+	c.xidRID = rid
+	if old.Valid() {
+		// Best effort, like alloc: a stale lower record is harmless.
+		c.heap.Delete(old)
+	}
+	return nil
+}
+
 // --- record encoding -------------------------------------------------
 //
 // All records are little-endian, kind byte first:
 //
 //	'O': nextOID:8
+//	'X': xidHigh:8
 //	'T': oid:8 name:str16 file:str16 ncols:2 { colName:str16 typeName:str8 }*
 //	'I': oid:8 name:str16 tableOID:8 column:2 method:str8 opclass:str8 file:str16 valid:1
 //	'S': tableOID:8 rows:8 sampleRows:8 churn:8 ncols:2 { ndistinct:8
@@ -655,6 +715,19 @@ func encodeCounter(next uint64) []byte {
 func decodeCounter(rec []byte) (uint64, error) {
 	if len(rec) != 9 {
 		return 0, fmt.Errorf("syscat: malformed counter record (%d bytes)", len(rec))
+	}
+	return binary.LittleEndian.Uint64(rec[1:]), nil
+}
+
+func encodeXid(v uint64) []byte {
+	b := make([]byte, 0, 9)
+	b = append(b, recXid)
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func decodeXid(rec []byte) (uint64, error) {
+	if len(rec) != 9 {
+		return 0, fmt.Errorf("syscat: malformed xid record (%d bytes)", len(rec))
 	}
 	return binary.LittleEndian.Uint64(rec[1:]), nil
 }

@@ -51,6 +51,10 @@ func encodeFrame(lsn LSN, typ RecordType, payload []byte) []byte {
 //	heap insert: nameLen:2 name pageID:4 slot:2 rec...
 //	heap delete: nameLen:2 name pageID:4 slot:2
 //	batch insert: nameLen:2 name pageID:4 n:2 { slot:2 len:4 rec }*n
+//	set xmax:    nameLen:2 name pageID:4 slot:2 xid:8
+//	clear xmax:  nameLen:2 name pageID:4 slot:2
+//	mark aborted: nameLen:2 name pageID:4 slot:2
+//	txn commit/abort: xid:8
 //	file create: nameLen:2 name
 //	checkpoint:  (empty)
 
@@ -73,6 +77,15 @@ func encodeHeapOp(file string, page uint32, slot uint16, rec []byte) []byte {
 	b = binary.LittleEndian.AppendUint32(b, page)
 	b = binary.LittleEndian.AppendUint16(b, slot)
 	return append(b, rec...)
+}
+
+func encodeHeapSetXmax(file string, page uint32, slot uint16, xid uint64) []byte {
+	b := encodeHeapOp(file, page, slot, nil)
+	return binary.LittleEndian.AppendUint64(b, xid)
+}
+
+func encodeXid(xid uint64) []byte {
+	return binary.LittleEndian.AppendUint64(make([]byte, 0, 8), xid)
 }
 
 func encodeHeapBatch(file string, page uint32, slots []uint16, recs [][]byte) []byte {
@@ -132,7 +145,7 @@ func decodeRecord(lsn LSN, body []byte) (*Record, error) {
 			return nil, fmt.Errorf("wal: page image larger than its page size")
 		}
 		return r, nil
-	case RecHeapInsert, RecHeapDelete:
+	case RecHeapInsert, RecHeapDelete, RecHeapSetXmax, RecHeapClearXmax, RecHeapMarkAborted:
 		r.File, payload, err = decodeName(payload)
 		if err != nil {
 			return nil, err
@@ -142,9 +155,21 @@ func decodeRecord(lsn LSN, body []byte) (*Record, error) {
 		}
 		r.Page = binary.LittleEndian.Uint32(payload)
 		r.Slot = binary.LittleEndian.Uint16(payload[4:])
-		if r.Type == RecHeapInsert {
+		switch r.Type {
+		case RecHeapInsert:
 			r.Data = append([]byte(nil), payload[6:]...)
+		case RecHeapSetXmax:
+			if len(payload) < 14 {
+				return nil, fmt.Errorf("wal: truncated set-xmax record")
+			}
+			r.Xid = binary.LittleEndian.Uint64(payload[6:])
 		}
+		return r, nil
+	case RecTxnCommit, RecTxnAbort:
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("wal: truncated transaction marker")
+		}
+		r.Xid = binary.LittleEndian.Uint64(payload)
 		return r, nil
 	case RecHeapBatchInsert:
 		r.File, payload, err = decodeName(payload)

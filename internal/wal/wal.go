@@ -68,6 +68,24 @@ const (
 	// heap records at fixed slots — one record per filled page instead
 	// of one per tuple, the log shape of a multi-row INSERT.
 	RecHeapBatchInsert RecordType = 7
+	// RecHeapSetXmax stamps a deleting transaction ID into the xmax
+	// field of the versioned tuple at (page, slot) — the log shape of an
+	// MVCC DELETE, which leaves the tuple in place for older snapshots.
+	RecHeapSetXmax RecordType = 8
+	// RecHeapClearXmax zeroes a tuple's xmax — the undo of a SetXmax,
+	// written when the deleting transaction rolls back.
+	RecHeapClearXmax RecordType = 9
+	// RecHeapMarkAborted sets the aborted infomask flag on a tuple whose
+	// inserting transaction rolled back, so no snapshot ever sees it.
+	RecHeapMarkAborted RecordType = 10
+	// RecTxnCommit marks transaction Xid committed. Recovery collects
+	// these; versioned tuples whose xmin never reached a RecTxnCommit
+	// are flagged aborted after replay (and stamped xmaxes cleared).
+	RecTxnCommit RecordType = 11
+	// RecTxnAbort records that transaction Xid rolled back. Informational
+	// — the compensating ClearXmax/MarkAborted records precede it, and
+	// recovery treats any transaction without a commit record as aborted.
+	RecTxnAbort RecordType = 12
 )
 
 // String names the record type for stats and debugging output.
@@ -87,6 +105,16 @@ func (t RecordType) String() string {
 		return "commit"
 	case RecHeapBatchInsert:
 		return "heap-batch-insert"
+	case RecHeapSetXmax:
+		return "heap-set-xmax"
+	case RecHeapClearXmax:
+		return "heap-clear-xmax"
+	case RecHeapMarkAborted:
+		return "heap-mark-aborted"
+	case RecTxnCommit:
+		return "txn-commit"
+	case RecTxnAbort:
+		return "txn-abort"
 	default:
 		return "unknown"
 	}
@@ -110,4 +138,7 @@ type Record struct {
 	// one RecHeapBatchInsert.
 	Slots []uint16
 	Recs  [][]byte
+	// Xid is the transaction ID of a RecTxnCommit/RecTxnAbort marker, or
+	// the deleting transaction stamped by a RecHeapSetXmax.
+	Xid uint64
 }

@@ -219,6 +219,23 @@ func (w *Writer) AppendHeapBatchInsert(file string, page uint32, slots []uint16,
 	return w.append(RecHeapBatchInsert, encodeHeapBatch(file, page, slots, recs))
 }
 
+// AppendHeapSetXmax logs stamping xid as the deleting transaction of the
+// tuple at (page, slot).
+func (w *Writer) AppendHeapSetXmax(file string, page uint32, slot uint16, xid uint64) (LSN, error) {
+	return w.append(RecHeapSetXmax, encodeHeapSetXmax(file, page, slot, xid))
+}
+
+// AppendHeapClearXmax logs zeroing the xmax of the tuple at (page, slot).
+func (w *Writer) AppendHeapClearXmax(file string, page uint32, slot uint16) (LSN, error) {
+	return w.append(RecHeapClearXmax, encodeHeapOp(file, page, slot, nil))
+}
+
+// AppendHeapMarkAborted logs setting the aborted flag on the tuple at
+// (page, slot).
+func (w *Writer) AppendHeapMarkAborted(file string, page uint32, slot uint16) (LSN, error) {
+	return w.append(RecHeapMarkAborted, encodeHeapOp(file, page, slot, nil))
+}
+
 // Group is a set of records one statement appends atomically: no other
 // appender's record (in particular no other statement's commit marker)
 // can interleave with a group's records in the log. This is what lets
@@ -264,6 +281,33 @@ func (g *Group) AddHeapDelete(file string, page uint32, slot uint16) int {
 // AddHeapBatchInsert stages a page-worth of heap inserts as one record.
 func (g *Group) AddHeapBatchInsert(file string, page uint32, slots []uint16, recs [][]byte) int {
 	return g.add(RecHeapBatchInsert, encodeHeapBatch(file, page, slots, recs))
+}
+
+// AddHeapSetXmax stages stamping xid as the deleting transaction of the
+// tuple at (page, slot).
+func (g *Group) AddHeapSetXmax(file string, page uint32, slot uint16, xid uint64) int {
+	return g.add(RecHeapSetXmax, encodeHeapSetXmax(file, page, slot, xid))
+}
+
+// AddHeapClearXmax stages zeroing the xmax of the tuple at (page, slot).
+func (g *Group) AddHeapClearXmax(file string, page uint32, slot uint16) int {
+	return g.add(RecHeapClearXmax, encodeHeapOp(file, page, slot, nil))
+}
+
+// AddHeapMarkAborted stages setting the aborted flag on the tuple at
+// (page, slot).
+func (g *Group) AddHeapMarkAborted(file string, page uint32, slot uint16) int {
+	return g.add(RecHeapMarkAborted, encodeHeapOp(file, page, slot, nil))
+}
+
+// AddTxnCommit stages a transaction-commit record for xid.
+func (g *Group) AddTxnCommit(xid uint64) int {
+	return g.add(RecTxnCommit, encodeXid(xid))
+}
+
+// AddTxnAbort stages a transaction-abort record for xid.
+func (g *Group) AddTxnAbort(xid uint64) int {
+	return g.add(RecTxnAbort, encodeXid(xid))
 }
 
 // AppendGroup appends every record of g contiguously (no concurrent
