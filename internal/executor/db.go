@@ -90,7 +90,7 @@ type Table struct {
 	// DDL needs no table locks either — it takes db.stmtMu exclusive,
 	// which excludes every statement at once (and refuses tables whose
 	// mu an open transaction owns; see TxnManager.lockedBy).
-	mu sync.RWMutex
+	mu tableLock
 
 	// phys is the physical page latch, the third level: readers hold it
 	// shared for their whole plan+scan window, a writing transaction
@@ -621,6 +621,7 @@ func (db *DB) loadSchema() error {
 			Heap:    hf,
 			oid:     te.OID,
 			file:    te.File,
+			mu:      newTableLock(),
 			db:      db,
 		}
 		// Persisted planner statistics load with the schema — O(catalog),
@@ -1299,7 +1300,7 @@ func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 		undo(bp, true)
 		return nil, err
 	}
-	t := &Table{Name: name, Columns: cols, Heap: hf, oid: te.OID, file: te.File, db: db}
+	t := &Table{Name: name, Columns: cols, Heap: hf, oid: te.OID, file: te.File, mu: newTableLock(), db: db}
 	if f := db.faults.BeforeDDLCommit; f != nil {
 		if err := f("CREATE TABLE " + name); err != nil {
 			return nil, faultErr{err}

@@ -75,19 +75,32 @@ func (t *Table) beginDML(tx *Txn) (stx *Txn, implicit bool, err error) {
 // transaction appends its records under a plain marker *without* fsync
 // or commit record: the frames release, and the statement stays
 // invisible (and non-durable) until the transaction's COMMIT.
-func (t *Table) endDML(stx *Txn, implicit bool) error {
+//
+// mutated reports whether the statement actually staged page mutations.
+// A statement that matched zero rows left no trace, so it must not be
+// flagged as logged: that would force an empty commit record (and its
+// group-commit fsync) per no-op autocommit statement, and make
+// CHECKPOINT refuse while an explicit transaction that only ran no-op
+// statements stays open.
+func (t *Table) endDML(stx *Txn, implicit, mutated bool) error {
 	db := t.db
-	if db.wal != nil {
+	if mutated && db.wal != nil {
 		stx.logged = true
 	}
 	if implicit {
 		if err := db.commitTxn(stx); err != nil {
+			// A failed COMMIT aborts the transaction (PostgreSQL
+			// semantics): compensate its versions and release its locks
+			// rather than leak them — rollbackTxn always finishes stx.
+			if rerr := db.rollbackTxn(stx); rerr != nil && db.broken == nil {
+				return fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+			}
 			return err
 		}
 		db.tm.finish(stx)
 		return nil
 	}
-	if db.wal != nil {
+	if mutated && db.wal != nil {
 		return db.appendPools(tablePools(t), true)
 	}
 	return nil
@@ -225,7 +238,7 @@ func (t *Table) InsertBatchTx(tx *Txn, tups []catalog.Tuple) ([]heap.RID, error)
 			}
 		}
 	}
-	if err := t.endDML(stx, implicit); err != nil {
+	if err := t.endDML(stx, implicit, true); err != nil {
 		return nil, err
 	}
 	t.bumpChurn(len(tups))
@@ -344,7 +357,7 @@ func (t *Table) deleteRIDs(tx *Txn, pred *Pred, one *heap.RID) (int, error) {
 			}
 		}
 	}
-	if err := t.endDML(stx, implicit); err != nil {
+	if err := t.endDML(stx, implicit, len(rids) > 0); err != nil {
 		return 0, err
 	}
 	t.bumpChurn(len(rids))
@@ -459,7 +472,7 @@ func (t *Table) UpdateWhereTx(tx *Txn, pred *Pred, sets []ColUpdate) (int, error
 			}
 		}
 	}
-	if err := t.endDML(stx, implicit); err != nil {
+	if err := t.endDML(stx, implicit, len(olds) > 0); err != nil {
 		return 0, err
 	}
 	t.bumpChurn(2 * len(olds)) // an update churns an old and a new version

@@ -181,49 +181,43 @@ func newTxnManager(db *DB) *TxnManager {
 	}
 }
 
-// allocXid hands out the next transaction ID, persisting a new stride
-// of the catalog's high-water mark when the current lease runs out.
-// Callers hold the shared statement lock (so no DDL is mutating the
-// catalog concurrently); the stride append stages only the catalog's
-// own pool, never sweeping a concurrent DML statement's deferred
-// records under its marker. No fsync: the log is sequential, so the
-// first commit fsync of any transaction using the stride also makes
-// the stride record durable — and if nothing from the stride ever gets
-// an fsync, losing the high-water mark loses nothing that mattered.
-func (tm *TxnManager) allocXid() (uint64, error) {
+// begin creates and registers a transaction. The xid is allocated and
+// the Txn entered into tm.active under ONE tm.mu critical section:
+// were the lock dropped in between, a snapshot taken in the gap would
+// have xmax past the new xid without listing it active, so Visible
+// would read the still-running transaction as committed and leak its
+// dirty writes to concurrent readers.
+//
+// Allocation persists a new stride of the catalog's high-water mark
+// when the current lease runs out. Callers hold the shared statement
+// lock (so no DDL is mutating the catalog concurrently); the stride
+// append stages only the catalog's own pool, never sweeping a
+// concurrent DML statement's deferred records under its marker. No
+// fsync: the log is sequential, so the first commit fsync of any
+// transaction using the stride also makes the stride record durable —
+// and if nothing from the stride ever gets an fsync, losing the
+// high-water mark loses nothing that mattered.
+func (tm *TxnManager) begin(implicit bool) (*Txn, error) {
+	tx := &Txn{
+		db:       tm.db,
+		implicit: implicit,
+		tables:   make(map[*Table]struct{}),
+	}
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	if tm.nextXid >= tm.lease {
 		high := tm.nextXid + xidStride - 1
 		if err := tm.db.cat.SetXidHigh(high); err != nil {
-			return 0, err
+			return nil, err
 		}
 		if err := tm.db.appendPools([]*storage.BufferPool{tm.db.catPool}, true); err != nil {
-			return 0, err
+			return nil, err
 		}
 		tm.lease = high + 1
 	}
-	xid := tm.nextXid
+	tx.xid = tm.nextXid
 	tm.nextXid++
-	return xid, nil
-}
-
-// begin creates and registers a transaction. Callers hold the shared
-// statement lock for the catalog access inside allocXid.
-func (tm *TxnManager) begin(implicit bool) (*Txn, error) {
-	xid, err := tm.allocXid()
-	if err != nil {
-		return nil, err
-	}
-	tx := &Txn{
-		db:       tm.db,
-		xid:      xid,
-		implicit: implicit,
-		tables:   make(map[*Table]struct{}),
-	}
-	tm.mu.Lock()
-	tm.active[xid] = tx
-	tm.mu.Unlock()
+	tm.active[tx.xid] = tx
 	return tx, nil
 }
 
@@ -281,29 +275,64 @@ func (tm *TxnManager) horizon() uint64 {
 	return h
 }
 
-// lockTable acquires t's write lock for tx (a no-op if tx already owns
-// it). The wait polls rather than blocks so it can give up after the
+// tableLock is the per-table logical write lock: a mutex built on a
+// one-slot channel, because the wait must be able to give up after the
 // database's lock timeout — the owner may be an idle open transaction
 // that never finishes, and an unbounded block here would also stall any
-// DDL queued behind our shared statement lock.
+// DDL queued behind the waiter's shared statement lock. A blocked
+// acquirer parks on the channel and wakes the instant the holder
+// releases, with no polling.
+type tableLock struct {
+	ch chan struct{}
+}
+
+func newTableLock() tableLock { return tableLock{ch: make(chan struct{}, 1)} }
+
+// TryLock acquires the lock iff it is free.
+func (l *tableLock) TryLock() bool {
+	select {
+	case l.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// LockTimeout acquires the lock, giving up after d. Reports whether the
+// lock was acquired.
+func (l *tableLock) LockTimeout(d time.Duration) bool {
+	select {
+	case l.ch <- struct{}{}:
+		return true
+	default:
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case l.ch <- struct{}{}:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// Unlock releases the lock. Unlocking a lock that is not held would
+// block forever — the ownership bookkeeping in TxnManager prevents it.
+func (l *tableLock) Unlock() { <-l.ch }
+
+// lockTable acquires t's write lock for tx (a no-op if tx already owns
+// it), waiting at most the database's lock timeout.
 func (tm *TxnManager) lockTable(tx *Txn, t *Table) error {
 	if _, ok := tx.tables[t]; ok {
 		return nil
 	}
 	if !t.mu.TryLock() {
 		m := tm.db.waits.Begin(obs.WaitLockTable)
-		deadline := time.Now().Add(tm.db.lockTimeout)
-		for {
-			time.Sleep(2 * time.Millisecond)
-			if t.mu.TryLock() {
-				break
-			}
-			if time.Now().After(deadline) {
-				tm.db.met.lockWaitNs.Add(tm.db.waits.End(m))
-				return fmt.Errorf("executor: timed out waiting for write lock on table %q (held by an open transaction?)", t.Name)
-			}
-		}
+		ok := t.mu.LockTimeout(tm.db.lockTimeout)
 		tm.db.met.lockWaitNs.Add(tm.db.waits.End(m))
+		if !ok {
+			return fmt.Errorf("executor: timed out waiting for write lock on table %q (held by an open transaction?)", t.Name)
+		}
 	}
 	tm.mu.Lock()
 	tm.owners[t] = tx
@@ -386,6 +415,9 @@ func (db *DB) Begin() (*Txn, error) {
 // commit record is appended atomically after the transaction's already-
 // logged statement groups, and the log is forced per its sync mode. A
 // transaction that changed nothing commits without touching the log.
+// A COMMIT that fails aborts the transaction (PostgreSQL semantics):
+// its versions are compensated and its locks released — leaving it
+// open would pin the VACUUM horizon and block CHECKPOINT until Close.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return fmt.Errorf("executor: transaction %d already ended", tx.xid)
@@ -394,6 +426,10 @@ func (tx *Txn) Commit() error {
 	rlockTimed(&db.stmtMu, db.met.lockWaitNs, db.waits, obs.WaitLockCatalog)
 	defer db.stmtMu.RUnlock()
 	if err := db.commitTxn(tx); err != nil {
+		db.met.txnRollback.Inc()
+		if rerr := db.rollbackTxn(tx); rerr != nil && db.broken == nil {
+			return fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+		}
 		return err
 	}
 	db.tm.finish(tx)

@@ -105,8 +105,18 @@ func ParseTuple(rec []byte) (TupleHeader, []byte) {
 const (
 	metaMagic   = 0x48454150 // "HEAP"
 	metaMagicOf = 0
-	metaLastOf  = 4 // last page with free space (hint)
-	metaCountOf = 8 // number of live records
+	metaLastOf  = 4  // last page with free space (hint)
+	metaCountOf = 8  // number of live records
+	metaVerOf   = 16 // on-disk record format version
+
+	// formatVersion is the current record format: 1 since every record
+	// carries the MVCC TupleHeader prefix. Files written before the
+	// header existed read version 0 (the meta field was unwritten
+	// zeros) and are refused at Open — their records are bare payloads,
+	// and parsing them as versioned would silently eat the first
+	// TupleHeaderSize bytes of every tuple, corrupting the system
+	// catalog and all user rows.
+	formatVersion = 1
 )
 
 // File is a heap file over a buffer pool. Methods are not safe for
@@ -129,6 +139,7 @@ func Create(bp *storage.BufferPool) (*File, error) {
 	binary.LittleEndian.PutUint32(meta.Data[metaMagicOf:], metaMagic)
 	binary.LittleEndian.PutUint32(meta.Data[metaLastOf:], uint32(storage.InvalidPageID))
 	binary.LittleEndian.PutUint64(meta.Data[metaCountOf:], 0)
+	binary.LittleEndian.PutUint32(meta.Data[metaVerOf:], formatVersion)
 	bp.Unpin(meta, true)
 	return &File{bp: bp, lastPage: storage.InvalidPageID}, nil
 }
@@ -142,6 +153,9 @@ func Open(bp *storage.BufferPool) (*File, error) {
 	defer bp.Unpin(meta, false)
 	if binary.LittleEndian.Uint32(meta.Data[metaMagicOf:]) != metaMagic {
 		return nil, fmt.Errorf("heap: bad magic (not a heap file)")
+	}
+	if v := binary.LittleEndian.Uint32(meta.Data[metaVerOf:]); v != formatVersion {
+		return nil, fmt.Errorf("heap: record format version %d, want %d (a pre-MVCC file: its records carry no version header; dump and reload it with a matching build)", v, formatVersion)
 	}
 	return &File{
 		bp:       bp,

@@ -191,6 +191,51 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	}
 }
 
+// TestOpenRefusesPreVersionFormat pins the format gate: a heap file
+// whose meta page predates the MVCC tuple header (format version 0 —
+// the field was unwritten zeros) must refuse to open, not silently
+// parse the first TupleHeaderSize bytes of every payload as a header.
+func TestOpenRefusesPreVersionFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.dat")
+	dm, err := storage.OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := storage.NewBufferPool(dm, 16)
+	f, err := Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Insert([]byte("row")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the meta page with the version field zeroed, the way a
+	// pre-MVCC build left it.
+	dm2, err := storage.OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := make([]byte, 1024)
+	if err := dm2.ReadPage(0, meta); err != nil {
+		t.Fatal(err)
+	}
+	for i := metaVerOf; i < metaVerOf+4; i++ {
+		meta[i] = 0
+	}
+	if err := dm2.WritePage(0, meta); err != nil {
+		t.Fatal(err)
+	}
+	bp2 := storage.NewBufferPool(dm2, 16)
+	defer bp2.Close()
+	if _, err := Open(bp2); err == nil {
+		t.Fatal("Open accepted a format-version-0 heap file")
+	}
+}
+
 func TestRIDEncoding(t *testing.T) {
 	r := RID{Page: 123456, Slot: 789}
 	b := r.Bytes()

@@ -6,8 +6,11 @@
 //
 //	heap files    (rel<oid>.tbl, magic "HEAP"): slotted tuple pages;
 //	              each tuple opens with the 18-byte MVCC header
-//	              [xmin:8][xmax:8][infomask:2] (PR 8) — records shorter
-//	              than the header decode as frozen pre-MVCC tuples
+//	              [xmin:8][xmax:8][infomask:2] (PR 8). The meta page
+//	              carries a format version (1 since the header landed;
+//	              the engine refuses to open version-0 files) — shown
+//	              in the meta dump. Records shorter than the header
+//	              decode as frozen tuples
 //	B+-tree files (rel<oid>.idx, magic "BTRE"): one node per page
 //	SP-GiST files (rel<oid>.idx, magic "SPGS"): slotted node-record pages
 //	R-tree files  (rel<oid>.idx, magic "RTRE"): one node per page
@@ -149,8 +152,8 @@ func describeMeta(w io.Writer, kind FileKind, p []byte) {
 	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(p[off:]) }
 	switch kind {
 	case KindHeap:
-		fmt.Fprintf(w, "  meta: magic=\"HEAP\" last_page_hint=%s count=%d\n",
-			pageIDString(u32(4)), u64(8))
+		fmt.Fprintf(w, "  meta: magic=\"HEAP\" last_page_hint=%s count=%d format=%d\n",
+			pageIDString(u32(4)), u64(8), u32(16))
 	case KindBTree:
 		fmt.Fprintf(w, "  meta: magic=\"BTRE\" root=%s height=%d count=%d\n",
 			pageIDString(u32(4)), u32(8), u64(12))

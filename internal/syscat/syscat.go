@@ -103,8 +103,10 @@ const (
 	// in strides ahead of use, so a crash can never lead to a transaction
 	// ID being reissued (which would let a new transaction alias the WAL
 	// records — and the on-page xmin/xmax stamps — of an old one). A
-	// catalog without the record (databases from before MVCC landed)
-	// reads as high-water 0.
+	// catalog without the record (a database that never allocated a
+	// transaction) reads as high-water 0. Databases written before MVCC
+	// landed never get this far: their heap files carry the pre-version
+	// record format, which heap.Open refuses.
 	recXid byte = 'X'
 )
 
