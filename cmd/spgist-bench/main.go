@@ -61,10 +61,16 @@ func main() {
 	for _, e := range exps {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Title)
 		var figs []bench.Figure
-		if e.ID == "latency" && *outPath != "" {
+		if (e.ID == "latency" || e.ID == "coldcache") && *outPath != "" {
 			// The report variant yields the same figures plus the raw
 			// rows for the BENCH_N.json artifact, in a single run.
-			report, rfigs := bench.RunLatencyReport(cfg)
+			var report *bench.LatencyReport
+			var rfigs []bench.Figure
+			if e.ID == "latency" {
+				report, rfigs = bench.RunLatencyReport(cfg)
+			} else {
+				report, rfigs = bench.RunColdCacheReport(cfg)
+			}
 			figs = rfigs
 			data, err := json.MarshalIndent(report, "", "  ")
 			if err != nil {

@@ -39,6 +39,10 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log statements at or over this duration to stderr (0 disables)")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON file per statement into this directory (empty disables)")
 	idleTxn := flag.Duration("idle-txn-timeout", 0, "roll back and disconnect sessions idle in an open transaction this long (0 disables)")
+	readahead := flag.Int("readahead", 0, "pages of scan readahead to prefetch (default 8, negative disables)")
+	prefetchWorkers := flag.Int("prefetch-workers", 0, "prefetcher goroutines shared by all tables (default 4)")
+	bgwInterval := flag.Duration("bgwriter-interval", 0, "background dirty-page writer tick (0 disables)")
+	bgwMaxPages := flag.Int("bgwriter-max-pages", 0, "page budget per background-writer round (default 128)")
 	flag.Parse()
 
 	mode := wal.SyncCommit
@@ -48,6 +52,8 @@ func main() {
 	db, err := executor.Open(executor.Options{
 		Dir: *dir, WAL: *useWAL, WALSync: mode, PoolPages: *poolPages,
 		SlowQueryThreshold: *slowQuery, TraceDir: *traceDir,
+		ReadaheadPages: *readahead, PrefetchWorkers: *prefetchWorkers,
+		BGWriterInterval: *bgwInterval, BGWriterMaxPages: *bgwMaxPages,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -265,6 +265,7 @@ func All() []Experiment {
 		{"nn", "Figure 17: NN search across SP-GiST instantiations", RunNN},
 		{"ablation", "Ablations: clustering, node shrink, bucket size", RunAblation},
 		{"latency", "Latency percentiles over the executor (exact, NN, mixed 90/10)", RunLatency},
+		{"coldcache", "Cold-cache async I/O: in-flight reads, readahead, background writer", RunColdCache},
 	}
 }
 

@@ -691,6 +691,12 @@ func (t *Tree) RangeScan(lo, hi []byte, emit func(key []byte, rid heap.RID) bool
 		if err != nil {
 			return err
 		}
+		// Readahead along the leaf chain: ask the prefetcher for the next
+		// leaf before processing this one, so a cold range scan overlaps
+		// its key emission with the following page's disk read.
+		if n.next != storage.InvalidPageID && t.bp.ReadaheadPages() > 0 {
+			t.bp.Prefetch(n.next)
+		}
 		start := 0
 		if lo != nil {
 			start = lowerBound(n.entries, lo)

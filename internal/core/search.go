@@ -72,6 +72,11 @@ func (t *Tree) Scan(q *Query, emit func(key Value, rid heap.RID) bool) error {
 			if !child.Valid() {
 				continue // empty partition of a NodeShrink=false tree
 			}
+			// Every followed child will be visited; prefetching the ones
+			// on other pages overlaps their reads with this node's work.
+			if child.Page != f.ref.Page && t.bp.ReadaheadPages() > 0 {
+				t.bp.Prefetch(child.Page)
+			}
 			stack = append(stack, frame{child, f.level + fo.LevelAdd, fo.Recon})
 		}
 	}

@@ -174,6 +174,20 @@ type DB struct {
 	rebuilt []string            // indexes rebuilt during Open (recorded invalid)
 	faults  FaultInjection
 
+	// pf is the shared prefetcher every pool attaches to (nil when
+	// readahead is disabled); readahead is the per-pool window. bgw is
+	// the background writer (nil when disabled). All are created at Open
+	// and immutable afterwards — only teardown stops them.
+	pf        *storage.Prefetcher
+	readahead int
+	bgw       *bgWriter
+
+	// serialColdReads / ioLatency mirror the benchmark Options onto
+	// every pool Open creates; immutable after Open.
+	serialColdReads  bool
+	diskReadLatency  time.Duration
+	diskWriteLatency time.Duration
+
 	// tm is the transaction layer (txn.go): xid allocation, snapshots,
 	// the active-transaction set, and table-lock ownership. Always
 	// non-nil after Open.
@@ -316,7 +330,43 @@ type Options struct {
 	// armed per statement; with TraceDir empty (the default) the
 	// instrumentation costs one atomic load per potential span site.
 	TraceDir string
+	// ReadaheadPages is how many pages ahead sequential heap scans and
+	// btree/SP-GiST descents prefetch through the shared background
+	// prefetcher. 0 defaults to DefaultReadaheadPages; negative disables
+	// prefetch entirely.
+	ReadaheadPages int
+	// PrefetchWorkers sizes the shared prefetcher goroutine pool;
+	// 0 defaults to storage.DefaultPrefetchWorkers. Ignored when
+	// readahead is disabled.
+	PrefetchWorkers int
+	// BGWriterInterval enables the background writer: every interval it
+	// writes back up to BGWriterMaxPages committed dirty pages across
+	// all pools, so CHECKPOINT finds mostly-clean pools. Zero (the
+	// default) disables it.
+	BGWriterInterval time.Duration
+	// BGWriterMaxPages bounds one background-writer round; defaults to
+	// DefaultBGWriterMaxPages.
+	BGWriterMaxPages int
+	// SerialColdReads restores the pre-PR-9 buffer-pool miss path (the
+	// disk read under the shard mutex, serializing same-shard misses).
+	// Benchmark baseline only.
+	SerialColdReads bool
+	// DiskReadLatency/DiskWriteLatency add a simulated device delay to
+	// every physical page read/write (storage.WithLatency). Benchmark
+	// knobs: they make I/O-overlap effects measurable on fast disks.
+	DiskReadLatency  time.Duration
+	DiskWriteLatency time.Duration
 }
+
+// DefaultReadaheadPages is the scan readahead window when Options leave
+// it zero: deep enough to keep a handful of reads in flight ahead of a
+// sequential scan, shallow enough that a mispredicted scan wastes only a
+// few frames.
+const DefaultReadaheadPages = 8
+
+// DefaultBGWriterMaxPages bounds one background-writer round when
+// Options leave it zero.
+const DefaultBGWriterMaxPages = 128
 
 // Open creates or opens a database. The persistent system catalog is
 // bootstrapped first (replaying any write-ahead log into it and the data
@@ -353,6 +403,22 @@ func Open(opts Options) (*DB, error) {
 		slowQueryThreshold: opts.SlowQueryThreshold,
 		slowQueryLog:       opts.SlowQueryLog,
 		traceDir:           opts.TraceDir,
+		serialColdReads:    opts.SerialColdReads,
+		diskReadLatency:    opts.DiskReadLatency,
+		diskWriteLatency:   opts.DiskWriteLatency,
+	}
+	db.readahead = opts.ReadaheadPages
+	if db.readahead == 0 {
+		db.readahead = DefaultReadaheadPages
+	}
+	if db.readahead < 0 {
+		db.readahead = 0
+	}
+	if db.readahead > 0 {
+		// Every pool this database opens shares one prefetcher: readahead
+		// demand is bursty per file but bounded overall, and the shared
+		// queue caps the background I/O the whole system generates.
+		db.pf = storage.NewPrefetcher(opts.PrefetchWorkers, 0)
 	}
 	if db.slowQueryLog == nil {
 		db.slowQueryLog = os.Stderr
@@ -415,6 +481,13 @@ func Open(opts Options) (*DB, error) {
 		db.abandon()
 		return nil, err
 	}
+	if opts.BGWriterInterval > 0 {
+		max := opts.BGWriterMaxPages
+		if max <= 0 {
+			max = DefaultBGWriterMaxPages
+		}
+		db.bgw = startBGWriter(db, opts.BGWriterInterval, max)
+	}
 	return db, nil
 }
 
@@ -437,6 +510,12 @@ func (db *DB) discardAll() error {
 		if err := bp.Crash(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	// The pools just waited out their queued prefetch work; now the
+	// workers themselves can go.
+	if db.pf != nil {
+		db.pf.Close()
+		db.pf = nil
 	}
 	db.pools = nil
 	db.tables = make(map[string]*Table)
@@ -843,6 +922,10 @@ func OpenMemory() *DB {
 // Close flushes everything, checkpoints the log, and closes the
 // underlying files.
 func (db *DB) Close() error {
+	// Stop the background writer before taking the exclusive lock: its
+	// rounds take the shared lock, and a stopped writer cannot race the
+	// teardown below.
+	db.stopBGWriter()
 	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	db.mu.Lock()
@@ -885,6 +968,10 @@ func (db *DB) Close() error {
 		if err := bp.Close(); err != nil {
 			return err
 		}
+	}
+	if db.pf != nil {
+		db.pf.Close()
+		db.pf = nil
 	}
 	db.pools = nil
 	db.tables = make(map[string]*Table)
@@ -979,6 +1066,7 @@ func (db *DB) checkpointLocked() error {
 // Data pages keep only what earlier evictions and flushes wrote; a
 // subsequent Open with WAL enabled must redo the rest from the log.
 func (db *DB) Crash() error {
+	db.stopBGWriter()
 	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	db.mu.Lock()
@@ -1161,7 +1249,12 @@ func (db *DB) newPool(fileName string) (*storage.BufferPool, bool, error) {
 		}
 		dm = fdm
 	}
+	if db.diskReadLatency > 0 || db.diskWriteLatency > 0 {
+		dm = storage.WithLatency(dm, db.diskReadLatency, db.diskWriteLatency)
+	}
 	bp := storage.NewBufferPool(dm, db.poolPages)
+	bp.SetSerialColdReads(db.serialColdReads)
+	bp.AttachPrefetcher(db.pf, db.readahead)
 	// Join the pool to the wait-event layer, classifying its miss I/O by
 	// what the file holds (the extension is authoritative: rel<oid>.tbl,
 	// rel<oid>.idx, syscat.dat).

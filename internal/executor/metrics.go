@@ -94,6 +94,11 @@ func (db *DB) sampleStorage(emit func(name string, value int64)) {
 		ps.Misses += s.Misses
 		ps.Evictions += s.Evictions
 		ps.DirtyWrites += s.DirtyWrites
+		ps.InflightJoins += s.InflightJoins
+		ps.PrefetchReads += s.PrefetchReads
+		ps.PrefetchHits += s.PrefetchHits
+		ps.PrefetchWasted += s.PrefetchWasted
+		ps.BGWrites += s.BGWrites
 		r, wr, al := bp.DM().Stats().Snapshot()
 		reads += r
 		writes += wr
@@ -107,6 +112,17 @@ func (db *DB) sampleStorage(emit func(name string, value int64)) {
 	emit("pool_misses_total", ps.Misses)
 	emit("pool_evictions_total", ps.Evictions)
 	emit("pool_dirty_writes_total", ps.DirtyWrites)
+	emit("pool_inflight_joins_total", ps.InflightJoins)
+	emit("pool_prefetch_reads_total", ps.PrefetchReads)
+	emit("pool_prefetch_hits_total", ps.PrefetchHits)
+	emit("pool_prefetch_wasted_total", ps.PrefetchWasted)
+	emit("pool_bgwriter_writes_total", ps.BGWrites)
+	if db.bgw != nil {
+		rounds, skipped, pages := db.BGWriterStats()
+		emit("bgwriter_rounds_total", rounds)
+		emit("bgwriter_skipped_total", skipped)
+		emit("bgwriter_pages_total", pages)
+	}
 	emit("disk_reads_total", reads)
 	emit("disk_writes_total", writes)
 	emit("disk_allocs_total", allocs)
@@ -158,6 +174,11 @@ func (db *DB) PoolStats() storage.PoolStats {
 		ps.Misses += s.Misses
 		ps.Evictions += s.Evictions
 		ps.DirtyWrites += s.DirtyWrites
+		ps.InflightJoins += s.InflightJoins
+		ps.PrefetchReads += s.PrefetchReads
+		ps.PrefetchHits += s.PrefetchHits
+		ps.PrefetchWasted += s.PrefetchWasted
+		ps.BGWrites += s.BGWrites
 	}
 	return ps
 }

@@ -40,6 +40,12 @@ const (
 	// WaitWALCommitWait: a group-commit follower parked on the leader's
 	// in-flight fsync.
 	WaitWALCommitWait
+	// WaitIOPrefetch: a prefetcher worker reading a page from disk ahead
+	// of a scan. Charged to the background worker, never to a session.
+	WaitIOPrefetch
+	// WaitBGWriter: the background writer flushing a dirty page to disk
+	// ahead of CHECKPOINT. Charged to the background goroutine.
+	WaitBGWriter
 
 	// NumWaitEvents bounds the enum; a WaitSet is a fixed array over it.
 	NumWaitEvents
@@ -55,6 +61,8 @@ var waitEventNames = [NumWaitEvents]string{
 	WaitIOCatalogRead: "io_catalog_read",
 	WaitWALFsync:      "wal_fsync",
 	WaitWALCommitWait: "wal_commit_wait",
+	WaitIOPrefetch:    "io_prefetch",
+	WaitBGWriter:      "bgwriter_write",
 }
 
 // String returns the event's registry/display name.

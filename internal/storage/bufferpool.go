@@ -22,16 +22,29 @@ type Page struct {
 	frame int // frame index inside the owning shard
 }
 
-// PoolStats counts logical page traffic at the buffer-pool level. Logical
-// accesses minus hits equals physical reads triggered by this pool.
+// PoolStats counts logical page traffic at the buffer-pool level.
 // DirtyWrites counts dirty frames written back to disk, whether by
-// eviction or by an explicit flush.
+// eviction, the background writer, or an explicit flush.
+//
+// Misses include InflightJoins: fetches that found their page's read
+// already in flight and waited on it rather than issuing a second disk
+// read, so Hits+Misses == Accesses always holds while physical reads can
+// be fewer than misses. PrefetchReads counts pages read by the
+// prefetcher (not logical accesses); PrefetchHits counts prefetched
+// pages a demand fetch then used, PrefetchWasted those evicted untouched.
+// BGWrites counts the subset of DirtyWrites issued by the background
+// writer.
 type PoolStats struct {
-	Accesses    int64
-	Hits        int64
-	Misses      int64
-	Evictions   int64
-	DirtyWrites int64
+	Accesses       int64
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	DirtyWrites    int64
+	InflightJoins  int64
+	PrefetchReads  int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+	BGWrites       int64
 }
 
 // add accumulates o into s (Stats sums the per-shard counters).
@@ -41,6 +54,11 @@ func (s *PoolStats) add(o PoolStats) {
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
 	s.DirtyWrites += o.DirtyWrites
+	s.InflightJoins += o.InflightJoins
+	s.PrefetchReads += o.PrefetchReads
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchWasted += o.PrefetchWasted
+	s.BGWrites += o.BGWrites
 }
 
 // maxPoolShards caps the page-table sharding; 16 shards keep read-path
@@ -106,6 +124,38 @@ type BufferPool struct {
 	// against FlushAll and Crash.
 	opsMu sync.Mutex
 	ops   []deferredOp
+
+	// serialColdReads restores the pre-in-flight-table miss path: the
+	// disk read happens under the shard mutex, so same-shard misses
+	// serialize. Kept as the A/B baseline for the cold-cache benchmark;
+	// set before the pool is shared.
+	serialColdReads bool
+
+	// pf/readahead connect the pool to a shared prefetcher (AttachPrefetcher,
+	// before the pool is shared; nil disables prefetch). prefetchActive
+	// counts this pool's queued-or-running prefetch tasks so Close/Crash
+	// can wait them out before tearing frames down; closed stops new
+	// prefetch work from being enqueued or started.
+	pf             *Prefetcher
+	readahead      int
+	prefetchActive sync.WaitGroup
+	closed         atomic.Bool
+}
+
+// inflightRead is one pending disk read published in a shard's in-flight
+// table. The claimer (demand fetch or prefetch worker) owns the frame at
+// fi — pinned and invalid, so the evictor skips it — reads with the
+// shard mutex released, then publishes the frame and closes done.
+// Fetches of the same page meanwhile register as waiters (under the
+// shard mutex) and park on done; the publisher grants their pins in one
+// store before the entry leaves the table, so a published frame cannot
+// be evicted before its waiters wake. err and the frame contents become
+// visible to waiters through the channel close.
+type inflightRead struct {
+	done    chan struct{}
+	fi      int
+	waiters int32 // registered before publish, under the shard mutex
+	err     error
 }
 
 // deferredOp is one staged logical record. rec/slots/recs are retained
@@ -137,15 +187,25 @@ type poolShard struct {
 	hand    int
 	pending int // frames with imagePending set
 
+	// inflight holds the shard's pending disk reads, keyed by the page
+	// being read. An entry's frame is pinned and invalid, reachable only
+	// through the entry until the read publishes it into table.
+	inflight map[PageID]*inflightRead
+
 	// Traffic counters live per shard, as plain fields under the shard
 	// mutex the hot paths already hold — zero extra atomics per fetch.
 	// Readouts (SHOW STATS) take the same mutex, contending only with
 	// this shard's traffic.
-	accesses    int64
-	hits        int64
-	misses      int64
-	evictions   int64
-	dirtyWrites int64
+	accesses       int64
+	hits           int64
+	misses         int64
+	evictions      int64
+	dirtyWrites    int64
+	inflightJoins  int64
+	prefetchReads  int64
+	prefetchHits   int64
+	prefetchWasted int64
+	bgWrites       int64
 }
 
 // snapshot reads the shard's counters.
@@ -153,12 +213,27 @@ func (sh *poolShard) snapshot() PoolStats {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return PoolStats{
-		Accesses:    sh.accesses,
-		Hits:        sh.hits,
-		Misses:      sh.misses,
-		Evictions:   sh.evictions,
-		DirtyWrites: sh.dirtyWrites,
+		Accesses:       sh.accesses,
+		Hits:           sh.hits,
+		Misses:         sh.misses,
+		Evictions:      sh.evictions,
+		DirtyWrites:    sh.dirtyWrites,
+		InflightJoins:  sh.inflightJoins,
+		PrefetchReads:  sh.prefetchReads,
+		PrefetchHits:   sh.prefetchHits,
+		PrefetchWasted: sh.prefetchWasted,
+		BGWrites:       sh.bgWrites,
 	}
+}
+
+// anyInflightDone returns the done channel of an arbitrary in-flight
+// read, or nil when none is pending. Callers hold sh.mu; the channel
+// stays valid after unlock (it is closed exactly once by the publisher).
+func (sh *poolShard) anyInflightDone() chan struct{} {
+	for _, e := range sh.inflight {
+		return e.done
+	}
+	return nil
 }
 
 type frame struct {
@@ -181,6 +256,10 @@ type frame struct {
 	// (bp.ops) whose LSNs are not yet assigned. Unevictable, like
 	// imagePending, until ResolvePending runs at the commit point.
 	opPending bool
+	// prefetched marks a frame read by the prefetcher and not yet used
+	// by a demand fetch: cleared (counting a prefetch hit) on first use,
+	// or counted as wasted if the frame is evicted still carrying it.
+	prefetched bool
 }
 
 // NewBufferPool creates a pool with capacity frames over dm.
@@ -209,6 +288,7 @@ func NewBufferPool(dm DiskManager, capacity int) *BufferPool {
 		sh := &bp.shards[si]
 		sh.frames = make([]frame, n)
 		sh.table = make(map[PageID]int, n)
+		sh.inflight = make(map[PageID]*inflightRead)
 		for i := range sh.frames {
 			sh.frames[i].data = make([]byte, dm.PageSize())
 		}
@@ -242,6 +322,44 @@ func (bp *BufferPool) AttachWAL(w *wal.Writer, fileName string) {
 func (bp *BufferPool) AttachObs(ws *obs.WaitSet, ioEvent obs.WaitEvent) {
 	bp.waits = ws
 	bp.waitIO = ioEvent
+}
+
+// AttachPrefetcher joins the pool to a (possibly shared) prefetcher and
+// sets how many pages ahead sequential scans request. readahead <= 0
+// disables prefetch. Like AttachWAL, call before the pool is shared.
+func (bp *BufferPool) AttachPrefetcher(pf *Prefetcher, readahead int) {
+	if pf == nil || readahead <= 0 {
+		bp.pf = nil
+		bp.readahead = 0
+		return
+	}
+	bp.pf = pf
+	bp.readahead = readahead
+}
+
+// ReadaheadPages reports the configured readahead window (0 = prefetch
+// disabled). Scan layers use it to size their prefetch distance.
+func (bp *BufferPool) ReadaheadPages() int { return bp.readahead }
+
+// SetSerialColdReads toggles the legacy miss path that performs the disk
+// read while holding the shard mutex (serializing same-shard misses).
+// Benchmark baseline only; call before the pool is shared.
+func (bp *BufferPool) SetSerialColdReads(on bool) { bp.serialColdReads = on }
+
+// Prefetch asks the attached prefetcher to pull a page into the pool in
+// the background. It never blocks: with no prefetcher attached, the pool
+// closing, the page unallocated, or the prefetch queue full, it simply
+// drops the request — prefetch is an optimization, never a correctness
+// dependency.
+func (bp *BufferPool) Prefetch(id PageID) {
+	pf := bp.pf
+	if pf == nil || bp.closed.Load() || uint32(id) >= bp.dm.NumPages() {
+		return
+	}
+	bp.prefetchActive.Add(1)
+	if !pf.enqueue(prefetchTask{bp: bp, id: id}) {
+		bp.prefetchActive.Done()
+	}
 }
 
 // lockShard acquires sh.mu, charging a blocked acquisition to the
@@ -292,36 +410,154 @@ func (bp *BufferPool) ResetStats() {
 		sh.misses = 0
 		sh.evictions = 0
 		sh.dirtyWrites = 0
+		sh.inflightJoins = 0
+		sh.prefetchReads = 0
+		sh.prefetchHits = 0
+		sh.prefetchWasted = 0
+		sh.bgWrites = 0
 		sh.mu.Unlock()
 	}
 }
 
 // Fetch pins the page with the given id, reading it from disk on a miss.
+//
+// The miss path is a singleflight per PageID over the shard's in-flight
+// table: the first fetch claims a victim frame (pinned, invalid — the
+// evictor skips it), publishes an "I/O pending" entry, and reads the
+// page with the shard mutex released, so misses on different pages of
+// the same shard overlap their disk reads. Concurrent fetches of the
+// same page register as waiters on the entry and park on its channel —
+// exactly one disk read happens however many sessions miss together —
+// counting as misses (Hits+Misses == Accesses) and as InflightJoins.
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	si := bp.shardOf(id)
 	sh := &bp.shards[si]
 	bp.lockShard(sh)
-	defer sh.mu.Unlock()
 	sh.accesses++
 	if fi, ok := sh.table[id]; ok {
 		sh.hits++
 		f := &sh.frames[fi]
+		if f.prefetched {
+			f.prefetched = false
+			sh.prefetchHits++
+		}
 		f.pin.Add(1)
 		f.ref.Store(true)
+		sh.mu.Unlock()
 		return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
 	}
-	sh.misses++
+	if bp.serialColdReads {
+		sh.misses++
+		return bp.fetchSerialLocked(sh, si, id)
+	}
+	var fi int
+	for {
+		if e, ok := sh.inflight[id]; ok {
+			sh.misses++
+			sh.inflightJoins++
+			e.waiters++
+			sh.mu.Unlock()
+			// Park on the in-flight read; the publisher granted this pin
+			// before closing done. Waiting on someone else's read is
+			// still I/O wait from this session's point of view.
+			iw := bp.waits.Begin(bp.waitIO)
+			<-e.done
+			bp.waits.End(iw)
+			if e.err != nil {
+				return nil, e.err
+			}
+			f := &sh.frames[e.fi]
+			return &Page{ID: id, Data: f.data, shard: si, frame: e.fi}, nil
+		}
+		var err error
+		if fi, err = bp.victimLocked(sh); err == nil {
+			sh.misses++
+			break
+		}
+		// "Shard exhausted" can be transient now: concurrent misses each
+		// claim a frame for the duration of their read, so a small shard
+		// under a miss burst may have every frame pinned by reads about
+		// to complete. Wait for any in-flight read to publish, then
+		// retry from the top (our page may even have arrived meanwhile —
+		// the hit check below reruns first). With no reads in flight the
+		// exhaustion is real (all frames pinned or uncommitted).
+		if done := sh.anyInflightDone(); done != nil {
+			sh.mu.Unlock()
+			iw := bp.waits.Begin(bp.waitIO)
+			<-done
+			bp.waits.End(iw)
+			bp.lockShard(sh)
+			if pfi, ok := sh.table[id]; ok {
+				sh.hits++
+				f := &sh.frames[pfi]
+				if f.prefetched {
+					f.prefetched = false
+					sh.prefetchHits++
+				}
+				f.pin.Add(1)
+				f.ref.Store(true)
+				sh.mu.Unlock()
+				return &Page{ID: id, Data: f.data, shard: si, frame: pfi}, nil
+			}
+			continue
+		}
+		sh.mu.Unlock()
+		return nil, err
+	}
+	f := &sh.frames[fi]
+	f.id = id
+	f.valid = false // reachable only through the in-flight entry
+	f.pin.Store(1)
+	e := &inflightRead{done: make(chan struct{}), fi: fi}
+	sh.inflight[id] = e
+	sh.mu.Unlock()
+	// The disk read proceeds without the shard mutex. It is charged to
+	// the pool's I/O wait event, and — when the statement above armed a
+	// tracer — recorded as a page_read span on its timeline.
+	iw := bp.waits.Begin(bp.waitIO)
+	sp := obs.Current().StartSpan("page_read", "io")
+	rerr := bp.dm.ReadPage(id, f.data)
+	sp.End()
+	bp.waits.End(iw)
+	bp.lockShard(sh)
+	delete(sh.inflight, id)
+	if rerr != nil {
+		e.err = rerr
+		f.pin.Store(0)
+		f.valid = false
+		close(e.done)
+		sh.mu.Unlock()
+		return nil, rerr
+	}
+	f.dirty = false
+	f.ref.Store(true)
+	f.lsn = 0
+	f.imagePending = false
+	f.opPending = false
+	f.prefetched = false
+	// One store grants the claimer's pin plus every waiter's before the
+	// frame becomes reachable through the table, so no waiter can find
+	// its page evicted underneath it.
+	f.pin.Store(1 + e.waiters)
+	f.valid = true
+	sh.table[id] = fi
+	close(e.done)
+	sh.mu.Unlock()
+	return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
+}
+
+// fetchSerialLocked is the legacy miss path: the disk read happens under
+// the shard mutex, so misses on pages of the same shard serialize.
+// Reached only with SetSerialColdReads(true); kept as the measured
+// baseline the in-flight table is compared against. Caller holds sh.mu
+// and has already counted the miss; always unlocks before returning.
+func (bp *BufferPool) fetchSerialLocked(sh *poolShard, si int, id PageID) (*Page, error) {
+	defer sh.mu.Unlock()
 	fi, err := bp.victimLocked(sh)
 	if err != nil {
 		return nil, err
 	}
 	f := &sh.frames[fi]
-	// The disk read happens under the shard lock: misses on pages of the
-	// same shard serialize, misses on other shards proceed. Simple and
-	// correct; a concurrent fetch of this page blocks here rather than
-	// reading the page into a second frame. The read is charged to the
-	// pool's I/O wait event, and — when the statement above armed a
-	// tracer — recorded as a page_read span on its timeline.
 	iw := bp.waits.Begin(bp.waitIO)
 	sp := obs.Current().StartSpan("page_read", "io")
 	rerr := bp.dm.ReadPage(id, f.data)
@@ -339,8 +575,78 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	f.lsn = 0
 	f.imagePending = false
 	f.opPending = false
+	f.prefetched = false
 	sh.table[id] = fi
 	return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
+}
+
+// prefetchOne is the prefetch worker's entry point: pull id into the
+// pool if it is not already present or in flight. It follows the same
+// claim/read/publish protocol as Fetch but takes no pin for itself —
+// the published frame is immediately evictable (marked prefetched, with
+// its clock reference bit set so it survives roughly one sweep). Demand
+// fetches that arrive mid-read join as waiters and get their pins from
+// the publish; errors are swallowed (beyond waiter delivery) because a
+// failed prefetch just means the later demand fetch reads for itself.
+func (bp *BufferPool) prefetchOne(id PageID) {
+	if bp.closed.Load() {
+		return
+	}
+	si := bp.shardOf(id)
+	sh := &bp.shards[si]
+	bp.lockShard(sh)
+	if _, ok := sh.table[id]; ok {
+		sh.mu.Unlock()
+		return
+	}
+	if _, ok := sh.inflight[id]; ok {
+		sh.mu.Unlock()
+		return
+	}
+	fi, err := bp.victimLocked(sh)
+	if err != nil {
+		// Every frame pinned or uncommitted: skip, demand will retry.
+		sh.mu.Unlock()
+		return
+	}
+	f := &sh.frames[fi]
+	f.id = id
+	f.valid = false
+	f.pin.Store(1) // claim: unevictable while the read is in flight
+	e := &inflightRead{done: make(chan struct{}), fi: fi}
+	sh.inflight[id] = e
+	sh.prefetchReads++
+	sh.mu.Unlock()
+	iw := bp.waits.Begin(obs.WaitIOPrefetch)
+	rerr := bp.dm.ReadPage(id, f.data)
+	bp.waits.End(iw)
+	bp.lockShard(sh)
+	delete(sh.inflight, id)
+	if rerr != nil {
+		e.err = rerr
+		f.pin.Store(0)
+		f.valid = false
+		close(e.done)
+		sh.mu.Unlock()
+		return
+	}
+	f.dirty = false
+	f.ref.Store(true)
+	f.lsn = 0
+	f.imagePending = false
+	f.opPending = false
+	// A demand fetch that joined mid-read is a prefetch hit: the read
+	// overlapped useful work. Otherwise the frame waits, flagged, for
+	// the scan to reach it (hit) or the clock to reclaim it (wasted).
+	f.prefetched = e.waiters == 0
+	if e.waiters > 0 {
+		sh.prefetchHits++
+	}
+	f.pin.Store(e.waiters)
+	f.valid = true
+	sh.table[id] = fi
+	close(e.done)
+	sh.mu.Unlock()
 }
 
 // NewPage allocates a fresh zeroed page on disk and returns it pinned.
@@ -355,8 +661,41 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	defer sh.mu.Unlock()
 	sh.accesses++
 	sh.misses++
-	fi, err := bp.victimLocked(sh)
-	if err != nil {
+	var fi int
+	for {
+		// A concurrent scan's readahead can prefetch the just-allocated
+		// page (AllocatePage zero-fills it on disk before returning, so
+		// the race is visible through NumPages). Defuse rather than
+		// double-buffer: wait out an in-flight read of our id, then take
+		// over the published frame.
+		if pfi, ok := sh.table[id]; ok {
+			fi = pfi
+			f := &sh.frames[fi]
+			f.prefetched = false
+			f.pin.Add(1)
+			break
+		}
+		if e, ok := sh.inflight[id]; ok {
+			sh.mu.Unlock()
+			<-e.done
+			bp.lockShard(sh)
+			continue
+		}
+		var err error
+		if fi, err = bp.victimLocked(sh); err == nil {
+			sh.frames[fi].pin.Store(1)
+			break
+		}
+		// Transient exhaustion: every frame claimed by in-flight reads.
+		// Wait for one to publish and retry (see Fetch).
+		if done := sh.anyInflightDone(); done != nil {
+			sh.mu.Unlock()
+			iw := bp.waits.Begin(bp.waitIO)
+			<-done
+			bp.waits.End(iw)
+			bp.lockShard(sh)
+			continue
+		}
 		return nil, err
 	}
 	f := &sh.frames[fi]
@@ -364,13 +703,13 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 		f.data[i] = 0
 	}
 	f.id = id
-	f.pin.Store(1)
 	f.dirty = true // must reach disk even if never modified again
 	f.ref.Store(true)
 	f.valid = true
 	f.lsn = 0
 	f.imagePending = false
 	f.opPending = false
+	f.prefetched = false
 	sh.table[id] = fi
 	return &Page{ID: id, Data: f.data, shard: si, frame: fi}, nil
 }
@@ -667,16 +1006,18 @@ func (bp *BufferPool) victimLocked(sh *poolShard) (int, error) {
 		committed = w.CommittedLSN()
 	}
 	// Two full sweeps: the first clears reference bits, the second takes
-	// the first unpinned frame.
+	// the first unpinned frame. The pin check comes before the validity
+	// check: an in-flight read's claimed frame is pinned but not yet
+	// valid, and must never be handed out as "free".
 	for sweep := 0; sweep < 2*n+1; sweep++ {
 		f := &sh.frames[sh.hand]
 		i := sh.hand
 		sh.hand = (sh.hand + 1) % n
-		if !f.valid {
-			return i, nil
-		}
 		if f.pin.Load() > 0 {
 			continue
+		}
+		if !f.valid {
+			return i, nil
 		}
 		if f.dirty && (f.imagePending || f.opPending || (committed > 0 && f.lsn > committed)) {
 			continue
@@ -701,6 +1042,10 @@ func (bp *BufferPool) victimLocked(sh *poolShard) (int, error) {
 				return 0, err
 			}
 			sh.dirtyWrites++
+		}
+		if f.prefetched {
+			f.prefetched = false
+			sh.prefetchWasted++
 		}
 		delete(sh.table, f.id)
 		f.valid = false
@@ -802,8 +1147,108 @@ func (bp *BufferPool) FlushAll() error {
 	return nil
 }
 
+// WriteBackDirty is the background writer's unit of work: write back up
+// to max dirty frames that are safe to clean right now — unpinned, not
+// covered by deferred records or images, and (with a WAL attached) fully
+// committed, so one WAL sync up to the commit horizon makes every
+// candidate durable-before-data. Frames are cleaned in place, not
+// evicted: the cache keeps its contents, CHECKPOINT just finds less to
+// flush. Returns how many frames were written.
+//
+// Frames dirtied after the horizon was read have higher LSNs and are
+// skipped; the next round picks them up. Holding each shard's mutex
+// across its writes is the same trade eviction writeback already makes.
+func (bp *BufferPool) WriteBackDirty(max int) (int, error) {
+	if max <= 0 {
+		return 0, nil
+	}
+	w, _ := bp.WAL()
+	committed := wal.LSN(0)
+	if w != nil {
+		committed = w.CommittedLSN()
+	}
+	written := 0
+	synced := wal.LSN(0) // highest LSN made durable this round
+	for si := range bp.shards {
+		if written >= max {
+			break
+		}
+		sh := &bp.shards[si]
+		bp.lockShard(sh)
+		for i := range sh.frames {
+			if written >= max {
+				break
+			}
+			f := &sh.frames[i]
+			if !f.valid || !f.dirty || f.pin.Load() > 0 || f.imagePending || f.opPending {
+				continue
+			}
+			if committed > 0 && f.lsn > committed {
+				continue // uncommitted state: no-steal applies to us too
+			}
+			// WAL-before-data: the frame's records and its covering
+			// commit marker must be durable before the page is. One
+			// sync per round normally suffices (every candidate's lsn
+			// is at or below the commit horizon); committed == 0 means
+			// a raw log without markers, where each frame syncs to its
+			// own lsn.
+			target := f.lsn
+			if committed > target {
+				target = committed
+			}
+			if target > synced {
+				if err := bp.syncWAL(w, target); err != nil {
+					sh.mu.Unlock()
+					return written, err
+				}
+				synced = target
+			}
+			mw := bp.waits.Begin(obs.WaitBGWriter)
+			err := bp.dm.WritePage(f.id, f.data)
+			bp.waits.End(mw)
+			if err != nil {
+				sh.mu.Unlock()
+				return written, err
+			}
+			f.dirty = false
+			sh.dirtyWrites++
+			sh.bgWrites++
+			written++
+		}
+		sh.mu.Unlock()
+	}
+	return written, nil
+}
+
+// DirtyFrames counts frames currently dirty (introspection, tests, and
+// the background writer's pacing).
+func (bp *BufferPool) DirtyFrames() int {
+	n := 0
+	for si := range bp.shards {
+		sh := &bp.shards[si]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if f.valid && f.dirty {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// quiescePrefetch stops new prefetch work and waits out this pool's
+// queued or running prefetch tasks, so teardown never races a worker
+// holding frame references. Idempotent.
+func (bp *BufferPool) quiescePrefetch() {
+	bp.closed.Store(true)
+	bp.prefetchActive.Wait()
+}
+
 // Close flushes all dirty pages and closes the disk manager.
 func (bp *BufferPool) Close() error {
+	bp.quiescePrefetch()
 	if err := bp.FlushAll(); err != nil {
 		return err
 	}
@@ -815,6 +1260,7 @@ func (bp *BufferPool) Close() error {
 // loss of volatile state in a crash: the data file keeps only what
 // earlier evictions and flushes wrote. Test and demo hook.
 func (bp *BufferPool) Crash() error {
+	bp.quiescePrefetch()
 	for si := range bp.shards {
 		sh := &bp.shards[si]
 		sh.mu.Lock()
@@ -828,8 +1274,10 @@ func (bp *BufferPool) Crash() error {
 			f.lsn = 0
 			f.imagePending = false
 			f.opPending = false
+			f.prefetched = false
 		}
 		sh.table = make(map[PageID]int)
+		sh.inflight = make(map[PageID]*inflightRead)
 		sh.pending = 0
 		sh.mu.Unlock()
 	}

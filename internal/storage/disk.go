@@ -15,6 +15,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultPageSize is the page size used throughout the repository. It
@@ -68,11 +69,15 @@ type DiskManager interface {
 }
 
 // FileDiskManager is a DiskManager over a single operating-system file.
+//
+// Reads and writes are positional (pread/pwrite via File.ReadAt/WriteAt)
+// and take no lock, so concurrent page I/O never serializes here; the
+// mutex only orders file extension in AllocatePage.
 type FileDiskManager struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards AllocatePage's read-extend-publish of numPages
 	f        *os.File
 	pageSize int
-	numPages uint32
+	numPages atomic.Uint32
 	stats    IOStats
 }
 
@@ -94,22 +99,16 @@ func OpenFile(path string, pageSize int) (*FileDiskManager, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: %s size %d is not a multiple of page size %d", path, st.Size(), pageSize)
 	}
-	return &FileDiskManager{
-		f:        f,
-		pageSize: pageSize,
-		numPages: uint32(st.Size() / int64(pageSize)),
-	}, nil
+	d := &FileDiskManager{f: f, pageSize: pageSize}
+	d.numPages.Store(uint32(st.Size() / int64(pageSize)))
+	return d, nil
 }
 
 // PageSize implements DiskManager.
 func (d *FileDiskManager) PageSize() int { return d.pageSize }
 
 // NumPages implements DiskManager.
-func (d *FileDiskManager) NumPages() uint32 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.numPages
-}
+func (d *FileDiskManager) NumPages() uint32 { return d.numPages.Load() }
 
 // Stats implements DiskManager.
 func (d *FileDiskManager) Stats() *IOStats { return &d.stats }
@@ -119,10 +118,7 @@ func (d *FileDiskManager) ReadPage(id PageID, buf []byte) error {
 	if len(buf) != d.pageSize {
 		return fmt.Errorf("storage: read buffer size %d != page size %d", len(buf), d.pageSize)
 	}
-	d.mu.Lock()
-	n := d.numPages
-	d.mu.Unlock()
-	if uint32(id) >= n {
+	if n := d.numPages.Load(); uint32(id) >= n {
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, n)
 	}
 	if _, err := d.f.ReadAt(buf, int64(id)*int64(d.pageSize)); err != nil {
@@ -137,10 +133,7 @@ func (d *FileDiskManager) WritePage(id PageID, buf []byte) error {
 	if len(buf) != d.pageSize {
 		return fmt.Errorf("storage: write buffer size %d != page size %d", len(buf), d.pageSize)
 	}
-	d.mu.Lock()
-	n := d.numPages
-	d.mu.Unlock()
-	if uint32(id) >= n {
+	if n := d.numPages.Load(); uint32(id) >= n {
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, n)
 	}
 	if _, err := d.f.WriteAt(buf, int64(id)*int64(d.pageSize)); err != nil {
@@ -154,12 +147,12 @@ func (d *FileDiskManager) WritePage(id PageID, buf []byte) error {
 func (d *FileDiskManager) AllocatePage() (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	id := PageID(d.numPages)
+	id := PageID(d.numPages.Load())
 	zero := make([]byte, d.pageSize)
 	if _, err := d.f.WriteAt(zero, int64(id)*int64(d.pageSize)); err != nil {
 		return InvalidPageID, fmt.Errorf("storage: extend to page %d: %w", id, err)
 	}
-	d.numPages++
+	d.numPages.Add(1)
 	d.stats.Allocs.Add(1)
 	return id, nil
 }
@@ -173,8 +166,15 @@ func (d *FileDiskManager) Close() error { return d.f.Close() }
 // MemDiskManager is an in-memory DiskManager used by tests and by the
 // benchmark harness when it wants to exclude the filesystem from
 // measurements while keeping page-level accounting.
+//
+// Page I/O takes the lock shared so concurrent reads (and writes to
+// distinct pages) proceed in parallel, mirroring the positional-I/O file
+// manager: benches against the mock measure pool behavior, not a mock
+// mutex. Exclusion per page is the buffer pool's job — it never issues
+// two concurrent I/Os for the same PageID — so only AllocatePage, which
+// grows the slice, needs the lock exclusive.
 type MemDiskManager struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	pages    [][]byte
 	pageSize int
 	stats    IOStats
@@ -193,8 +193,8 @@ func (d *MemDiskManager) PageSize() int { return d.pageSize }
 
 // NumPages implements DiskManager.
 func (d *MemDiskManager) NumPages() uint32 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return uint32(len(d.pages))
 }
 
@@ -203,8 +203,8 @@ func (d *MemDiskManager) Stats() *IOStats { return &d.stats }
 
 // ReadPage implements DiskManager.
 func (d *MemDiskManager) ReadPage(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, len(d.pages))
 	}
@@ -215,8 +215,8 @@ func (d *MemDiskManager) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements DiskManager.
 func (d *MemDiskManager) WritePage(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, len(d.pages))
 	}
@@ -239,3 +239,40 @@ func (d *MemDiskManager) Sync() error { return nil }
 
 // Close implements DiskManager.
 func (d *MemDiskManager) Close() error { return nil }
+
+// LatencyDiskManager wraps another DiskManager and sleeps for a fixed
+// duration on every page read/write. The cold-cache benchmark uses it to
+// model a device with non-trivial access latency: on a fast local
+// filesystem (or the in-memory mock) page reads complete in microseconds
+// and any concurrency win in the read path drowns in noise, whereas with
+// a simulated seek the benefit of overlapping independent misses — the
+// whole point of the in-flight table — is directly visible. Sleeping
+// rather than spinning means concurrent operations genuinely overlap
+// even on a single CPU.
+type LatencyDiskManager struct {
+	DiskManager
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+}
+
+// WithLatency wraps dm so reads (writes) take at least readDelay
+// (writeDelay) of simulated device time.
+func WithLatency(dm DiskManager, readDelay, writeDelay time.Duration) *LatencyDiskManager {
+	return &LatencyDiskManager{DiskManager: dm, ReadDelay: readDelay, WriteDelay: writeDelay}
+}
+
+// ReadPage implements DiskManager.
+func (d *LatencyDiskManager) ReadPage(id PageID, buf []byte) error {
+	if d.ReadDelay > 0 {
+		time.Sleep(d.ReadDelay)
+	}
+	return d.DiskManager.ReadPage(id, buf)
+}
+
+// WritePage implements DiskManager.
+func (d *LatencyDiskManager) WritePage(id PageID, buf []byte) error {
+	if d.WriteDelay > 0 {
+		time.Sleep(d.WriteDelay)
+	}
+	return d.DiskManager.WritePage(id, buf)
+}
