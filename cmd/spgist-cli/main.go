@@ -12,9 +12,10 @@
 // \do (operators), \dt (tables), \d <table> (describe one table from the
 // persistent system catalog), \page <rel> <pageno> (decode a raw heap,
 // B+-tree, SP-GiST, or R-tree page straight from disk, pgpageshell
-// style), \wal (log/recovery stats), \timing (toggle per-statement
-// wall-clock reporting — watch a 1000-row multi-row INSERT beat 1000
-// single-row statements), \q (quit).
+// style), \scrub [table] (checksum-verify every page of every heap and
+// catalog file, pg_checksums style), \wal (log/recovery stats), \timing
+// (toggle per-statement wall-clock reporting — watch a 1000-row
+// multi-row INSERT beat 1000 single-row statements), \q (quit).
 // SHOW TABLES / SHOW INDEXES / SHOW STATS and DROP TABLE / DROP INDEX
 // are plain SQL.
 package main
@@ -55,6 +56,9 @@ func main() {
 	if rs := db.Engine().RecoveryStats(); rs.PagesWritten > 0 || rs.TornTail {
 		fmt.Printf("recovered from WAL: %d records (%d page images, %d heap inserts, %d heap deletes), %d pages written across %d files\n",
 			rs.Records, rs.PageImages, rs.HeapInserts, rs.HeapDeletes, rs.PagesWritten, rs.FilesTouched)
+		if rs.TornPages > 0 {
+			fmt.Printf("torn pages detected by checksum: %d, repaired from WAL: %d\n", rs.TornPages, rs.TornRepaired)
+		}
 	}
 
 	in := bufio.NewScanner(os.Stdin)
@@ -216,6 +220,22 @@ func meta(db *repro.DB, dir, line string) bool {
 		if err := pageinspect.Describe(os.Stdout, path, uint32(pageNo), 0); err != nil {
 			fmt.Println("ERROR:", err)
 		}
+	case "\\scrub":
+		fields := strings.Fields(line)
+		table := ""
+		if len(fields) > 1 {
+			table = fields[1]
+		}
+		res, err := db.Engine().Scrub(table)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			break
+		}
+		for _, is := range res.Issues {
+			fmt.Println("CORRUPT:", is)
+		}
+		fmt.Printf("scrub: %d files, %d pages checked, %d corrupt\n",
+			res.FilesChecked, res.PagesChecked, len(res.Issues))
 	case "\\activity":
 		fmt.Println("id | client | state | wait_event | statement | elapsed_ms")
 		snap := db.Engine().Activity().Snapshot()
@@ -241,7 +261,7 @@ func meta(db *repro.DB, dir, line string) bool {
 				rs.Records, rs.PagesWritten, rs.FilesTouched, rs.TornTail)
 		}
 	default:
-		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\page <rel> <n> \\wal \\activity \\timing \\q")
+		fmt.Println("unknown meta command; try \\dam \\doc \\do \\dt \\d <table> \\page <rel> <n> \\scrub [table] \\wal \\activity \\timing \\q")
 	}
 	return false
 }

@@ -223,6 +223,19 @@ type DB struct {
 	// in a way no later action may commit. Guarded by stmtMu.
 	broken error
 
+	// degraded, once set, marks the database read-only: the write-ahead
+	// log hit ENOSPC or a permanent device error and can accept no more
+	// records. See degraded.go. Lock-free: read on every DML prologue.
+	degraded degradedPtr
+
+	// diskFaults is the fault-injection wrap applied to every data
+	// file's disk manager (Options.DiskFaults); faultDMs retains the
+	// FaultDiskManagers it produced so their injection counters can be
+	// sampled into SHOW STATS. Both immutable after the pools exist
+	// (appends happen under the exclusive statement lock).
+	diskFaults func(fileName string, dm storage.DiskManager) storage.DiskManager
+	faultDMs   []*storage.FaultDiskManager
+
 	// stmtMu is the catalog/DDL lock, the top of the two-level lock
 	// hierarchy (stmtMu, then Table.mu):
 	//
@@ -291,6 +304,20 @@ type FaultInjection struct {
 	// recovery's abort fixup hides them. stmt names the statement,
 	// chunksDone counts the appended chunks.
 	BetweenDMLChunks func(stmt string, chunksDone int) error
+	// PanicOn makes FaultPanicCheck panic on any statement containing
+	// the substring — the hook behind the server's per-session panic
+	// recovery test.
+	PanicOn string
+}
+
+// FaultPanicCheck panics when fault injection arms PanicOn and stmt
+// contains it. The SQL session layer calls it at statement start, so a
+// deliberately poisoned statement blows up inside a single session's
+// execution path — exactly where an unexpected executor bug would.
+func (db *DB) FaultPanicCheck(stmt string) {
+	if p := db.faults.PanicOn; p != "" && strings.Contains(stmt, p) {
+		panic(fmt.Sprintf("executor: injected panic on statement %q", stmt))
+	}
 }
 
 // Options configure a database.
@@ -312,6 +339,12 @@ type Options struct {
 	WALSync wal.SyncMode
 	// Faults injects test-only crash points into DDL statements.
 	Faults FaultInjection
+	// DiskFaults, when set, wraps every data file's disk manager at
+	// pool creation — the I/O fault-injection hook. Return
+	// storage.WithFaults(dm, seed) (configured with probabilities and
+	// schedules) to inject errors into that file's reads and writes, or
+	// dm unchanged to leave the file alone. Test and torture-suite use.
+	DiskFaults func(fileName string, dm storage.DiskManager) storage.DiskManager
 	// LockTimeout bounds how long a DML statement waits for a table
 	// write lock held by another open transaction before failing;
 	// defaults to DefaultLockTimeout.
@@ -396,6 +429,7 @@ func Open(opts Options) (*DB, error) {
 		poolPages:          opts.PoolPages,
 		tables:             make(map[string]*Table),
 		faults:             opts.Faults,
+		diskFaults:         opts.DiskFaults,
 		lockTimeout:        opts.LockTimeout,
 		met:                newExecMetrics(),
 		activity:           activity,
@@ -1029,6 +1063,9 @@ func (db *DB) checkpointLocked() error {
 	if err := db.poisoned(); err != nil {
 		return err
 	}
+	if err := db.checkWritable(); err != nil {
+		return err
+	}
 	// A checkpoint recycles log segments, destroying the records that
 	// recovery's abort fixup would need to hide an open transaction's
 	// versions after a crash — refuse while any logged transaction is
@@ -1118,9 +1155,9 @@ func (db *DB) commitPools(t *Table, pools []*storage.BufferPool) error {
 		sp := tr.StartSpan("commit_wait", "wal")
 		err := db.wal.Commit()
 		sp.End()
-		return err
+		return db.noteWALFailure(err)
 	}
-	return db.wal.Commit()
+	return db.noteWALFailure(db.wal.Commit())
 }
 
 // appendPools stages the deferred records and page images of pools into
@@ -1164,7 +1201,10 @@ func (db *DB) appendPoolsXid(pools []*storage.BufferPool, commit bool, commitXid
 		lsns, err = db.wal.AppendGroup(g)
 	}
 	if err != nil {
-		return err
+		// An append failure is sticky in the writer (the log is
+		// unusable); flip read-only so later statements fail fast
+		// instead of each rediscovering the dead log.
+		return db.noteWALFailure(err)
 	}
 	for i, bp := range pools {
 		bp.ResolvePending(staged[i], lsns)
@@ -1252,9 +1292,22 @@ func (db *DB) newPool(fileName string) (*storage.BufferPool, bool, error) {
 	if db.diskReadLatency > 0 || db.diskWriteLatency > 0 {
 		dm = storage.WithLatency(dm, db.diskReadLatency, db.diskWriteLatency)
 	}
+	if db.diskFaults != nil {
+		dm = db.diskFaults(fileName, dm)
+		if fdm, ok := dm.(*storage.FaultDiskManager); ok {
+			db.faultDMs = append(db.faultDMs, fdm)
+		}
+	}
 	bp := storage.NewBufferPool(dm, db.poolPages)
 	bp.SetSerialColdReads(db.serialColdReads)
 	bp.AttachPrefetcher(db.pf, db.readahead)
+	if storage.ChecksummedFile(fileName) {
+		// Heap pages (and the heap-backed catalog) carry per-page
+		// checksums: stamped on every write-back, verified on every
+		// read. Index node layouts own the checksum field's bytes, so
+		// .idx pools stay unchecksummed — an index is rebuildable.
+		bp.EnableChecksums(fileName)
+	}
 	// Join the pool to the wait-event layer, classifying its miss I/O by
 	// what the file holds (the extension is authoritative: rel<oid>.tbl,
 	// rel<oid>.idx, syscat.dat).
@@ -1333,6 +1386,9 @@ func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	if err := db.poisoned(); err != nil {
+		return nil, err
+	}
+	if err := db.checkWritable(); err != nil {
 		return nil, err
 	}
 	db.mu.Lock()
@@ -1540,6 +1596,9 @@ func (db *DB) CreateIndex(idxName, tableName, colName, method, opclassName strin
 	if err := db.poisoned(); err != nil {
 		return nil, err
 	}
+	if err := db.checkWritable(); err != nil {
+		return nil, err
+	}
 	t, err := db.Table(tableName)
 	if err != nil {
 		return nil, err
@@ -1695,6 +1754,9 @@ func (db *DB) DropIndex(name string) error {
 	if err := db.poisoned(); err != nil {
 		return err
 	}
+	if err := db.checkWritable(); err != nil {
+		return err
+	}
 	ie, ok := db.cat.GetIndex(name)
 	if !ok {
 		return fmt.Errorf("executor: unknown index %q", name)
@@ -1784,6 +1846,9 @@ func (db *DB) DropTable(name string) error {
 	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	if err := db.poisoned(); err != nil {
+		return err
+	}
+	if err := db.checkWritable(); err != nil {
 		return err
 	}
 	db.mu.Lock()

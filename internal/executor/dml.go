@@ -46,6 +46,9 @@ func (t *Table) beginDML(tx *Txn) (stx *Txn, implicit bool, err error) {
 	if err := db.poisoned(); err != nil {
 		return nil, false, err
 	}
+	if err := db.checkWritable(); err != nil {
+		return nil, false, err
+	}
 	if err := t.checkAttached(); err != nil {
 		return nil, false, err
 	}
@@ -491,6 +494,9 @@ func (db *DB) Vacuum(name string) (int, error) {
 	db.xlockStmt()
 	defer db.stmtMu.Unlock()
 	if err := db.poisoned(); err != nil {
+		return 0, err
+	}
+	if err := db.checkWritable(); err != nil {
 		return 0, err
 	}
 	var tables []*Table

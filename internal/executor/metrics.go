@@ -81,6 +81,7 @@ func (db *DB) Obs() *obs.Registry { return db.met.reg }
 func (db *DB) sampleStorage(emit func(name string, value int64)) {
 	db.stmtMu.RLock()
 	pools := append([]*storage.BufferPool(nil), db.pools...)
+	faultDMs := append([]*storage.FaultDiskManager(nil), db.faultDMs...)
 	w := db.wal
 	db.stmtMu.RUnlock()
 
@@ -126,6 +127,22 @@ func (db *DB) sampleStorage(emit func(name string, value int64)) {
 	emit("disk_reads_total", reads)
 	emit("disk_writes_total", writes)
 	emit("disk_allocs_total", allocs)
+	if len(faultDMs) > 0 {
+		var fc storage.FaultCounters
+		for _, fdm := range faultDMs {
+			c := fdm.Counters()
+			fc.Transient += c.Transient
+			fc.Permanent += c.Permanent
+			fc.NoSpace += c.NoSpace
+			fc.ShortReads += c.ShortReads
+			fc.TornWrites += c.TornWrites
+		}
+		emit("faults_transient_total", fc.Transient)
+		emit("faults_permanent_total", fc.Permanent)
+		emit("faults_nospace_total", fc.NoSpace)
+		emit("faults_short_reads_total", fc.ShortReads)
+		emit("faults_torn_writes_total", fc.TornWrites)
+	}
 	if w != nil {
 		s := w.Stats()
 		emit("wal_appends_total", s.Appends)

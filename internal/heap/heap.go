@@ -109,14 +109,15 @@ const (
 	metaCountOf = 8  // number of live records
 	metaVerOf   = 16 // on-disk record format version
 
-	// formatVersion is the current record format: 1 since every record
-	// carries the MVCC TupleHeader prefix. Files written before the
-	// header existed read version 0 (the meta field was unwritten
-	// zeros) and are refused at Open — their records are bare payloads,
-	// and parsing them as versioned would silently eat the first
-	// TupleHeaderSize bytes of every tuple, corrupting the system
-	// catalog and all user rows.
-	formatVersion = 1
+	// formatVersion is the current on-disk format: 1 added the MVCC
+	// TupleHeader prefix on every record; 2 widened the slotted page
+	// header to 24 bytes, adding the per-page checksum field. Files
+	// written before the tuple header read version 0 (the meta field
+	// was unwritten zeros); version-1 files place records 8 bytes
+	// earlier than this build's slotted layout expects. Both are
+	// refused at Open — misparsing either would silently corrupt the
+	// system catalog and all user rows.
+	formatVersion = 2
 )
 
 // File is a heap file over a buffer pool. Methods are not safe for
@@ -155,7 +156,7 @@ func Open(bp *storage.BufferPool) (*File, error) {
 		return nil, fmt.Errorf("heap: bad magic (not a heap file)")
 	}
 	if v := binary.LittleEndian.Uint32(meta.Data[metaVerOf:]); v != formatVersion {
-		return nil, fmt.Errorf("heap: record format version %d, want %d (a pre-MVCC file: its records carry no version header; dump and reload it with a matching build)", v, formatVersion)
+		return nil, fmt.Errorf("heap: on-disk format version %d, want %d (version 0 predates MVCC tuple headers, version 1 predates page checksums; dump and reload with a matching build)", v, formatVersion)
 	}
 	return &File{
 		bp:       bp,

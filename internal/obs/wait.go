@@ -46,6 +46,10 @@ const (
 	// WaitBGWriter: the background writer flushing a dirty page to disk
 	// ahead of CHECKPOINT. Charged to the background goroutine.
 	WaitBGWriter
+	// WaitIORetry: backing off before retrying a page read or write that
+	// failed with a transient I/O error. The sleep, not the I/O itself,
+	// is charged here; the retried I/O charges its usual event.
+	WaitIORetry
 
 	// NumWaitEvents bounds the enum; a WaitSet is a fixed array over it.
 	NumWaitEvents
@@ -63,6 +67,7 @@ var waitEventNames = [NumWaitEvents]string{
 	WaitWALCommitWait: "wal_commit_wait",
 	WaitIOPrefetch:    "io_prefetch",
 	WaitBGWriter:      "bgwriter_write",
+	WaitIORetry:       "io_retry",
 }
 
 // String returns the event's registry/display name.

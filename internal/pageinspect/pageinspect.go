@@ -7,10 +7,12 @@
 //	heap files    (rel<oid>.tbl, magic "HEAP"): slotted tuple pages;
 //	              each tuple opens with the 18-byte MVCC header
 //	              [xmin:8][xmax:8][infomask:2] (PR 8). The meta page
-//	              carries a format version (1 since the header landed;
-//	              the engine refuses to open version-0 files) — shown
-//	              in the meta dump. Records shorter than the header
-//	              decode as frozen tuples
+//	              carries a format version (1 added the MVCC header,
+//	              2 the per-page checksum; the engine refuses older
+//	              files) — shown in the meta dump. Each data page's
+//	              stored checksum is verified against a recomputation
+//	              and mismatches are flagged. Records shorter than the
+//	              header decode as frozen tuples
 //	B+-tree files (rel<oid>.idx, magic "BTRE"): one node per page
 //	SP-GiST files (rel<oid>.idx, magic "SPGS"): slotted node-record pages
 //	R-tree files  (rel<oid>.idx, magic "RTRE"): one node per page
@@ -131,9 +133,11 @@ func Describe(w io.Writer, path string, pageNo uint32, pageSize int) error {
 	}
 	switch kind {
 	case KindHeap:
-		describeSlotted(w, page, describeHeapTuple)
+		describeSlotted(w, page, true, describeHeapTuple)
 	case KindSPGiST:
-		describeSlotted(w, page, describeSPGiSTNode)
+		// Index files carry no per-page checksums (they are rebuildable
+		// from the heap), so the field is decoded but never verified.
+		describeSlotted(w, page, false, describeSPGiSTNode)
 	case KindBTree:
 		describeBTreeNode(w, page)
 	case KindRTree:
@@ -178,14 +182,14 @@ func pageIDString(id uint32) string {
 	return fmt.Sprintf("%d", id)
 }
 
-// describeSlotted dumps a slotted page — the 16-byte header, the line
+// describeSlotted dumps a slotted page — the 24-byte header, the line
 // pointer directory, and each live record through the per-kind decoder.
-func describeSlotted(w io.Writer, p []byte, rec func(w io.Writer, slot int, rec []byte)) {
+func describeSlotted(w io.Writer, p []byte, checksummed bool, rec func(w io.Writer, slot int, rec []byte)) {
 	nslots := storage.SlotCount(p)
-	fmt.Fprintf(w, "  slotted header: nslots=%d nlive=%d free=[%d,%d) lsn=%d\n",
+	fmt.Fprintf(w, "  slotted header: nslots=%d nlive=%d free=[%d,%d) lsn=%d cksum=%s\n",
 		nslots, storage.SlotLive(p),
 		binary.LittleEndian.Uint16(p[2:]), binary.LittleEndian.Uint16(p[4:]),
-		storage.PageLSN(p))
+		storage.PageLSN(p), describeChecksum(p, checksummed))
 	for s := 0; s < nslots; s++ {
 		off, length, dead := storage.SlotEntry(p, s)
 		if dead {
@@ -194,6 +198,29 @@ func describeSlotted(w io.Writer, p []byte, rec func(w io.Writer, slot int, rec 
 		}
 		fmt.Fprintf(w, "  slot %d: off=%d len=%d\n", s, off, length)
 		rec(w, s, p[off:int(off)+int(length)])
+	}
+}
+
+// describeChecksum renders the slotted header's checksum field. For
+// checksummed files (heap, system catalog) the stored value is verified
+// against a recomputation over the page image: 0 means the page predates
+// checksums ("unstamped"), a match prints "ok", and a mismatch is
+// flagged loudly with both values — the same condition SCRUB reports.
+// Index pages carry the field but are never stamped, so only the raw
+// value is shown.
+func describeChecksum(p []byte, checksummed bool) string {
+	stored := storage.PageStoredChecksum(p)
+	if !checksummed {
+		return fmt.Sprintf("%#08x", stored)
+	}
+	stored, computed, ok := storage.VerifyPageChecksum(p)
+	switch {
+	case stored == 0:
+		return "0 (unstamped)"
+	case ok:
+		return fmt.Sprintf("%#08x (ok)", stored)
+	default:
+		return fmt.Sprintf("%#08x (MISMATCH: computed %#08x)", stored, computed)
 	}
 }
 

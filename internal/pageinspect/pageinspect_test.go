@@ -2,6 +2,7 @@ package pageinspect
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -202,5 +203,57 @@ func TestDescribeErrors(t *testing.T) {
 	dm.Close()
 	if err := Describe(&sb, path, 99, 0); err == nil {
 		t.Error("describe of an out-of-range page should fail")
+	}
+}
+
+// TestChecksumDescribe pins the three checksum renderings on a heap
+// page: unstamped (stored 0, the pre-v2 compat sentinel), stamped and
+// matching, and stamped but mismatching after a bit flip.
+func TestChecksumDescribe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	dm, err := storage.OpenFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := storage.NewBufferPool(dm, 8)
+	hf, err := heap.Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hf.Insert(catalog.EncodeTuple(catalog.Tuple{catalog.NewText("w"), catalog.NewInt(7)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw heap writes above bypass the pool's checksum stamping, so the
+	// page lands on disk unstamped.
+	if got := describeString(t, path, 1); !strings.Contains(got, "cksum=0 (unstamped)") {
+		t.Errorf("unstamped page dump:\n%s", got)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := raw[storage.DefaultPageSize : 2*storage.DefaultPageSize]
+	storage.StampPageChecksum(page)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := describeString(t, path, 1); !strings.Contains(got, "(ok)") {
+		t.Errorf("stamped page dump:\n%s", got)
+	}
+
+	raw[storage.DefaultPageSize+200] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := describeString(t, path, 1); !strings.Contains(got, "MISMATCH") {
+		t.Errorf("corrupt page dump:\n%s", got)
 	}
 }

@@ -1,0 +1,235 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// serveDB starts a server over an already-open database.
+func serveDB(t *testing.T, db *executor.DB) (addr string, shutdown func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(l); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	return l.Addr().String(), func() {
+		srv.Shutdown()
+		l.Close()
+		<-done
+	}
+}
+
+// TestSessionPanicRecovery: a statement that panics inside the engine
+// fails with ERR on its own connection — which stays usable — while
+// concurrent sessions never notice. One panicking client must not be a
+// process kill.
+func TestSessionPanicRecovery(t *testing.T) {
+	db, err := executor.Open(executor.Options{
+		Faults: executor.FaultInjection{PanicOn: "BOOM_7f3a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	addr, shutdown := serveDB(t, db)
+	defer shutdown()
+
+	victim, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	bystander, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bystander.Close()
+
+	if _, err := victim.Exec("CREATE TABLE t (name VARCHAR, id INT)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bystander traffic racing the panic: every statement must succeed.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := bystander.Exec(fmt.Sprintf("INSERT INTO t VALUES ('w%03d', %d)", i, i)); err != nil {
+				t.Errorf("bystander insert during panic: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 5; i++ {
+		_, err := victim.Exec("SELECT * FROM t -- BOOM_7f3a")
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("poisoned statement %d: err=%v, want panicked ERR", i, err)
+		}
+		// The panicking session itself stays alive.
+		if _, err := victim.Exec("SELECT * FROM t"); err != nil {
+			t.Fatalf("victim session dead after panic %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// A third, fresh connection works too.
+	late, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if _, err := late.Exec("SELECT * FROM t"); err != nil {
+		t.Fatalf("fresh session after panics: %v", err)
+	}
+}
+
+// TestScrubOverTCP: the CI smoke test — a server started over a
+// database whose heap file took a bit flip while it was closed must
+// report the corrupt page through a SCRUB statement on a plain TCP
+// session, name the file and page, and refuse to serve the page to a
+// scan.
+func TestScrubOverTCP(t *testing.T) {
+	dir := t.TempDir()
+	db, err := executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable("t", []executor.Column{
+		{Name: "name", Type: catalog.Text}, {Name: "id", Type: catalog.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := tb.Insert(catalog.Tuple{catalog.NewText(fmt.Sprintf("w%03d", i)), catalog.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heapFile := tb.File()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit in the closed heap file.
+	path := filepath.Join(dir, heapFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[storage.DefaultPageSize+60] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	addr, shutdown := serveDB(t, db)
+	defer shutdown()
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Exec("SCRUB")
+	if err != nil {
+		t.Fatalf("SCRUB over TCP: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("SCRUB rows = %v, want exactly the flipped page", res.Rows)
+	}
+	if got := res.Rows[0]; got[0] != heapFile || got[1] != "1" || !strings.Contains(got[2], "checksum") {
+		t.Fatalf("SCRUB row = %v, want [%s 1 checksum...]", got, heapFile)
+	}
+	if !strings.Contains(res.Plan, "1 corrupt") {
+		t.Fatalf("SCRUB plan = %q", res.Plan)
+	}
+
+	// The corrupt page is never served over the wire either.
+	if _, err := c.Exec("SELECT * FROM t"); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("scan of corrupt page over TCP: %v, want corrupt ERR", err)
+	}
+	// The connection survives the failed scan.
+	if _, err := c.Exec("SHOW STATE"); err != nil {
+		t.Fatalf("session dead after corrupt-page scan: %v", err)
+	}
+}
+
+// TestHealthzDegraded: /healthz answers 200 "ok" on a healthy engine
+// and 503 "degraded" with the cause once the log dies.
+func TestHealthzDegraded(t *testing.T) {
+	dir := t.TempDir()
+	db, err := executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Crash()
+	srv := server.New(db)
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+
+	if _, err := db.CreateTable("t", []executor.Column{{Name: "name", Type: catalog.Text}}); err != nil {
+		t.Fatal(err)
+	}
+	db.WAL().InjectFault(fmt.Errorf("log device gone"))
+	tb, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Insert(catalog.Tuple{catalog.NewText("w")}) // trips the dead log
+
+	if code, body := get(); code != 503 || !strings.Contains(body, "degraded") || !strings.Contains(body, "log device gone") {
+		t.Fatalf("degraded /healthz = %d %q", code, body)
+	}
+}

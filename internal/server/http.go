@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 
@@ -31,6 +32,14 @@ func (s *Server) HTTPHandler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Degraded (read-only after a storage failure) answers 503 so
+		// an orchestrator's readiness probe rotates the node out, with
+		// the cause in the body for the human who goes looking.
+		if state, detail := s.db.State(); state != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "%s\n%s\n", state, detail)
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	// net/http/pprof only self-registers on http.DefaultServeMux; wire

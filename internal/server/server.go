@@ -29,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -50,6 +52,7 @@ type Server struct {
 	sessionsActive *obs.Gauge
 	queriesTotal   *obs.Counter
 	queryLatency   *obs.Histogram
+	panicsTotal    *obs.Counter
 
 	// idleTxnTimeout, when > 0, bounds how long a connection may sit
 	// idle with an open transaction. An open transaction holds its
@@ -76,6 +79,7 @@ func New(db *executor.DB) *Server {
 		sessionsActive: reg.Gauge("server_sessions_active"),
 		queriesTotal:   reg.Counter("server_queries_total"),
 		queryLatency:   reg.Histogram("server_query_latency"),
+		panicsTotal:    reg.Counter("server_panics_total"),
 	}
 }
 
@@ -202,7 +206,7 @@ func (s *Server) session(conn net.Conn) {
 			continue
 		}
 		start := time.Now()
-		res, err := sess.Exec(line)
+		res, err := s.execGuarded(sess, line)
 		s.queryLatency.Observe(time.Since(start))
 		s.queriesTotal.Inc()
 		if err != nil {
@@ -229,6 +233,25 @@ func (s *Server) session(conn net.Conn) {
 		writeErr(out, err)
 		out.Flush()
 	}
+}
+
+// execGuarded runs one statement, converting a panic anywhere in the
+// parse/execute path into an ordinary ERR for this one statement. The
+// recover sits here — above every engine layer — so the deferred
+// unlocks between the panic point and this frame all run during
+// unwinding; engine locks are released, this session's loop continues,
+// and no other connection notices. The stack is logged to stderr and
+// counted (server_panics_total): a panic is still a bug worth paging
+// on, it just is not a process kill taking every session with it.
+func (s *Server) execGuarded(sess *sqlmini.Session, line string) (res *sqlmini.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsTotal.Inc()
+			fmt.Fprintf(os.Stderr, "server: panic executing %q: %v\n%s", line, r, debug.Stack())
+			res, err = nil, fmt.Errorf("internal error: statement panicked: %v", r)
+		}
+	}()
+	return sess.Exec(line)
 }
 
 // writeStats answers the STATS verb: every counter, gauge, and expanded

@@ -1,0 +1,88 @@
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/executor"
+	"repro/internal/wal"
+)
+
+// TestShowStateAndScrub: SHOW STATE reports ok on a healthy database
+// and degraded (with the cause) once the log dies; SCRUB runs as a
+// statement and reports its coverage; write statements while degraded
+// surface the typed read-only error through SQL.
+func TestShowStateAndScrub(t *testing.T) {
+	dir := t.TempDir()
+	db, err := executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Crash()
+	s := NewSession(db)
+	defer s.Close()
+
+	mustExec(t, s, `CREATE TABLE t (name VARCHAR, id INT)`)
+	mustExec(t, s, `INSERT INTO t VALUES ('w', 1)`)
+
+	res := mustExec(t, s, `SHOW STATE`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "ok" {
+		t.Fatalf("SHOW STATE on healthy db: %v", res.Rows)
+	}
+
+	res = mustExec(t, s, `SCRUB`)
+	if len(res.Rows) != 0 || !strings.Contains(res.Plan, "0 corrupt") {
+		t.Fatalf("clean SCRUB: rows=%v plan=%q", res.Rows, res.Plan)
+	}
+	res = mustExec(t, s, `SCRUB t`)
+	if !strings.Contains(res.Plan, "1 files") {
+		t.Fatalf("SCRUB t plan: %q", res.Plan)
+	}
+	if _, err := s.Exec(`SCRUB nosuch`); err == nil {
+		t.Fatal("SCRUB of unknown table succeeded")
+	}
+
+	// Kill the log; the next write degrades the database.
+	db.WAL().InjectFault(fmt.Errorf("log device gone"))
+	if _, err := s.Exec(`INSERT INTO t VALUES ('x', 2)`); err == nil {
+		t.Fatal("insert on dead log succeeded")
+	}
+	res = mustExec(t, s, `SHOW STATE`)
+	if res.Rows[0][0].S != "degraded" || !strings.Contains(res.Rows[0][1].S, "log device gone") {
+		t.Fatalf("SHOW STATE after log death: %v", res.Rows)
+	}
+	var ro *executor.ErrReadOnly
+	if _, err := s.Exec(`DELETE FROM t WHERE name = 'w'`); !errors.As(err, &ro) {
+		t.Fatalf("DELETE while degraded: %v", err)
+	}
+	// Reads and SCRUB still work read-only.
+	if res := mustExec(t, s, `SELECT * FROM t`); len(res.Rows) != 1 {
+		t.Fatalf("SELECT while degraded: %v", res.Rows)
+	}
+	mustExec(t, s, `SCRUB`)
+}
+
+// TestFaultPanicCheck: the injected-panic hook fires on a matching
+// statement — the raw material for the server's per-session panic
+// recovery — and stays quiet for everything else.
+func TestFaultPanicCheck(t *testing.T) {
+	db, err := executor.Open(executor.Options{
+		Faults: executor.FaultInjection{PanicOn: "BOOM_7f3a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := NewSession(db)
+	defer s.Close()
+	mustExec(t, s, `CREATE TABLE t (name VARCHAR, id INT)`)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("poisoned statement did not panic")
+		}
+	}()
+	s.Exec(`SELECT * FROM t -- BOOM_7f3a`)
+}

@@ -101,6 +101,7 @@ func (s *Session) Exec(sql string) (*Result, error) {
 }
 
 func (s *Session) exec(sql string) (*Result, error) {
+	s.DB.FaultPanicCheck(sql)
 	start := time.Now()
 	var tr *obs.Tracer
 	if s.DB.TraceDir() != "" {
@@ -286,7 +287,10 @@ func (p *parser) statement(s *Session) (*Result, error) {
 		if p.accept(tokIdent, "ACTIVITY") {
 			return showActivity(s)
 		}
-		return nil, fmt.Errorf("sql: SHOW must be followed by TABLES, INDEXES, STATS, or ACTIVITY")
+		if p.accept(tokIdent, "STATE") {
+			return showState(s)
+		}
+		return nil, fmt.Errorf("sql: SHOW must be followed by TABLES, INDEXES, STATS, ACTIVITY, or STATE")
 	case p.at(tokIdent, "INSERT"):
 		p.i++
 		return p.insert(s)
@@ -325,6 +329,12 @@ func (p *parser) statement(s *Session) (*Result, error) {
 			return nil, err
 		}
 		return p.analyze(s)
+	case p.at(tokIdent, "SCRUB"):
+		p.i++
+		if err := noTxn(s, "SCRUB"); err != nil {
+			return nil, err
+		}
+		return p.scrub(s)
 	case p.at(tokIdent, "CHECKPOINT"):
 		p.i++
 		if err := noTxn(s, "CHECKPOINT"); err != nil {
@@ -498,6 +508,48 @@ func (p *parser) dropIndex(s *Session) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Msg: fmt.Sprintf("DROP INDEX %s", name.text)}, nil
+}
+
+// SHOW STATE: one row reporting whether the database is healthy ("ok")
+// or read-only after a storage failure ("degraded"), with the cause and
+// onset time in the detail column.
+func showState(s *Session) (*Result, error) {
+	state, detail := s.DB.State()
+	return &Result{
+		Columns: []string{"state", "detail"},
+		Rows:    []catalog.Tuple{{catalog.NewText(state), catalog.NewText(detail)}},
+	}, nil
+}
+
+// SCRUB [table]: online checksum verification. Reads every page of
+// every checksummed relation file (or only the named table's heap) back
+// from disk and verifies it, reporting one row per corrupt page. A
+// clean scan returns no rows — the Msg carries the coverage summary
+// either way via the plan line.
+func (p *parser) scrub(s *Session) (*Result, error) {
+	table := ""
+	if p.at(tokIdent, "") {
+		table = p.peek().text
+		p.i++
+	}
+	if !p.atStatementEnd() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	sr, err := s.DB.Scrub(table)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"file", "page", "error"}}
+	for _, is := range sr.Issues {
+		res.Rows = append(res.Rows, catalog.Tuple{
+			catalog.NewText(is.File),
+			catalog.NewInt(int64(is.Page)),
+			catalog.NewText(is.Err.Error()),
+		})
+	}
+	res.Plan = fmt.Sprintf("SCRUB: %d files, %d pages checked, %d corrupt",
+		sr.FilesChecked, sr.PagesChecked, len(sr.Issues))
+	return res, nil
 }
 
 // SHOW TABLES: one row per table record of the persistent system

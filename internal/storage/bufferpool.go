@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/wal"
@@ -140,6 +141,14 @@ type BufferPool struct {
 	readahead      int
 	prefetchActive sync.WaitGroup
 	closed         atomic.Bool
+
+	// checksums enables per-page checksum stamping on every disk write
+	// and verification on every disk read (page 0 excepted: meta pages
+	// own the header bytes the checksum lives in). fileName names this
+	// pool's relation file in ErrPageCorrupt reports. Set once via
+	// EnableChecksums before the pool is shared.
+	checksums bool
+	fileName  string
 }
 
 // inflightRead is one pending disk read published in a shard's in-flight
@@ -341,6 +350,119 @@ func (bp *BufferPool) AttachPrefetcher(pf *Prefetcher, readahead int) {
 // disabled). Scan layers use it to size their prefetch distance.
 func (bp *BufferPool) ReadaheadPages() int { return bp.readahead }
 
+// EnableChecksums turns on per-page checksum stamping and verification
+// for this pool. fileName is the relation file's base name, used in
+// ErrPageCorrupt reports. Only callable for files whose non-meta pages
+// are slotted areas (heap files and the catalog — index node layouts
+// own the bytes the checksum field occupies). Like AttachWAL, call
+// before the pool is shared.
+func (bp *BufferPool) EnableChecksums(fileName string) {
+	bp.checksums = true
+	bp.fileName = fileName
+}
+
+// ChecksumsEnabled reports whether this pool verifies page checksums.
+func (bp *BufferPool) ChecksumsEnabled() bool { return bp.checksums }
+
+// FileName returns the relation file name set by EnableChecksums ("" otherwise).
+func (bp *BufferPool) FileName() string { return bp.fileName }
+
+// I/O retry policy: a transient read/write error is retried up to
+// ioRetryAttempts total tries with capped exponential backoff, the
+// sleeps charged to the io_retry wait event. Corruption, ENOSPC, and
+// permanent faults are never retried (IsTransient).
+const (
+	ioRetryAttempts  = 3
+	ioRetryBaseDelay = time.Millisecond
+	ioRetryMaxDelay  = 8 * time.Millisecond
+)
+
+// backoff sleeps for the attempt's delay, charging io_retry.
+func (bp *BufferPool) backoff(attempt int) {
+	d := ioRetryBaseDelay << attempt
+	if d > ioRetryMaxDelay {
+		d = ioRetryMaxDelay
+	}
+	rw := bp.waits.Begin(obs.WaitIORetry)
+	time.Sleep(d)
+	bp.waits.End(rw)
+}
+
+// verifyOnRead checks a page just read from disk against its stored
+// checksum, returning a typed ErrPageCorrupt on mismatch. Meta pages
+// (page 0) and pools without checksums pass through.
+func (bp *BufferPool) verifyOnRead(id PageID, data []byte) error {
+	if !bp.checksums || id == 0 {
+		return nil
+	}
+	if stored, computed, ok := VerifyPageChecksum(data); !ok {
+		return &ErrPageCorrupt{File: bp.fileName, PageID: id, Expected: stored, Got: computed}
+	}
+	return nil
+}
+
+// readPageRetry reads page id into buf, charging the read to ev,
+// retrying transient errors per the retry policy, and verifying the
+// checksum of whatever finally arrives. A corrupt page is a property of
+// the bytes, not the device, so it is returned immediately — but a read
+// that *errored* transiently retries even if an earlier attempt left
+// garbage in buf.
+func (bp *BufferPool) readPageRetry(id PageID, buf []byte, ev obs.WaitEvent) error {
+	for attempt := 0; ; attempt++ {
+		iw := bp.waits.Begin(ev)
+		err := bp.dm.ReadPage(id, buf)
+		bp.waits.End(iw)
+		if err == nil {
+			return bp.verifyOnRead(id, buf)
+		}
+		if attempt+1 >= ioRetryAttempts || !IsTransient(err) {
+			return err
+		}
+		bp.backoff(attempt)
+	}
+}
+
+// writePageRetry stamps the page checksum (checksummed pools, non-meta
+// pages) and writes the page, retrying transient errors per the retry
+// policy. Callers hold the owning shard's mutex with the frame
+// unpinned, so mutating the checksum bytes in place cannot race a
+// reader.
+func (bp *BufferPool) writePageRetry(id PageID, data []byte) error {
+	if bp.checksums && id != 0 {
+		StampPageChecksum(data)
+	}
+	for attempt := 0; ; attempt++ {
+		err := bp.dm.WritePage(id, data)
+		if err == nil || attempt+1 >= ioRetryAttempts || !IsTransient(err) {
+			return err
+		}
+		bp.backoff(attempt)
+	}
+}
+
+// VerifyPage checksum-verifies the on-disk copy of page id using
+// scratch (a page-size buffer), for SCRUB. A cached dirty frame means
+// the disk copy is legitimately stale — the authoritative bytes are in
+// memory, already verified on their way in — so such pages pass. Reads
+// happen under the shard mutex, which every pool disk write also
+// holds, so a torn in-progress write can never be observed. Returns
+// nil for meta pages and non-checksummed pools.
+func (bp *BufferPool) VerifyPage(id PageID, scratch []byte) error {
+	if !bp.checksums || id == 0 {
+		return nil
+	}
+	sh := &bp.shards[bp.shardOf(id)]
+	bp.lockShard(sh)
+	defer sh.mu.Unlock()
+	if fi, ok := sh.table[id]; ok && sh.frames[fi].dirty {
+		return nil
+	}
+	if err := bp.readPageRetry(id, scratch, bp.waitIO); err != nil {
+		return err
+	}
+	return nil
+}
+
 // SetSerialColdReads toggles the legacy miss path that performs the disk
 // read while holding the shard mutex (serializing same-shard misses).
 // Benchmark baseline only; call before the pool is shared.
@@ -513,12 +635,11 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	sh.mu.Unlock()
 	// The disk read proceeds without the shard mutex. It is charged to
 	// the pool's I/O wait event, and — when the statement above armed a
-	// tracer — recorded as a page_read span on its timeline.
-	iw := bp.waits.Begin(bp.waitIO)
+	// tracer — recorded as a page_read span on its timeline. Transient
+	// errors retry with backoff; the bytes are checksum-verified.
 	sp := obs.Current().StartSpan("page_read", "io")
-	rerr := bp.dm.ReadPage(id, f.data)
+	rerr := bp.readPageRetry(id, f.data, bp.waitIO)
 	sp.End()
-	bp.waits.End(iw)
 	bp.lockShard(sh)
 	delete(sh.inflight, id)
 	if rerr != nil {
@@ -558,11 +679,9 @@ func (bp *BufferPool) fetchSerialLocked(sh *poolShard, si int, id PageID) (*Page
 		return nil, err
 	}
 	f := &sh.frames[fi]
-	iw := bp.waits.Begin(bp.waitIO)
 	sp := obs.Current().StartSpan("page_read", "io")
-	rerr := bp.dm.ReadPage(id, f.data)
+	rerr := bp.readPageRetry(id, f.data, bp.waitIO)
 	sp.End()
-	bp.waits.End(iw)
 	if rerr != nil {
 		f.valid = false
 		return nil, rerr
@@ -617,9 +736,7 @@ func (bp *BufferPool) prefetchOne(id PageID) {
 	sh.inflight[id] = e
 	sh.prefetchReads++
 	sh.mu.Unlock()
-	iw := bp.waits.Begin(obs.WaitIOPrefetch)
-	rerr := bp.dm.ReadPage(id, f.data)
-	bp.waits.End(iw)
+	rerr := bp.readPageRetry(id, f.data, obs.WaitIOPrefetch)
 	bp.lockShard(sh)
 	delete(sh.inflight, id)
 	if rerr != nil {
@@ -1038,7 +1155,7 @@ func (bp *BufferPool) victimLocked(sh *poolShard) (int, error) {
 			if err := bp.syncWAL(w, target); err != nil {
 				return 0, err
 			}
-			if err := bp.dm.WritePage(f.id, f.data); err != nil {
+			if err := bp.writePageRetry(f.id, f.data); err != nil {
 				return 0, err
 			}
 			sh.dirtyWrites++
@@ -1135,7 +1252,7 @@ func (bp *BufferPool) FlushAll() error {
 				sh.mu.Unlock()
 				return err
 			}
-			if err := bp.dm.WritePage(f.id, f.data); err != nil {
+			if err := bp.writePageRetry(f.id, f.data); err != nil {
 				sh.mu.Unlock()
 				return err
 			}
@@ -1204,7 +1321,7 @@ func (bp *BufferPool) WriteBackDirty(max int) (int, error) {
 				synced = target
 			}
 			mw := bp.waits.Begin(obs.WaitBGWriter)
-			err := bp.dm.WritePage(f.id, f.data)
+			err := bp.writePageRetry(f.id, f.data)
 			bp.waits.End(mw)
 			if err != nil {
 				sh.mu.Unlock()

@@ -10,21 +10,26 @@ import (
 // addressed by stable slot numbers, so tree nodes can hold (page, slot)
 // child pointers while records move during compaction.
 //
-//	+--------+--------+--------+--------+----------------+--- - -
-//	| nslots | freeLo | freeHi | nlive  | pageLSN (8B)   | slot dir ...
-//	+--------+--------+--------+--------+----------------+--- - -
-//	                 ... free space ...    records (grow down) |
+//	+--------+--------+--------+--------+----------------+----------+----------+--- - -
+//	| nslots | freeLo | freeHi | nlive  | pageLSN (8B)   | cksum 4B | rsvd 4B  | slot dir ...
+//	+--------+--------+--------+--------+----------------+----------+----------+--- - -
+//	                 ... free space ...                      records (grow down) |
 //
 // The first four header fields are uint16 little-endian, so the slotted
 // area must be at most 65535 bytes (the default 8 KB page qualifies).
 // pageLSN is the uint64 LSN of the last write-ahead-log record applied
 // to this area — the same role as the pd_lsn field of a PostgreSQL page
 // header. It lets redo recovery skip records the page already reflects.
+// cksum is a CRC32-Castagnoli over the whole page with the checksum
+// field itself zeroed (pd_checksum's role); 0 means "never stamped" —
+// the backward-compat sentinel, like xmin=0 marking pre-MVCC frozen
+// tuples. The trailing 4 bytes are reserved.
 const (
-	slottedHeaderSize = 16
-	slotSize          = 4
-	deadOffset        = 0xFFFF
-	pageLSNOffset     = 8
+	slottedHeaderSize  = 24
+	slotSize           = 4
+	deadOffset         = 0xFFFF
+	pageLSNOffset      = 8
+	pageChecksumOffset = 16
 )
 
 func get16(b []byte, off int) uint16    { return binary.LittleEndian.Uint16(b[off:]) }
@@ -40,6 +45,8 @@ func SlotInit(data []byte) {
 	put16(data, 4, uint16(len(data))) // freeHi: start of record heap
 	put16(data, 6, 0)                 // nlive
 	SetPageLSN(data, 0)
+	binary.LittleEndian.PutUint32(data[pageChecksumOffset:], 0)   // unstamped
+	binary.LittleEndian.PutUint32(data[pageChecksumOffset+4:], 0) // reserved
 }
 
 // PageLSN returns the LSN of the last WAL record applied to the area.
@@ -75,7 +82,18 @@ func SlotUsable(areaLen int) int { return areaLen - slottedHeaderSize }
 const SlotEntrySize = slotSize
 
 // SlotCount returns the number of slots ever created (live and dead).
-func SlotCount(data []byte) int { return int(get16(data, 0)) }
+// A corrupt nslots larger than the directory could physically occupy is
+// clamped so iteration never reads past the area.
+func SlotCount(data []byte) int {
+	if len(data) < slottedHeaderSize {
+		return 0
+	}
+	n := int(get16(data, 0))
+	if maxSlots := (len(data) - slottedHeaderSize) / slotSize; n > maxSlots {
+		return maxSlots
+	}
+	return n
+}
 
 // SlotLive returns the number of live records.
 func SlotLive(data []byte) int { return int(get16(data, 6)) }
@@ -186,13 +204,18 @@ func slotPlace(data []byte, slot int, rec []byte) bool {
 }
 
 // SlotRead returns the record stored in slot, or nil if the slot is dead
-// or out of range. The returned slice aliases data.
+// or out of range. The returned slice aliases data. A line pointer whose
+// offset or length escapes the area — corrupt on-disk bytes, not a state
+// this package ever writes — also reads as nil rather than panicking.
 func SlotRead(data []byte, slot int) []byte {
 	if slot < 0 || slot >= SlotCount(data) {
 		return nil
 	}
 	off, length := slotEntry(data, slot)
 	if off == deadOffset {
+		return nil
+	}
+	if int(off) < slottedHeaderSize || int(off)+int(length) > len(data) {
 		return nil
 	}
 	return data[off : int(off)+int(length)]
@@ -246,9 +269,11 @@ func SlotUpdate(data []byte, slot int, rec []byte) bool {
 	freeLo := slottedHeaderSize + SlotCount(data)*slotSize
 	freeHi := int(get16(data, 4))
 	if freeHi-freeLo < len(rec) {
-		// Restore is impossible (old bytes were compacted away), but this
-		// cannot happen: the space check above guarantees fit.
-		panic("storage: slotted update lost record")
+		// The space check above guarantees fit on any page this package
+		// wrote; only corrupt on-disk bytes (inconsistent line pointers
+		// inflating SlotFreeSpace) get here. The old record is already
+		// compacted away — report failure instead of panicking.
+		return false
 	}
 	off = uint16(freeHi - len(rec))
 	copy(data[off:], rec)

@@ -23,6 +23,8 @@ type RecoveryStats struct {
 	PagesWritten  int64 // physical page writes performed by redo
 	AbortFixups   int64 // tuples of uncommitted transactions flagged aborted
 	XmaxFixups    int64 // stamped xmaxes of uncommitted transactions cleared
+	TornPages     int64 // pages failing checksum at redo (torn at crash)
+	TornRepaired  int64 // torn pages reinitialized and rebuilt from the log
 }
 
 // Versioned heap tuples carry an 18-byte [xmin:8][xmax:8][flags:2]
@@ -141,6 +143,16 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 		return nil
 	}
 
+	// stamp refreshes the page checksum before any redo write to a
+	// checksummed file: logged page images and logical redo both carry
+	// or produce bytes whose stored checksum predates this write, so
+	// every page recovery touches leaves disk freshly stamped.
+	stamp := func(name string, page uint32, buf []byte) {
+		if page != 0 && ChecksummedFile(name) {
+			StampPageChecksum(buf)
+		}
+	}
+
 	buf := make([]byte, pageSize)
 	fx := newTxnFixups()
 	rs, err := wal.Replay(walDir, func(r *wal.Record) error {
@@ -196,6 +208,7 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 			for i := n; i < len(buf); i++ {
 				buf[i] = 0
 			}
+			stamp(r.File, r.Page, buf)
 			if err := dm.WritePage(PageID(r.Page), buf); err != nil {
 				return err
 			}
@@ -216,6 +229,19 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 			}
 			if SlotAreaBlank(buf) {
 				SlotInit(buf)
+			} else if r.Page != 0 && ChecksummedFile(r.File) {
+				// A checksum mismatch here is a page torn at the crash —
+				// part of an eviction or flush landed, the rest did not.
+				// Its pageLSN and slot directory cannot be trusted, so
+				// reinitialize the page and let replay rebuild it: every
+				// record covering it since the last checkpoint follows in
+				// LSN order, and the reset pageLSN (0) disables the skip
+				// guard for all of them.
+				if _, _, ok := VerifyPageChecksum(buf); !ok {
+					SlotInit(buf)
+					st.TornPages++
+					st.TornRepaired++
+				}
 			}
 			if PageLSN(buf) >= uint64(r.LSN) {
 				st.SkippedByLSN++
@@ -260,6 +286,7 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 				st.HeapDeletes++
 			}
 			SetPageLSN(buf, uint64(r.LSN))
+			stamp(r.File, r.Page, buf)
 			if err := dm.WritePage(PageID(r.Page), buf); err != nil {
 				return err
 			}
@@ -341,6 +368,7 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 			}
 		}
 		if changed {
+			stamp(pk.file, pk.page, buf)
 			if err := dm.WritePage(PageID(pk.page), buf); err != nil {
 				return st, fmt.Errorf("storage: recovery: %w", err)
 			}

@@ -169,6 +169,30 @@ func (w *Writer) DurableLSN() LSN {
 	return w.durable
 }
 
+// Err returns the writer's sticky I/O error, if any. Once an append or
+// sync fails the log is unusable — every later operation returns this
+// same error — and the engine above degrades to read-only.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// InjectFault sets the sticky error directly — the test hook for
+// degraded-mode coverage (a full disk or dead log device without a
+// real one). nil does not clear an existing error: the sticky contract
+// is one-way.
+func (w *Writer) InjectFault(err error) {
+	if err == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = err
+	}
+}
+
 // Stats returns a snapshot of the writer counters.
 func (w *Writer) Stats() Stats {
 	w.mu.Lock()
