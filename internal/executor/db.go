@@ -1076,21 +1076,24 @@ func (db *DB) checkpointLocked() error {
 	for _, t := range db.tables {
 		for _, ix := range t.Indexes {
 			if err := ix.Idx.SaveMeta(); err != nil {
-				return err
+				return db.noteWALFailure(err)
 			}
 		}
 	}
+	// Flush and log-rotation failures go through noteWALFailure: a log
+	// that died during CHECKPOINT must flip degraded mode now, not at
+	// whatever later DML first trips the sticky writer error.
 	for _, bp := range db.pools {
 		if err := bp.FlushAll(); err != nil {
-			return err
+			return db.noteWALFailure(err)
 		}
 		if err := bp.DM().Sync(); err != nil {
-			return err
+			return db.noteWALFailure(err)
 		}
 	}
 	if db.wal != nil {
 		if _, err := db.wal.Checkpoint(); err != nil {
-			return err
+			return db.noteWALFailure(err)
 		}
 	}
 	return nil

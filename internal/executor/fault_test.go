@@ -91,6 +91,32 @@ func TestDegradedModeReadOnly(t *testing.T) {
 	}
 }
 
+// TestCheckpointFailureFlipsDegraded: a log that dies during CHECKPOINT
+// must flip degraded mode immediately — not at whatever later DML first
+// trips the sticky writer error — so health checks see the truth.
+func TestCheckpointFailureFlipsDegraded(t *testing.T) {
+	dir := t.TempDir()
+	db, err := executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Crash()
+	tb, err := db.CreateTable("t", tortureCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(catalog.Tuple{catalog.NewText("row"), catalog.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	db.WAL().InjectFault(fmt.Errorf("wal append: %w", storage.ErrNoSpace))
+	if err := db.Checkpoint(); !errors.Is(err, storage.ErrNoSpace) {
+		t.Fatalf("checkpoint on dead log: %v, want ENOSPC", err)
+	}
+	if state, _ := db.State(); state != "degraded" {
+		t.Fatalf("state after failed checkpoint = %q, want degraded", state)
+	}
+}
+
 // TestDegradedRollbackReleasesLocks: a transaction opened before the
 // log died must still be able to roll back — its undo appends fail, but
 // every table lock is released, so the session (and the next reader)
@@ -311,6 +337,111 @@ func TestTornPageRecovery(t *testing.T) {
 		t.Fatalf("%d rows after torn-page recovery, want %d", len(got), rows)
 	}
 	// And the repaired pages verify again.
+	res, err := db.Scrub("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Issues) != 0 {
+		t.Fatalf("scrub after repair: %+v", res.Issues)
+	}
+}
+
+// TestTornPageAfterCheckpointRecovery: a checkpoint recycles the log
+// segments holding a page's history, so repairing that page torn means
+// replay must have a full image of it. The first post-checkpoint touch
+// of a page ships one (Postgres-style full-page write); without it,
+// recovery would reinitialize the page and silently restore only the
+// post-checkpoint records — here, 1 row instead of 51.
+func TestTornPageAfterCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable("t", tortureCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const oldRows = 50
+	for i := 0; i < oldRows; i++ {
+		if _, err := tb.Insert(catalog.Tuple{catalog.NewText(fmt.Sprintf("word%03d", i)), catalog.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heapFile := tb.File()
+	// Checkpoint and close: the old rows' insert records are gone from
+	// the log; page 1 on disk is their only copy.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (the writer re-derives the checkpoint horizon from the
+	// surviving segments) and insert one straggler onto the same page.
+	db, err = executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err = db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(catalog.Tuple{catalog.NewText("straggler"), catalog.NewInt(oldRows)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear page 1: header half lands, tail is garbage — the write the
+	// crash interrupted.
+	path := filepath.Join(dir, heapFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := storage.DefaultPageSize
+	if len(raw) < 2*ps {
+		t.Fatal("page 1 never reached disk")
+	}
+	for i := ps + ps/2; i < 2*ps; i++ {
+		raw[i] = 0xEE
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = executor.Open(executor.Options{Dir: dir, WAL: true, WALSync: wal.SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rs := db.RecoveryStats()
+	if rs.TornPages == 0 || rs.TornRepaired != rs.TornPages {
+		t.Fatalf("recovery stats: torn=%d repaired=%d, want >0 and equal", rs.TornPages, rs.TornRepaired)
+	}
+
+	// Every row survives — the 50 whose records the checkpoint
+	// recycled, and the straggler.
+	tb, err = db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	if _, err := tb.Select(nil, func(r executor.Row) bool {
+		got[r.Tuple[0].S] = true
+		return true
+	}); err != nil {
+		t.Fatalf("scan after post-checkpoint torn-page recovery: %v", err)
+	}
+	if len(got) != oldRows+1 {
+		t.Fatalf("%d rows after recovery, want %d", len(got), oldRows+1)
+	}
+	if !got["straggler"] || !got["word000"] {
+		t.Fatalf("missing rows after recovery: straggler=%v word000=%v", got["straggler"], got["word000"])
+	}
 	res, err := db.Scrub("t")
 	if err != nil {
 		t.Fatal(err)

@@ -265,6 +265,13 @@ type frame struct {
 	// (bp.ops) whose LSNs are not yet assigned. Unevictable, like
 	// imagePending, until ResolvePending runs at the commit point.
 	opPending bool
+	// imagedLSN is the LSN of the last full page image logged for this
+	// frame's page while it has been resident (0 after a load from
+	// disk). Together with the on-page LSN it decides whether a
+	// checksummed page's next commit needs a full-page write: recovery
+	// can only rebuild a torn page when an image of it survives in the
+	// post-checkpoint log.
+	imagedLSN wal.LSN
 	// prefetched marks a frame read by the prefetcher and not yet used
 	// by a demand fetch: cleared (counting a prefetch hit) on first use,
 	// or counted as wasted if the frame is evicted still carrying it.
@@ -443,24 +450,35 @@ func (bp *BufferPool) writePageRetry(id PageID, data []byte) error {
 // VerifyPage checksum-verifies the on-disk copy of page id using
 // scratch (a page-size buffer), for SCRUB. A cached dirty frame means
 // the disk copy is legitimately stale — the authoritative bytes are in
-// memory, already verified on their way in — so such pages pass. Reads
-// happen under the shard mutex, which every pool disk write also
-// holds, so a torn in-progress write can never be observed. Returns
-// nil for meta pages and non-checksummed pools.
+// memory, already verified on their way in — so such pages pass. The
+// read itself runs outside the shard mutex so an online scrub over a
+// slow or flaky device never stalls the shard's fetches and evictions
+// behind retry backoff. A failure is then re-checked under the mutex,
+// which every pool disk write also holds: an in-progress write the
+// unlocked read observed torn cannot still look torn on the locked
+// re-read. Returns nil for meta pages and non-checksummed pools.
 func (bp *BufferPool) VerifyPage(id PageID, scratch []byte) error {
 	if !bp.checksums || id == 0 {
 		return nil
 	}
 	sh := &bp.shards[bp.shardOf(id)]
 	bp.lockShard(sh)
+	if fi, ok := sh.table[id]; ok && sh.frames[fi].dirty {
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.mu.Unlock()
+	if err := bp.readPageRetry(id, scratch, bp.waitIO); err == nil {
+		return nil
+	}
+	// Confirm the failure with the shard quiesced. The frame may have
+	// been dirtied (or written back) since the unlocked snapshot.
+	bp.lockShard(sh)
 	defer sh.mu.Unlock()
 	if fi, ok := sh.table[id]; ok && sh.frames[fi].dirty {
 		return nil
 	}
-	if err := bp.readPageRetry(id, scratch, bp.waitIO); err != nil {
-		return err
-	}
-	return nil
+	return bp.readPageRetry(id, scratch, bp.waitIO)
 }
 
 // SetSerialColdReads toggles the legacy miss path that performs the disk
@@ -653,6 +671,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	f.dirty = false
 	f.ref.Store(true)
 	f.lsn = 0
+	f.imagedLSN = 0
 	f.imagePending = false
 	f.opPending = false
 	f.prefetched = false
@@ -692,6 +711,7 @@ func (bp *BufferPool) fetchSerialLocked(sh *poolShard, si int, id PageID) (*Page
 	f.ref.Store(true)
 	f.valid = true
 	f.lsn = 0
+	f.imagedLSN = 0
 	f.imagePending = false
 	f.opPending = false
 	f.prefetched = false
@@ -750,6 +770,7 @@ func (bp *BufferPool) prefetchOne(id PageID) {
 	f.dirty = false
 	f.ref.Store(true)
 	f.lsn = 0
+	f.imagedLSN = 0
 	f.imagePending = false
 	f.opPending = false
 	// A demand fetch that joined mid-read is a prefetch hit: the read
@@ -824,6 +845,7 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	f.ref.Store(true)
 	f.valid = true
 	f.lsn = 0
+	f.imagedLSN = 0
 	f.imagePending = false
 	f.opPending = false
 	f.prefetched = false
@@ -994,6 +1016,58 @@ func (bp *BufferPool) StagePending(g *wal.Group) []Staged {
 		}
 		sh.mu.Unlock()
 	}
+	return bp.stageFullPageImages(g, w, file, ops, staged)
+}
+
+// stageFullPageImages appends a full image of each distinct page named
+// by ops whose content is not reconstructible from the surviving log
+// alone. Torn-page repair reinitializes the page and replays the
+// records that cover it, which only restores everything when the log
+// still reaches back to the page's creation or holds a full image of
+// it — and a checkpoint recycles the older segments. So the first time
+// a page is touched after a checkpoint, its statement ships a full-page
+// write (Postgres-style FPW) alongside the logical records. The image
+// is appended after the page's records so replay's last-writer-wins
+// order leaves the image's complete content in place.
+func (bp *BufferPool) stageFullPageImages(g *wal.Group, w *wal.Writer, file string, ops []deferredOp, staged []Staged) []Staged {
+	if !bp.checksums || len(ops) == 0 {
+		return staged
+	}
+	ckpt := w.CheckpointLSN()
+	if ckpt == 0 {
+		// No checkpoint has ever recycled segments: the log is
+		// complete since creation, and replay rebuilds any torn page
+		// from its RecFileCreate onward.
+		return staged
+	}
+	done := make(map[PageID]bool, len(ops))
+	for _, op := range ops {
+		id := op.page
+		if id == 0 || done[id] {
+			continue
+		}
+		done[id] = true
+		sh := &bp.shards[bp.shardOf(id)]
+		bp.lockShard(sh)
+		fi, ok := sh.table[id]
+		if !ok {
+			// Unreachable: frames with deferred ops are opPending and
+			// therefore unevictable until resolved.
+			sh.mu.Unlock()
+			continue
+		}
+		f := &sh.frames[fi]
+		if f.imagedLSN > ckpt || PageLSN(f.data) > uint64(ckpt) {
+			// A post-checkpoint image of this page already survives in
+			// the log — logged directly, or implied by a record whose
+			// own statement forced one before stamping the pageLSN.
+			sh.mu.Unlock()
+			continue
+		}
+		idx := g.AddPageImage(file, uint32(id), f.data)
+		staged = append(staged, Staged{Page: id, Index: idx, Image: true})
+		sh.mu.Unlock()
+	}
 	return staged
 }
 
@@ -1043,6 +1117,9 @@ func (bp *BufferPool) ResolvePending(staged []Staged, lsns []wal.LSN) {
 			f.lsn = lsn
 		}
 		if s.Image {
+			if lsn > f.imagedLSN {
+				f.imagedLSN = lsn
+			}
 			if f.imagePending {
 				f.imagePending = false
 				sh.pending--
@@ -1077,6 +1154,7 @@ func (bp *BufferPool) flushDeferredOps() error {
 	}
 	g := wal.NewGroup()
 	staged := stageOps(g, file, ops)
+	staged = bp.stageFullPageImages(g, w, file, ops, staged)
 	lsns, err := w.AppendGroup(g)
 	if err != nil {
 		return err
@@ -1223,6 +1301,12 @@ func (bp *BufferPool) syncWAL(w *wal.Writer, lsn wal.LSN) error {
 // Deferred logical records and page images are materialized first,
 // keeping WAL-before-data intact for frames whose records were
 // postponed to the commit point.
+//
+// Callers must hold the exclusive statement lock (CHECKPOINT, Close,
+// and index flushes all do): frames are checksum-stamped and written
+// in place, which tolerates no concurrent pins on the frame. A pinned
+// dirty frame here is a locking bug and panics rather than racing the
+// reader on the header bytes.
 func (bp *BufferPool) FlushAll() error {
 	if err := bp.flushDeferredOps(); err != nil {
 		return err
@@ -1235,6 +1319,10 @@ func (bp *BufferPool) FlushAll() error {
 			f := &sh.frames[i]
 			if !f.valid || !f.dirty {
 				continue
+			}
+			if n := f.pin.Load(); n != 0 {
+				sh.mu.Unlock()
+				panic(fmt.Sprintf("storage: FlushAll of page %d with %d pins held", f.id, n))
 			}
 			if f.imagePending {
 				lsn, err := w.AppendPageImage(walFile, uint32(f.id), f.data)
@@ -1389,6 +1477,7 @@ func (bp *BufferPool) Crash() error {
 			f.dirty = false
 			f.valid = false
 			f.lsn = 0
+			f.imagedLSN = 0
 			f.imagePending = false
 			f.opPending = false
 			f.prefetched = false

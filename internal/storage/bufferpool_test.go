@@ -495,6 +495,80 @@ func TestRecoverDirRedo(t *testing.T) {
 	}
 }
 
+// TestRecoverDirRefusesUncoveredTornPage: a torn page may only be
+// reinitialized and rebuilt when the surviving log provably holds its
+// whole content — the file's creation record or a full image of the
+// page. Here a checkpoint has recycled both, so recovery must fail
+// loudly with ErrPageCorrupt instead of silently restoring only the
+// post-checkpoint record.
+func TestRecoverDirRefusesUncoveredTornPage(t *testing.T) {
+	dataDir := t.TempDir()
+	walDir := dataDir + "/wal"
+	w, err := wal.OpenWriter(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLSN, err := w.AppendHeapInsert("t.tbl", 1, 0, []byte("old-row"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint recycles the segment holding old-row's record and
+	// the file's history.
+	if _, err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendHeapInsert("t.tbl", 1, 1, []byte("new-row")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The data file as the checkpoint flushed it, except page 1 was
+	// torn by the crash: valid content, then a payload byte flipped
+	// after stamping, so the checksum no longer matches.
+	fdm, err := OpenFile(dataDir+"/t.tbl", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := fdm.AllocatePage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 256)
+	SlotInit(buf)
+	if _, ok := SlotInsert(buf, []byte("old-row")); !ok {
+		t.Fatal("insert failed")
+	}
+	SetPageLSN(buf, uint64(oldLSN))
+	StampPageChecksum(buf)
+	buf[200] ^= 0xFF
+	if err := fdm.WritePage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fdm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := RecoverDir(dataDir, walDir, 256)
+	if err == nil {
+		t.Fatalf("recovery repaired an unrecoverable torn page: %+v", st)
+	}
+	if !IsPageCorrupt(err) {
+		t.Fatalf("recovery error = %v, want page corrupt", err)
+	}
+	if st.TornRepaired != 0 {
+		t.Fatalf("recovery claims %d repairs while failing", st.TornRepaired)
+	}
+}
+
 // TestRecoverDirDiscardsUncommittedTail: records after the last commit
 // marker belong to a statement whose remaining records were lost in the
 // crash; replaying them would leave a heap row without its index

@@ -110,6 +110,33 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 	if err != nil {
 		return st, fmt.Errorf("storage: recovery: %w", err)
 	}
+	// Second pre-pass: which torn pages could replay provably rebuild?
+	// A SlotInit repair restores only what the surviving log carries, so
+	// it is licensed by either a RecFileCreate (the log covers the file
+	// since its creation — nothing predates it) or a surviving full
+	// image of the page (everything older is baked into the image,
+	// everything newer follows it in LSN order). A torn page with
+	// neither would be silently rebuilt minus its pre-checkpoint rows.
+	type imageKey struct {
+		file string
+		page uint32
+	}
+	createdFiles := make(map[string]bool)
+	imagedPages := make(map[imageKey]bool)
+	if _, err := wal.Replay(walDir, func(r *wal.Record) error {
+		if lastMarker != 0 && r.LSN > lastMarker {
+			return nil
+		}
+		switch r.Type {
+		case wal.RecFileCreate:
+			createdFiles[r.File] = true
+		case wal.RecPageImage:
+			imagedPages[imageKey{r.File, r.Page}] = true
+		}
+		return nil
+	}); err != nil {
+		return st, fmt.Errorf("storage: recovery: %w", err)
+	}
 	files := make(map[string]*FileDiskManager)
 	defer func() {
 		for _, dm := range files {
@@ -208,6 +235,14 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 			for i := n; i < len(buf); i++ {
 				buf[i] = 0
 			}
+			if r.Page != 0 && ChecksummedFile(r.File) {
+				// The image was captured before its statement's LSNs
+				// were stamped, so its embedded pageLSN is stale.
+				// Advance it to the image's own LSN: the group records
+				// preceding the image are baked into it, and the skip
+				// guard should treat them as applied on a re-replay.
+				SetPageLSN(buf, uint64(r.LSN))
+			}
 			stamp(r.File, r.Page, buf)
 			if err := dm.WritePage(PageID(r.Page), buf); err != nil {
 				return err
@@ -233,13 +268,20 @@ func RecoverDir(dataDir, walDir string, pageSize int) (RecoveryStats, error) {
 				// A checksum mismatch here is a page torn at the crash —
 				// part of an eviction or flush landed, the rest did not.
 				// Its pageLSN and slot directory cannot be trusted, so
-				// reinitialize the page and let replay rebuild it: every
-				// record covering it since the last checkpoint follows in
-				// LSN order, and the reset pageLSN (0) disables the skip
-				// guard for all of them.
-				if _, _, ok := VerifyPageChecksum(buf); !ok {
-					SlotInit(buf)
+				// reinitialize the page and let replay rebuild it, with
+				// the reset pageLSN (0) disabling the skip guard — but
+				// only when the surviving log provably holds the page's
+				// whole content: the file's creation record, or a full
+				// image of the page (the first post-checkpoint touch of
+				// a page ships one). Otherwise reinitializing would
+				// silently drop every row the recycled segments carried,
+				// so recovery fails loudly instead.
+				if stored, computed, ok := VerifyPageChecksum(buf); !ok {
 					st.TornPages++
+					if !createdFiles[r.File] && !imagedPages[imageKey{r.File, r.Page}] {
+						return &ErrPageCorrupt{File: r.File, PageID: PageID(r.Page), Expected: stored, Got: computed}
+					}
+					SlotInit(buf)
 					st.TornRepaired++
 				}
 			}

@@ -66,6 +66,7 @@ type Writer struct {
 	appended  LSN // last LSN appended
 	durable   LSN // last LSN known to be on stable storage
 	committed LSN // last commit/checkpoint marker appended
+	ckpt      LSN // last checkpoint record (0 = log complete since open)
 	syncing   bool
 	closed    bool
 	err       error // sticky I/O error; the log is unusable once set
@@ -109,6 +110,14 @@ func OpenWriter(dir string, opts Options) (*Writer, error) {
 	validEnd, lastLSN, err := scanSegment(last.path, nil)
 	if err != nil {
 		return nil, err
+	}
+	// Only a checkpoint ever deletes segments, and the checkpoint record
+	// is always the first record of the segment the rotation opened — so
+	// the oldest surviving segment starting past LSN 1 names the last
+	// checkpoint. An oldest segment at LSN 1 means no checkpoint ever
+	// recycled anything: the log is complete since its creation.
+	if segs[0].first > 1 {
+		w.ckpt = segs[0].first
 	}
 	if lastLSN == 0 {
 		// The segment was created but no record survived.
@@ -408,6 +417,20 @@ func (w *Writer) AppendCommit() (LSN, error) {
 	return lsn, err
 }
 
+// CheckpointLSN returns the LSN of the last checkpoint record — the
+// horizon the surviving log is complete back to. 0 means no checkpoint
+// has ever recycled segments, so the log reaches back to its creation.
+// The buffer pool uses it for full-page-write decisions: a checksummed
+// page's first mutation after a checkpoint must log a full image, or a
+// write of the page torn at a crash could not be rebuilt (the records
+// describing its older contents were recycled with the pre-checkpoint
+// segments).
+func (w *Writer) CheckpointLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ckpt
+}
+
 // CommittedLSN returns the LSN of the last commit or checkpoint marker
 // appended (0 when no marker has been appended since open). The buffer
 // pool uses it for its no-steal rule: a page whose latest record is
@@ -595,6 +618,7 @@ func (w *Writer) Checkpoint() (LSN, error) {
 	w.buf = append(w.buf, encodeFrame(lsn, RecCheckpoint, nil)...)
 	w.appended = lsn
 	w.committed = lsn
+	w.ckpt = lsn
 	w.stats.Appends++
 	if err := w.syncLocked(lsn); err != nil {
 		return 0, err
